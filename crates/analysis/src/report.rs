@@ -1,0 +1,203 @@
+//! Tabular output: aligned text tables and CSV files.
+//!
+//! Each experiment binary prints a text table shaped like the paper's table
+//! (Table II, the R² summary of Fig. 2, …) and can also persist the same
+//! rows as CSV for downstream plotting.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_analysis::TextTable;
+///
+/// let mut t = TextTable::new(vec!["workload", "r^2"]);
+/// t.row(vec!["img-dnn".to_string(), "0.9997".to_string()]);
+/// let out = t.render();
+/// assert!(out.contains("img-dnn"));
+/// assert!(out.contains("workload"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Serializes the table as CSV (RFC 4180 quoting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let push_row = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| esc(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        push_row(&self.headers, &mut out);
+        for row in &self.rows {
+            push_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating or writing the file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with a sensible number of digits for tables.
+pub fn fmt_sig(value: f64, digits: usize) -> String {
+    if value == 0.0 {
+        return "0".to_string();
+    }
+    let magnitude = value.abs().log10().floor() as i32;
+    let decimals = (digits as i32 - 1 - magnitude).clamp(0, 12) as usize;
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "bee"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Columns aligned: 'bee' and '1' start at the same offset.
+        let header_pos = lines[0].find("bee").unwrap();
+        let cell_pos = lines[2].find('1').unwrap();
+        assert_eq!(header_pos, cell_pos);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = TextTable::new(vec!["x"]);
+        t.row(vec!["1".into()]);
+        t.row(vec!["2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_sig_scales_decimals() {
+        assert_eq!(fmt_sig(0.0, 3), "0");
+        assert_eq!(fmt_sig(1234.4, 3), "1234");
+        assert_eq!(fmt_sig(0.001234, 3), "0.00123");
+        assert_eq!(fmt_sig(9.87654, 4), "9.877");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let mut t = TextTable::new(vec!["h"]);
+        t.row(vec!["v".into()]);
+        let dir = std::env::temp_dir().join("kscope_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "h\nv\n");
+    }
+}

@@ -1,0 +1,148 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Each target isolates one modeling decision and measures its simulation
+//! cost; the accompanying assertions record the *behavioural* consequence
+//! of removing it (e.g. without the contention-convoy model the Fig. 3
+//! variance knee disappears), so `cargo bench` doubles as an ablation
+//! study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_experiments::{fig3, sweep::SweepConfig};
+use kscope_netem::{LossModel, NetemConfig, NetemLink};
+use kscope_simcore::{Nanos, SimRng};
+use kscope_workloads::data_caching;
+use std::hint::black_box;
+
+/// Contention convoys on vs. off: without them variance stays flat past
+/// the knee (no Fig. 3 signal); with them it rises.
+fn bench_convoy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_contention_convoys");
+    group.bench_function("with_convoys", |b| {
+        b.iter(|| {
+            let curve = fig3::analyze_workload(&data_caching(), &SweepConfig::quick());
+            assert!(curve.rises_past_failure, "convoys should produce the knee");
+            black_box(curve.var_raw.len())
+        })
+    });
+    group.bench_function("without_convoys", |b| {
+        let mut spec = data_caching();
+        spec.collision_p_max = 0.0;
+        b.iter(|| {
+            let curve = fig3::analyze_workload(&spec, &SweepConfig::quick());
+            // The behavioural ablation: the rise disappears.
+            assert!(
+                !curve.rises_past_failure,
+                "without convoys the variance knee should vanish"
+            );
+            black_box(curve.var_raw.len())
+        })
+    });
+    group.finish();
+}
+
+/// Delta scaling shift: shift 10 (microsecond cells) vs. shift 0 — the
+/// no-scaling variant overflows the sum-of-squares in long windows, which
+/// is why the in-kernel accumulator scales.
+fn bench_scaling_ablation(c: &mut Criterion) {
+    use kscope_core::ScaledAcc;
+    let mut group = c.benchmark_group("ablation_delta_scaling");
+    for shift in [0u32, 10] {
+        group.bench_function(format!("shift_{shift}"), |b| {
+            b.iter(|| {
+                let mut acc = ScaledAcc::new(shift);
+                for i in 0..10_000u64 {
+                    acc.push(1_000_000 + (i % 997) * 513);
+                }
+                black_box(acc.variance())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Loss model: Bernoulli vs. Gilbert–Elliott at equal steady-state rate.
+fn bench_loss_model_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_loss_model");
+    let bernoulli = {
+        let mut cfg = NetemConfig::ideal();
+        cfg.loss = LossModel::Bernoulli { p: 0.05 };
+        cfg
+    };
+    let gilbert = {
+        let mut cfg = NetemConfig::ideal();
+        cfg.loss = LossModel::GilbertElliott {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.09,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        };
+        cfg
+    };
+    for (name, cfg) in [("bernoulli", bernoulli), ("gilbert_elliott", gilbert)] {
+        group.bench_function(name, |b| {
+            let mut link = NetemLink::new(cfg.clone());
+            let mut rng = SimRng::seed_from_u64(5);
+            b.iter(|| black_box(link.send(&mut rng).delay))
+        });
+    }
+    group.finish();
+}
+
+/// Scheduler contention jitter on vs. off (simulation cost only; the
+/// behavioural effect is part of the calibrated knee position).
+fn bench_jitter_ablation(c: &mut Criterion) {
+    use kscope_kernel::{CpuScheduler, SchedConfig};
+    let mut group = c.benchmark_group("ablation_sched_jitter");
+    for (name, jitter) in [("with_jitter", 2_000.0), ("without_jitter", 0.0)] {
+        group.bench_function(name, |b| {
+            let config = SchedConfig {
+                csw_cost: Nanos::from_micros(3),
+                jitter_per_waiter_ns: jitter,
+            };
+            b.iter(|| {
+                let mut rng = SimRng::seed_from_u64(3);
+                let mut sched = CpuScheduler::new(4, config);
+                let mut finished = 0u64;
+                // 8 threads contending for 4 cores, 1000 slices.
+                let mut grants = Vec::new();
+                for tid in 0..8u32 {
+                    if let Some(g) =
+                        sched.submit(tid, Nanos::from_micros(50), Nanos::ZERO, &mut rng)
+                    {
+                        grants.push(g);
+                    }
+                }
+                while finished < 1_000 {
+                    grants.sort_by_key(|g| g.finish);
+                    let g = grants.remove(0);
+                    finished += 1;
+                    if let Some(next) = sched.complete(g.tid, g.finish, &mut rng) {
+                        grants.push(next);
+                    }
+                    if let Some(again) =
+                        sched.submit(g.tid, Nanos::from_micros(50), g.finish, &mut rng)
+                    {
+                        grants.push(again);
+                    }
+                }
+                black_box(finished)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = ablation;
+    config = config();
+    targets = bench_convoy_ablation, bench_scaling_ablation,
+              bench_loss_model_ablation, bench_jitter_ablation
+}
+criterion_main!(ablation);

@@ -1,0 +1,106 @@
+//! One Criterion benchmark per paper table/figure: each target runs the
+//! reduced-scale version of the corresponding experiment end to end, so
+//! `cargo bench` both regenerates every result and tracks the harness's
+//! performance. (The paper-scale versions are the `kscope-experiments`
+//! binaries; see EXPERIMENTS.md.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_experiments::{fig1, fig2, fig3, fig4, fig5, overhead, sweep, table1, Scale};
+use kscope_workloads::data_caching;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_syscall_stream", |b| {
+        b.iter(|| {
+            let result = fig1::run(Scale::Quick);
+            assert!(result.timeline.pairing_rate() > 0.99);
+            black_box(result.timeline.spans.len())
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    // One representative workload per iteration keeps bench time sane; the
+    // assertion keeps the result honest.
+    c.bench_function("fig2_rps_correlation[data-caching]", |b| {
+        b.iter(|| {
+            let (row, _) = fig2::analyze_workload(&data_caching(), &sweep::SweepConfig::quick());
+            assert!(row.r_squared > 0.9);
+            black_box(row.r_squared)
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_variance[data-caching]", |b| {
+        b.iter(|| {
+            let curve = fig3::analyze_workload(&data_caching(), &sweep::SweepConfig::quick());
+            assert!(curve.rises_past_failure);
+            black_box(curve.var_raw.len())
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_epoll_duration[data-caching]", |b| {
+        b.iter(|| {
+            let curve = fig4::analyze_workload(&data_caching(), &sweep::SweepConfig::quick());
+            assert!(curve.monotone_decreasing);
+            black_box(curve.poll_raw.len())
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_loss_robustness[triton-grpc]", |b| {
+        b.iter(|| {
+            let result = fig5::run(Scale::Quick);
+            assert!(result.p99_divergence >= result.poll_signal_divergence);
+            black_box(result.p99_divergence)
+        })
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_system_spec", |b| {
+        b.iter(|| black_box(table1::render().len()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    use kscope_netem::NetemConfig;
+    use kscope_simcore::Nanos;
+    c.bench_function("table2_netem_rps[data-caching]", |b| {
+        b.iter(|| {
+            let impaired = sweep::SweepConfig::quick()
+                .with_netem(NetemConfig::impaired(Nanos::from_millis(10), 0.01));
+            let (row, _) = fig2::analyze_workload(&data_caching(), &impaired);
+            assert!(row.r_squared > 0.9);
+            black_box(row.r_squared)
+        })
+    });
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    c.bench_function("overhead_study[quick]", |b| {
+        b.iter(|| {
+            let rows = overhead::run(Scale::Quick);
+            black_box(rows.len())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_fig1, bench_fig2, bench_fig3, bench_fig4, bench_fig5,
+              bench_table1, bench_table2, bench_overhead
+}
+criterion_main!(figures);

@@ -1,0 +1,15 @@
+//! # kscope-bench
+//!
+//! Criterion benchmarks for the kscope reproduction:
+//!
+//! * `figures` — one target per paper table/figure, running the
+//!   reduced-scale experiment end to end with its shape assertions;
+//! * `micro` — per-event probe cost, eBPF interpreter throughput, map
+//!   operations, event-engine dispatch;
+//! * `ablation` — design-choice ablations (contention convoys, delta
+//!   scaling, loss models, scheduler jitter).
+//!
+//! Run with `cargo bench --workspace`.
+
+
+#![forbid(unsafe_code)]

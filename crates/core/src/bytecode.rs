@@ -1,0 +1,499 @@
+//! The bytecode metric backend: the paper's methodology as *actual eBPF
+//! programs*, assembled, verified, and interpreted by `kscope-ebpf`.
+//!
+//! Two programs are generated per observed process, mirroring Listing 1's
+//! structure:
+//!
+//! * **sys_enter** — filter tgid, filter the poll syscall, store
+//!   `start[pid_tgid] = bpf_ktime_get_ns()`;
+//! * **sys_exit** — filter tgid, classify the syscall into
+//!   send/receive/poll, and update the twelve-cell stats map value:
+//!   inter-exit deltas (scaled, with sum and sum-of-squares for Eq. 2) for
+//!   send and receive, durations for poll.
+//!
+//! The tracepoint context handed to the programs is 16 bytes:
+//! `[syscall id: u64][return value: u64]` — id and return value are the only
+//! tracepoint fields the methodology reads; timestamps and pid come from
+//! the `bpf_ktime_get_ns` / `bpf_get_current_pid_tgid` helpers, as in real
+//! eBPF.
+
+use kscope_ebpf::asm::Asm;
+use kscope_ebpf::insn::{R0, R1, R2, R3, R4, R6, R7, R8, R9, R10, SZ_DW, SZ_W};
+use kscope_ebpf::interp::{ExecEnv, Vm};
+use kscope_ebpf::maps::{MapDef, MapFd, MapRegistry};
+use kscope_ebpf::verifier::{Verifier, VerifierConfig};
+use kscope_ebpf::{Helper, Program};
+use kscope_simcore::Nanos;
+use kscope_syscalls::{Pid, SyscallProfile, SyscallRole, TracePhase, TracepointCtx};
+
+use crate::counters::{offsets, RawCounters};
+use crate::observer::MetricBackend;
+
+/// Modeled cost of one interpreted eBPF instruction.
+pub const NS_PER_INSN: f64 = 5.0;
+
+/// Size of the context buffer the programs receive.
+pub const CTX_SIZE: usize = 16;
+
+/// Errors from building the bytecode probe.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The generated program failed to assemble (a builder bug).
+    Asm(kscope_ebpf::asm::AsmError),
+    /// The generated program failed verification (a builder bug).
+    Verify(kscope_ebpf::verifier::VerifyError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Asm(e) => write!(f, "assembly failed: {e}"),
+            BuildError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The eBPF-executed observability probe.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_core::{BytecodeBackend, MetricBackend};
+/// use kscope_simcore::Nanos;
+/// use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
+///
+/// let mut probe = BytecodeBackend::new(1200, SyscallProfile::data_caching(), 10).unwrap();
+/// for i in 1..=3u64 {
+///     probe.on_event(&TracepointCtx {
+///         phase: TracePhase::Exit,
+///         no: SyscallNo::SENDMSG,
+///         pid_tgid: pid_tgid(1200, 1201),
+///         ktime: Nanos::from_millis(i),
+///         ret: 64,
+///     });
+/// }
+/// assert_eq!(probe.counters().send.count, 2);
+/// ```
+#[derive(Debug)]
+pub struct BytecodeBackend {
+    maps: MapRegistry,
+    vm: Vm,
+    enter: Program,
+    exit: Program,
+    stats_fd: MapFd,
+    shift: u32,
+    tgids: Vec<Pid>,
+    insns_executed: u64,
+}
+
+impl BytecodeBackend {
+    /// Assembles and verifies the probe programs for one process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if assembly or verification fails — which
+    /// would indicate a bug in the program generator, not bad input.
+    pub fn new(tgid: Pid, profile: SyscallProfile, shift: u32) -> Result<BytecodeBackend, BuildError> {
+        BytecodeBackend::new_multi(vec![tgid], profile, shift)
+    }
+
+    /// Builds a probe observing several processes at once (multi-stage
+    /// applications like Web Search aggregate every process into one
+    /// stream, §V-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on generator bugs, as for
+    /// [`BytecodeBackend::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tgids` is empty.
+    pub fn new_multi(
+        tgids: Vec<Pid>,
+        profile: SyscallProfile,
+        shift: u32,
+    ) -> Result<BytecodeBackend, BuildError> {
+        assert!(!tgids.is_empty(), "observe at least one process");
+        let mut maps = MapRegistry::new();
+        let start_fd = maps.create("start", MapDef::hash(8, 8, 4096));
+        let stats_fd = maps.create("stats", MapDef::array(offsets::VALUE_SIZE as u32, 1));
+
+        let send_no = profile.primary(SyscallRole::Send).raw() as i32;
+        let recv_no = profile.primary(SyscallRole::Receive).raw() as i32;
+        let poll_no = profile.primary(SyscallRole::Poll).raw() as i32;
+
+        let enter = build_enter(&tgids, poll_no, start_fd).map_err(BuildError::Asm)?;
+        let exit = build_exit(&tgids, send_no, recv_no, poll_no, shift, start_fd, stats_fd)
+            .map_err(BuildError::Asm)?;
+
+        let verifier = Verifier::new(VerifierConfig {
+            ctx_size: CTX_SIZE,
+            ..VerifierConfig::default()
+        });
+        verifier.verify(&enter, &maps).map_err(BuildError::Verify)?;
+        verifier.verify(&exit, &maps).map_err(BuildError::Verify)?;
+
+        Ok(BytecodeBackend {
+            maps,
+            vm: Vm::new(),
+            enter,
+            exit,
+            stats_fd,
+            shift,
+            tgids,
+            insns_executed: 0,
+        })
+    }
+
+    /// The processes being observed.
+    pub fn tgids(&self) -> &[Pid] {
+        &self.tgids
+    }
+
+    /// Total eBPF instructions executed so far (the interpreter cost model).
+    pub fn insns_executed(&self) -> u64 {
+        self.insns_executed
+    }
+
+    /// Disassembly of both programs (for documentation and debugging).
+    pub fn disassembly(&self) -> String {
+        format!("{}\n{}", self.enter.disassemble(), self.exit.disassemble())
+    }
+
+    fn stats_value(&self) -> Vec<u8> {
+        self.maps
+            .lookup(self.stats_fd, &0u32.to_le_bytes())
+            .expect("stats map exists")
+            .expect("array slot 0 exists")
+            .to_vec()
+    }
+}
+
+impl MetricBackend for BytecodeBackend {
+    fn on_event(&mut self, ctx: &TracepointCtx) -> Nanos {
+        let mut buf = [0u8; CTX_SIZE];
+        buf[..8].copy_from_slice(&(ctx.no.raw() as u64).to_le_bytes());
+        buf[8..16].copy_from_slice(&(ctx.ret as u64).to_le_bytes());
+        let mut env = ExecEnv {
+            ktime_ns: ctx.ktime.as_nanos(),
+            pid_tgid: ctx.pid_tgid,
+            ..ExecEnv::default()
+        };
+        let program = match ctx.phase {
+            TracePhase::Enter => &self.enter,
+            TracePhase::Exit => &self.exit,
+        };
+        let outcome = self
+            .vm
+            .execute(program, &buf, &mut self.maps, &mut env)
+            .expect("verified program cannot fault");
+        self.insns_executed += outcome.insns_executed;
+        Nanos::from_nanos((outcome.insns_executed as f64 * NS_PER_INSN).round() as u64)
+    }
+
+    fn counters(&self) -> RawCounters {
+        RawCounters::decode(self.shift, &self.stats_value())
+    }
+
+    fn reset_window(&mut self) {
+        let value = self
+            .maps
+            .lookup_mut(self.stats_fd, &0u32.to_le_bytes())
+            .expect("stats map exists")
+            .expect("array slot 0 exists");
+        // Zero everything except the two last-timestamp cells, which chain
+        // deltas across window boundaries.
+        for off in [
+            offsets::SEND_COUNT,
+            offsets::SEND_SUM,
+            offsets::SEND_SUMSQ,
+            offsets::RECV_COUNT,
+            offsets::RECV_SUM,
+            offsets::RECV_SUMSQ,
+            offsets::POLL_COUNT,
+            offsets::POLL_SUM,
+            offsets::POLL_SUMSQ,
+            offsets::EVENTS,
+        ] {
+            value[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
+        }
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "ebpf-bytecode"
+    }
+}
+
+/// Emits the tgid filter: fall through when the tgid (already in `R2`)
+/// matches any observed process, jump to `out` otherwise.
+fn filter_tgids(mut asm: Asm, tgids: &[Pid]) -> Asm {
+    for tgid in tgids {
+        asm = asm.jeq_imm(R2, *tgid as i32, "tgid_ok");
+    }
+    asm.ja("out").label("tgid_ok")
+}
+
+/// Builds the `sys_enter` program: store the poll-entry timestamp.
+fn build_enter(tgids: &[Pid], poll_no: i32, start_fd: MapFd) -> Result<Program, kscope_ebpf::asm::AsmError> {
+    let asm = Asm::new("kscope_sys_enter")
+        .mov64_reg(R9, R1) // save ctx
+        .call(Helper::GetCurrentPidTgid)
+        .mov64_reg(R6, R0)
+        .mov64_reg(R2, R6)
+        .rsh64_imm(R2, 32);
+    filter_tgids(asm, tgids)
+        .load(SZ_DW, R8, R9, 0) // args->id
+        .jne_imm(R8, poll_no, "out")
+        // start[pid_tgid] = bpf_ktime_get_ns()
+        .store_reg(SZ_DW, R10, R6, -8)
+        .call(Helper::KtimeGetNs)
+        .store_reg(SZ_DW, R10, R0, -16)
+        .ld_map_fd(R1, start_fd)
+        .mov64_reg(R2, R10)
+        .add64_imm(R2, -8)
+        .mov64_reg(R3, R10)
+        .add64_imm(R3, -16)
+        .mov64_imm(R4, 0)
+        .call(Helper::MapUpdateElem)
+        .label("out")
+        .mov64_imm(R0, 0)
+        .exit()
+        .assemble()
+}
+
+/// Builds the `sys_exit` program: classify and update the stats cells.
+fn build_exit(
+    tgids: &[Pid],
+    send_no: i32,
+    recv_no: i32,
+    poll_no: i32,
+    shift: u32,
+    start_fd: MapFd,
+    stats_fd: MapFd,
+) -> Result<Program, kscope_ebpf::asm::AsmError> {
+    let asm = Asm::new("kscope_sys_exit")
+        .mov64_reg(R9, R1) // save ctx
+        .call(Helper::GetCurrentPidTgid)
+        .mov64_reg(R6, R0)
+        .mov64_reg(R2, R6)
+        .rsh64_imm(R2, 32);
+    let mut asm = filter_tgids(asm, tgids)
+        .load(SZ_DW, R8, R9, 0) // args->id
+        .jeq_imm(R8, send_no, "send")
+        .jeq_imm(R8, recv_no, "recv")
+        .jeq_imm(R8, poll_no, "poll")
+        .label("out")
+        .mov64_imm(R0, 0)
+        .exit();
+
+    // Shared delta-section generator for send/recv.
+    for (label, count_off, sum_off, sumsq_off, last_off) in [
+        (
+            "send",
+            offsets::SEND_COUNT,
+            offsets::SEND_SUM,
+            offsets::SEND_SUMSQ,
+            offsets::SEND_LAST_TS,
+        ),
+        (
+            "recv",
+            offsets::RECV_COUNT,
+            offsets::RECV_SUM,
+            offsets::RECV_SUMSQ,
+            offsets::RECV_LAST_TS,
+        ),
+    ] {
+        let ok = format!("{label}_ok");
+        let delta = format!("{label}_delta");
+        let fin = format!("{label}_done");
+        asm = asm
+            .label(label)
+            // stats value pointer -> R7
+            .store_imm(SZ_W, R10, -4, 0)
+            .ld_map_fd(R1, stats_fd)
+            .mov64_reg(R2, R10)
+            .add64_imm(R2, -4)
+            .call(Helper::MapLookupElem)
+            .jne_imm(R0, 0, ok.clone())
+            .mov64_imm(R0, 0)
+            .exit()
+            .label(ok)
+            .mov64_reg(R7, R0)
+            // events++
+            .load(SZ_DW, R1, R7, offsets::EVENTS as i16)
+            .add64_imm(R1, 1)
+            .store_reg(SZ_DW, R7, R1, offsets::EVENTS as i16)
+            // now -> R8; last -> R1; store new last
+            .call(Helper::KtimeGetNs)
+            .mov64_reg(R8, R0)
+            .load(SZ_DW, R1, R7, last_off as i16)
+            .store_reg(SZ_DW, R7, R8, last_off as i16)
+            .jne_imm(R1, 0, delta.clone())
+            .mov64_imm(R0, 0)
+            .exit()
+            .label(delta)
+            // delta = now - last, scaled
+            .mov64_reg(R2, R8)
+            .sub64_reg(R2, R1)
+            .rsh64_imm(R2, shift as i32)
+            // count++
+            .load(SZ_DW, R3, R7, count_off as i16)
+            .add64_imm(R3, 1)
+            .store_reg(SZ_DW, R7, R3, count_off as i16)
+            // sum += delta
+            .load(SZ_DW, R3, R7, sum_off as i16)
+            .add64_reg(R3, R2)
+            .store_reg(SZ_DW, R7, R3, sum_off as i16)
+            // sum_sq += delta * delta
+            .mov64_reg(R4, R2)
+            .mul64_reg(R4, R2)
+            .load(SZ_DW, R3, R7, sumsq_off as i16)
+            .add64_reg(R3, R4)
+            .store_reg(SZ_DW, R7, R3, sumsq_off as i16)
+            .label(fin)
+            .mov64_imm(R0, 0)
+            .exit();
+    }
+
+    // Poll section: duration = now - start[pid_tgid].
+    asm = asm
+        .label("poll")
+        .call(Helper::KtimeGetNs)
+        .mov64_reg(R8, R0) // now
+        .store_reg(SZ_DW, R10, R6, -16)
+        .ld_map_fd(R1, start_fd)
+        .mov64_reg(R2, R10)
+        .add64_imm(R2, -16)
+        .call(Helper::MapLookupElem)
+        .jne_imm(R0, 0, "poll_have_start")
+        .mov64_imm(R0, 0)
+        .exit()
+        .label("poll_have_start")
+        .load(SZ_DW, R2, R0, 0) // start ts
+        .mov64_reg(R3, R8)
+        .sub64_reg(R3, R2) // duration
+        .rsh64_imm(R3, shift as i32)
+        .mov64_reg(R8, R3) // duration survives the next call in R8
+        // stats value pointer -> R7
+        .store_imm(SZ_W, R10, -4, 0)
+        .ld_map_fd(R1, stats_fd)
+        .mov64_reg(R2, R10)
+        .add64_imm(R2, -4)
+        .call(Helper::MapLookupElem)
+        .jne_imm(R0, 0, "poll_ok")
+        .mov64_imm(R0, 0)
+        .exit()
+        .label("poll_ok")
+        .mov64_reg(R7, R0)
+        // events++
+        .load(SZ_DW, R1, R7, offsets::EVENTS as i16)
+        .add64_imm(R1, 1)
+        .store_reg(SZ_DW, R7, R1, offsets::EVENTS as i16)
+        // poll count / sum / sumsq
+        .load(SZ_DW, R1, R7, offsets::POLL_COUNT as i16)
+        .add64_imm(R1, 1)
+        .store_reg(SZ_DW, R7, R1, offsets::POLL_COUNT as i16)
+        .load(SZ_DW, R1, R7, offsets::POLL_SUM as i16)
+        .add64_reg(R1, R8)
+        .store_reg(SZ_DW, R7, R1, offsets::POLL_SUM as i16)
+        .mov64_reg(R4, R8)
+        .mul64_reg(R4, R8)
+        .load(SZ_DW, R1, R7, offsets::POLL_SUMSQ as i16)
+        .add64_reg(R1, R4)
+        .store_reg(SZ_DW, R7, R1, offsets::POLL_SUMSQ as i16)
+        .mov64_imm(R0, 0)
+        .exit();
+
+    asm.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kscope_syscalls::{pid_tgid, SyscallNo};
+
+    fn ctx(phase: TracePhase, no: SyscallNo, tid: u32, t_us: u64) -> TracepointCtx {
+        TracepointCtx {
+            phase,
+            no,
+            pid_tgid: pid_tgid(1200, tid),
+            ktime: Nanos::from_micros(t_us),
+            ret: 1,
+        }
+    }
+
+    fn probe() -> BytecodeBackend {
+        BytecodeBackend::new(1200, SyscallProfile::data_caching(), 0).unwrap()
+    }
+
+    #[test]
+    fn programs_assemble_and_verify_for_all_profiles() {
+        for profile in [
+            SyscallProfile::tailbench(),
+            SyscallProfile::data_caching(),
+            SyscallProfile::web_search(),
+            SyscallProfile::triton_grpc(),
+            SyscallProfile::triton_http(),
+        ] {
+            BytecodeBackend::new(42, profile, 10).expect("builds");
+        }
+    }
+
+    #[test]
+    fn send_deltas_via_bytecode() {
+        let mut p = probe();
+        for t in [100, 300, 600] {
+            p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, t));
+        }
+        let c = p.counters();
+        assert_eq!(c.send.count, 2);
+        assert_eq!(c.send.sum, 500_000);
+        assert_eq!(c.send_last_ts, 600_000);
+        assert_eq!(c.events, 3);
+        assert!(p.insns_executed() > 0);
+    }
+
+    #[test]
+    fn poll_duration_via_bytecode() {
+        let mut p = probe();
+        p.on_event(&ctx(TracePhase::Enter, SyscallNo::EPOLL_WAIT, 1, 100));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::EPOLL_WAIT, 1, 450));
+        let c = p.counters();
+        assert_eq!(c.poll.count, 1);
+        assert_eq!(c.poll.sum, 350_000);
+    }
+
+    #[test]
+    fn tgid_filter_in_bytecode() {
+        let mut p = probe();
+        let mut foreign = ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 100);
+        foreign.pid_tgid = pid_tgid(7, 7);
+        p.on_event(&foreign);
+        assert_eq!(p.counters().events, 0);
+    }
+
+    #[test]
+    fn disassembly_mentions_tracepoint_programs() {
+        let p = probe();
+        let dis = p.disassembly();
+        assert!(dis.contains("kscope_sys_enter"));
+        assert!(dis.contains("kscope_sys_exit"));
+        assert!(dis.contains("call 14")); // bpf_get_current_pid_tgid
+        assert!(dis.contains("call 5")); // bpf_ktime_get_ns
+    }
+
+    #[test]
+    fn reset_window_preserves_delta_chain() {
+        let mut p = probe();
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 100));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 200));
+        p.reset_window();
+        assert_eq!(p.counters().send.count, 0);
+        assert_eq!(p.counters().send_last_ts, 200_000);
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 350));
+        assert_eq!(p.counters().send.sum, 150_000);
+    }
+}

@@ -1,0 +1,239 @@
+//! Bring-your-own-program probes.
+//!
+//! [`CustomProbe`] attaches *arbitrary* verified eBPF programs to the
+//! kernel's syscall tracepoints with the same context ABI the built-in
+//! observability programs use — the extension point for the "blackbox
+//! application optimization" uses the paper sketches in §VI. Write the
+//! programs with [`Asm`](kscope_ebpf::asm::Asm) or the text assembler
+//! ([`parse_program`](kscope_ebpf::text::parse_program)), create maps in a
+//! [`MapRegistry`], and read the maps back out after the run.
+//!
+//! Context ABI (16 bytes, little-endian):
+//!
+//! | offset | field |
+//! |---|---|
+//! | 0 | syscall id (`u64`) |
+//! | 8 | return value on exit / 0 on enter (`u64`) |
+//!
+//! Timestamps and pid/tgid come from the `bpf_ktime_get_ns` /
+//! `bpf_get_current_pid_tgid` helpers, as in real eBPF.
+
+use kscope_ebpf::interp::{ExecEnv, Vm};
+use kscope_ebpf::maps::MapRegistry;
+use kscope_ebpf::verifier::{Verifier, VerifierConfig};
+use kscope_ebpf::Program;
+use kscope_kernel::TracepointProbe;
+use kscope_simcore::Nanos;
+use kscope_syscalls::{TracePhase, TracepointCtx};
+
+use crate::bytecode::{BuildError, CTX_SIZE, NS_PER_INSN};
+
+/// A user-supplied pair of tracepoint programs plus their maps.
+///
+/// # Examples
+///
+/// Count `epoll_wait` exits with a text-assembled program:
+///
+/// ```
+/// use kscope_core::custom::CustomProbe;
+/// use kscope_ebpf::maps::{MapDef, MapRegistry};
+/// use kscope_ebpf::text::parse_program;
+/// use kscope_kernel::TracepointProbe;
+/// use kscope_simcore::Nanos;
+/// use kscope_syscalls::{pid_tgid, SyscallNo, TracePhase, TracepointCtx};
+///
+/// let mut maps = MapRegistry::new();
+/// let counts = maps.create("counts", MapDef::array(8, 1)); // fd 0
+/// let exit_prog = parse_program("count_epoll", r"
+///     ldxdw r8, [r1+0]
+///     jeq   r8, 232, hit
+///     mov   r0, 0
+///     exit
+/// hit:
+///     stw   [r10-4], 0
+///     ld_map_fd r1, 0
+///     mov   r2, r10
+///     add   r2, -4
+///     call  bpf_map_lookup_elem
+///     jne   r0, 0, ok
+///     mov   r0, 0
+///     exit
+/// ok:
+///     ldxdw r1, [r0+0]
+///     add   r1, 1
+///     stxdw [r0+0], r1
+///     mov   r0, 0
+///     exit
+/// ").unwrap();
+/// let mut probe = CustomProbe::new(None, Some(exit_prog), maps).unwrap();
+/// probe.fire(&TracepointCtx {
+///     phase: TracePhase::Exit,
+///     no: SyscallNo::EPOLL_WAIT,
+///     pid_tgid: pid_tgid(1, 1),
+///     ktime: Nanos::ZERO,
+///     ret: 1,
+/// });
+/// assert_eq!(probe.maps().array_u64(counts, 0).unwrap(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CustomProbe {
+    enter: Option<Program>,
+    exit: Option<Program>,
+    maps: MapRegistry,
+    vm: Vm,
+    name: String,
+}
+
+impl CustomProbe {
+    /// Verifies the supplied programs against `maps` and builds the probe.
+    ///
+    /// Pass `None` to skip an edge (e.g. exit-only probes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Verify`] if either program fails verification
+    /// under the tracepoint context ABI.
+    pub fn new(
+        enter: Option<Program>,
+        exit: Option<Program>,
+        maps: MapRegistry,
+    ) -> Result<CustomProbe, BuildError> {
+        let verifier = Verifier::new(VerifierConfig {
+            ctx_size: CTX_SIZE,
+            ..VerifierConfig::default()
+        });
+        let name = match (&enter, &exit) {
+            (Some(e), Some(x)) => format!("{}+{}", e.name(), x.name()),
+            (Some(e), None) => e.name().to_string(),
+            (None, Some(x)) => x.name().to_string(),
+            (None, None) => "custom(no-op)".to_string(),
+        };
+        for program in enter.iter().chain(exit.iter()) {
+            verifier.verify(program, &maps).map_err(BuildError::Verify)?;
+        }
+        Ok(CustomProbe {
+            enter,
+            exit,
+            maps,
+            vm: Vm::new(),
+            name,
+        })
+    }
+
+    /// The probe's maps (read results here after the run).
+    pub fn maps(&self) -> &MapRegistry {
+        &self.maps
+    }
+
+    /// Mutable map access (pre-seed state, reset windows, …).
+    pub fn maps_mut(&mut self) -> &mut MapRegistry {
+        &mut self.maps
+    }
+}
+
+impl TracepointProbe for CustomProbe {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fire(&mut self, ctx: &TracepointCtx) -> Nanos {
+        let program = match ctx.phase {
+            TracePhase::Enter => self.enter.as_ref(),
+            TracePhase::Exit => self.exit.as_ref(),
+        };
+        let Some(program) = program else {
+            return Nanos::ZERO;
+        };
+        let mut buf = [0u8; CTX_SIZE];
+        buf[..8].copy_from_slice(&(ctx.no.raw() as u64).to_le_bytes());
+        if ctx.phase == TracePhase::Exit {
+            buf[8..16].copy_from_slice(&(ctx.ret as u64).to_le_bytes());
+        }
+        let mut env = ExecEnv {
+            ktime_ns: ctx.ktime.as_nanos(),
+            pid_tgid: ctx.pid_tgid,
+            ..ExecEnv::default()
+        };
+        let outcome = self
+            .vm
+            .execute(program, &buf, &mut self.maps, &mut env)
+            .expect("verified program cannot fault");
+        Nanos::from_nanos((outcome.insns_executed as f64 * NS_PER_INSN).round() as u64)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kscope_ebpf::maps::MapDef;
+    use kscope_ebpf::text::parse_program;
+    use kscope_syscalls::{pid_tgid, SyscallNo};
+
+    fn fire(probe: &mut CustomProbe, phase: TracePhase, no: SyscallNo, t_us: u64) {
+        probe.fire(&TracepointCtx {
+            phase,
+            no,
+            pid_tgid: pid_tgid(1, 2),
+            ktime: Nanos::from_micros(t_us),
+            ret: 9,
+        });
+    }
+
+    #[test]
+    fn exit_only_counter_program() {
+        let mut maps = MapRegistry::new();
+        let counts = maps.create("counts", MapDef::array(8, 1));
+        let exit = parse_program(
+            "count_all",
+            r"
+            stw   [r10-4], 0
+            ld_map_fd r1, 0
+            mov   r2, r10
+            add   r2, -4
+            call  bpf_map_lookup_elem
+            jne   r0, 0, ok
+            mov   r0, 0
+            exit
+        ok:
+            ldxdw r1, [r0+0]
+            add   r1, 1
+            stxdw [r0+0], r1
+            mov   r0, 0
+            exit
+        ",
+        )
+        .unwrap();
+        let mut probe = CustomProbe::new(None, Some(exit), maps).unwrap();
+        fire(&mut probe, TracePhase::Exit, SyscallNo::READ, 1);
+        fire(&mut probe, TracePhase::Enter, SyscallNo::READ, 2); // no enter prog
+        fire(&mut probe, TracePhase::Exit, SyscallNo::SENDMSG, 3);
+        assert_eq!(probe.maps().array_u64(counts, 0).unwrap(), 2);
+        assert_eq!(probe.name(), "count_all");
+    }
+
+    #[test]
+    fn bad_programs_are_rejected_at_construction() {
+        let maps = MapRegistry::new();
+        let bad = parse_program("bad", "ldxdw r0, [r10-8]\nexit").unwrap();
+        let err = CustomProbe::new(None, Some(bad), maps).unwrap_err();
+        assert!(matches!(err, BuildError::Verify(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_edges_cost_nothing() {
+        let maps = MapRegistry::new();
+        let mut probe = CustomProbe::new(None, None, maps).unwrap();
+        let cost = probe.fire(&TracepointCtx {
+            phase: TracePhase::Enter,
+            no: SyscallNo::READ,
+            pid_tgid: 1,
+            ktime: Nanos::ZERO,
+            ret: 0,
+        });
+        assert_eq!(cost, Nanos::ZERO);
+    }
+}

@@ -1,0 +1,241 @@
+//! The native metric backend: the paper's eBPF logic as a plain Rust probe.
+//!
+//! Semantically identical to the bytecode backend (`crate::bytecode`) —
+//! same filtering, same integer arithmetic, same cell layout — but executed
+//! directly. This is what a JIT-compiled eBPF program effectively is; the
+//! per-event costs model a compiled probe, while the bytecode backend
+//! models an interpreted one.
+
+use std::collections::HashMap;
+
+use kscope_simcore::Nanos;
+use kscope_syscalls::{Pid, SyscallProfile, SyscallRole, TracePhase, TracepointCtx};
+
+use crate::counters::RawCounters;
+use crate::observer::MetricBackend;
+
+/// Cost charged for a tracepoint firing that fails the pid/syscall filter.
+pub const FILTER_COST: Nanos = Nanos::from_nanos(40);
+/// Additional cost charged when an event matches and updates the cells.
+pub const UPDATE_COST: Nanos = Nanos::from_nanos(160);
+
+/// Native implementation of the observability probe.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_core::{MetricBackend, NativeBackend};
+/// use kscope_simcore::Nanos;
+/// use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
+///
+/// let mut probe = NativeBackend::new(1200, SyscallProfile::data_caching(), 10);
+/// for i in 1..=3u64 {
+///     probe.on_event(&TracepointCtx {
+///         phase: TracePhase::Exit,
+///         no: SyscallNo::SENDMSG,
+///         pid_tgid: pid_tgid(1200, 1201),
+///         ktime: Nanos::from_micros(500 * i),
+///         ret: 64,
+///     });
+/// }
+/// assert_eq!(probe.counters().send.count, 2); // two deltas from three sends
+/// ```
+#[derive(Debug, Clone)]
+pub struct NativeBackend {
+    tgids: Vec<Pid>,
+    profile: SyscallProfile,
+    counters: RawCounters,
+    /// Poll-entry timestamps keyed by packed `pid_tgid` (the `start` map
+    /// of Listing 1).
+    poll_start: HashMap<u64, u64>,
+}
+
+impl NativeBackend {
+    /// Creates a probe filtering for `tgid`, classifying via `profile`,
+    /// scaling deltas by `>> shift`.
+    pub fn new(tgid: Pid, profile: SyscallProfile, shift: u32) -> NativeBackend {
+        NativeBackend::new_multi(vec![tgid], profile, shift)
+    }
+
+    /// Creates a probe observing several processes at once (multi-stage
+    /// applications like Web Search: §V-B aggregates all of an
+    /// application's processes into one unified stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tgids` is empty.
+    pub fn new_multi(tgids: Vec<Pid>, profile: SyscallProfile, shift: u32) -> NativeBackend {
+        assert!(!tgids.is_empty(), "observe at least one process");
+        NativeBackend {
+            tgids,
+            profile,
+            counters: RawCounters::new(shift),
+            poll_start: HashMap::new(),
+        }
+    }
+
+    /// The processes being observed.
+    pub fn tgids(&self) -> &[Pid] {
+        &self.tgids
+    }
+}
+
+impl MetricBackend for NativeBackend {
+    fn on_event(&mut self, ctx: &TracepointCtx) -> Nanos {
+        if !self.tgids.contains(&ctx.tgid()) {
+            return FILTER_COST;
+        }
+        let Some(role) = self.profile.role_of(ctx.no) else {
+            return FILTER_COST;
+        };
+        let now = ctx.ktime.as_nanos();
+        match (ctx.phase, role) {
+            (TracePhase::Enter, SyscallRole::Poll) => {
+                self.poll_start.insert(ctx.pid_tgid, now);
+                FILTER_COST + UPDATE_COST
+            }
+            (TracePhase::Enter, _) => FILTER_COST,
+            (TracePhase::Exit, role) => {
+                match role {
+                    SyscallRole::Send => {
+                        self.counters.events = self.counters.events.wrapping_add(1);
+                        let last = self.counters.send_last_ts;
+                        self.counters.send_last_ts = now;
+                        if last != 0 {
+                            self.counters.send.push(now.wrapping_sub(last));
+                        }
+                    }
+                    SyscallRole::Receive => {
+                        self.counters.events = self.counters.events.wrapping_add(1);
+                        let last = self.counters.recv_last_ts;
+                        self.counters.recv_last_ts = now;
+                        if last != 0 {
+                            self.counters.recv.push(now.wrapping_sub(last));
+                        }
+                    }
+                    SyscallRole::Poll => {
+                        // A poll exit without a recorded entry (probe
+                        // attached mid-wait) is dropped entirely, matching
+                        // the bytecode program's early exit.
+                        if let Some(start) = self.poll_start.get(&ctx.pid_tgid) {
+                            self.counters.events = self.counters.events.wrapping_add(1);
+                            self.counters.poll.push(now.wrapping_sub(*start));
+                        }
+                    }
+                }
+                FILTER_COST + UPDATE_COST
+            }
+        }
+    }
+
+    fn counters(&self) -> RawCounters {
+        self.counters
+    }
+
+    fn reset_window(&mut self) {
+        self.counters.reset_window();
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "native"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kscope_syscalls::{pid_tgid, SyscallNo};
+
+    fn ctx(phase: TracePhase, no: SyscallNo, tid: u32, t_us: u64) -> TracepointCtx {
+        TracepointCtx {
+            phase,
+            no,
+            pid_tgid: pid_tgid(1200, tid),
+            ktime: Nanos::from_micros(t_us),
+            ret: 1,
+        }
+    }
+
+    fn probe() -> NativeBackend {
+        NativeBackend::new(1200, SyscallProfile::data_caching(), 0)
+    }
+
+    #[test]
+    fn other_processes_are_filtered() {
+        let mut p = probe();
+        let mut foreign = ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 10);
+        foreign.pid_tgid = pid_tgid(9999, 1);
+        assert_eq!(p.on_event(&foreign), FILTER_COST);
+        assert_eq!(p.counters().events, 0);
+    }
+
+    #[test]
+    fn unrelated_syscalls_are_filtered() {
+        let mut p = probe();
+        assert_eq!(
+            p.on_event(&ctx(TracePhase::Exit, SyscallNo::FUTEX, 1, 10)),
+            FILTER_COST
+        );
+        assert_eq!(p.counters().events, 0);
+    }
+
+    #[test]
+    fn send_deltas_accumulate() {
+        let mut p = probe();
+        for t in [100, 300, 600] {
+            p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, t));
+        }
+        let c = p.counters();
+        assert_eq!(c.send.count, 2);
+        assert_eq!(c.send.sum, 200_000 + 300_000);
+        assert_eq!(c.send_last_ts, 600_000);
+        assert_eq!(c.events, 3);
+    }
+
+    #[test]
+    fn recv_deltas_are_separate_from_send() {
+        let mut p = probe();
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::READ, 1, 100));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 150));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::READ, 1, 300));
+        let c = p.counters();
+        assert_eq!(c.recv.count, 1);
+        assert_eq!(c.recv.sum, 200_000);
+        assert_eq!(c.send.count, 0);
+    }
+
+    #[test]
+    fn poll_duration_pairs_enter_and_exit_per_thread() {
+        let mut p = probe();
+        p.on_event(&ctx(TracePhase::Enter, SyscallNo::EPOLL_WAIT, 1, 100));
+        p.on_event(&ctx(TracePhase::Enter, SyscallNo::EPOLL_WAIT, 2, 120));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::EPOLL_WAIT, 2, 200));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::EPOLL_WAIT, 1, 400));
+        let c = p.counters();
+        assert_eq!(c.poll.count, 2);
+        assert_eq!(c.poll.sum, 80_000 + 300_000);
+    }
+
+    #[test]
+    fn poll_exit_without_enter_is_ignored() {
+        let mut p = probe();
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::EPOLL_WAIT, 3, 500));
+        assert_eq!(p.counters().poll.count, 0);
+        // Dropped entirely, matching the bytecode program's early exit.
+        assert_eq!(p.counters().events, 0);
+    }
+
+    #[test]
+    fn window_reset_preserves_delta_chain() {
+        let mut p = probe();
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 100));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 200));
+        p.reset_window();
+        assert_eq!(p.counters().send.count, 0);
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 350));
+        // Delta spans the reset: 350 - 200 = 150us.
+        let c = p.counters();
+        assert_eq!(c.send.count, 1);
+        assert_eq!(c.send.sum, 150_000);
+    }
+}

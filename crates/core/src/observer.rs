@@ -1,0 +1,205 @@
+//! The observer: backend abstraction plus the windowing tracepoint probe.
+//!
+//! A [`MetricBackend`] is "the eBPF program": it sees every tracepoint
+//! firing and maintains the metric cells. The [`WindowedObserver`] wraps a
+//! backend as a kernel [`TracepointProbe`] and plays the userspace agent's
+//! role: at fixed boundaries it snapshots the cells into a
+//! [`WindowMetrics`] history and resets the windowed counters — exactly the
+//! poll-and-reset cycle a real collector runs against a BPF map.
+
+use kscope_kernel::TracepointProbe;
+use kscope_simcore::Nanos;
+use kscope_syscalls::TracepointCtx;
+
+use crate::counters::{RawCounters, WindowMetrics};
+
+/// One metric-maintaining implementation (native Rust or eBPF bytecode).
+pub trait MetricBackend {
+    /// Handles one tracepoint firing, returning its execution cost.
+    fn on_event(&mut self, ctx: &TracepointCtx) -> Nanos;
+
+    /// Current cell contents.
+    fn counters(&self) -> RawCounters;
+
+    /// Zeroes the windowed cells (keeps last-timestamp chaining).
+    fn reset_window(&mut self);
+
+    /// Short backend label for diagnostics.
+    fn backend_name(&self) -> &'static str;
+}
+
+/// Windowing wrapper: backend + agent behaviour, attachable to the kernel's
+/// tracepoints.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_core::{NativeBackend, WindowedObserver};
+/// use kscope_simcore::Nanos;
+/// use kscope_syscalls::SyscallProfile;
+///
+/// let backend = NativeBackend::new(1200, SyscallProfile::data_caching(), 10);
+/// let observer = WindowedObserver::new(backend, Nanos::from_millis(200));
+/// assert_eq!(observer.windows().len(), 0);
+/// ```
+#[derive(Debug)]
+pub struct WindowedObserver<B> {
+    backend: B,
+    window: Nanos,
+    window_start: Nanos,
+    history: Vec<WindowMetrics>,
+}
+
+impl<B: MetricBackend> WindowedObserver<B> {
+    /// Wraps `backend` with a fixed observation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(backend: B, window: Nanos) -> WindowedObserver<B> {
+        assert!(!window.is_zero(), "observation window must be non-zero");
+        WindowedObserver {
+            backend,
+            window,
+            window_start: Nanos::ZERO,
+            history: Vec::new(),
+        }
+    }
+
+    /// Completed windows so far.
+    pub fn windows(&self) -> &[WindowMetrics] {
+        &self.history
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the wrapped backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Closes the currently open window at `now` (end of run).
+    pub fn finish(&mut self, now: Nanos) {
+        self.roll_to(now, true);
+    }
+
+    /// Consumes the observer, returning its window history.
+    pub fn into_windows(self) -> Vec<WindowMetrics> {
+        self.history
+    }
+
+    /// Rolls complete windows up to `now`; `force` closes a partial one.
+    fn roll_to(&mut self, now: Nanos, force: bool) {
+        while now >= self.window_start + self.window {
+            let end = self.window_start + self.window;
+            let metrics =
+                WindowMetrics::from_counters(self.window_start, end, &self.backend.counters());
+            self.history.push(metrics);
+            self.backend.reset_window();
+            self.window_start = end;
+        }
+        if force && now > self.window_start {
+            let metrics =
+                WindowMetrics::from_counters(self.window_start, now, &self.backend.counters());
+            self.history.push(metrics);
+            self.backend.reset_window();
+            self.window_start = now;
+        }
+    }
+}
+
+impl<B: MetricBackend + 'static> TracepointProbe for WindowedObserver<B> {
+    fn name(&self) -> &str {
+        self.backend.backend_name()
+    }
+
+    fn fire(&mut self, ctx: &TracepointCtx) -> Nanos {
+        self.roll_to(ctx.ktime, false);
+        self.backend.on_event(ctx)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::NativeBackend;
+    use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase};
+
+    fn send_exit(t_us: u64) -> TracepointCtx {
+        TracepointCtx {
+            phase: TracePhase::Exit,
+            no: SyscallNo::SENDMSG,
+            pid_tgid: pid_tgid(7, 7),
+            ktime: Nanos::from_micros(t_us),
+            ret: 1,
+        }
+    }
+
+    fn observer(window_ms: u64) -> WindowedObserver<NativeBackend> {
+        WindowedObserver::new(
+            NativeBackend::new(7, SyscallProfile::data_caching(), 0),
+            Nanos::from_millis(window_ms),
+        )
+    }
+
+    #[test]
+    fn windows_roll_at_boundaries() {
+        let mut obs = observer(1);
+        // Sends every 100us for 3.05ms => windows at 1ms, 2ms, 3ms.
+        for i in 0..31 {
+            obs.fire(&send_exit(i * 100));
+        }
+        assert_eq!(obs.windows().len(), 3);
+        for w in obs.windows() {
+            let rps = w.rps_obsv.unwrap();
+            assert!((rps - 10_000.0).abs() < 100.0, "rps {rps}");
+        }
+    }
+
+    #[test]
+    fn deltas_span_window_boundaries() {
+        let mut obs = observer(1);
+        obs.fire(&send_exit(950));
+        obs.fire(&send_exit(1_050)); // delta 100us crosses the 1ms boundary
+        obs.finish(Nanos::from_micros(1_100));
+        let windows = obs.windows();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].send_samples, 0);
+        assert_eq!(windows[1].send_samples, 1);
+    }
+
+    #[test]
+    fn finish_closes_partial_window() {
+        let mut obs = observer(10);
+        obs.fire(&send_exit(100));
+        obs.fire(&send_exit(200));
+        obs.finish(Nanos::from_micros(500));
+        assert_eq!(obs.windows().len(), 1);
+        assert_eq!(obs.windows()[0].end, Nanos::from_micros(500));
+        assert_eq!(obs.windows()[0].send_samples, 1);
+    }
+
+    #[test]
+    fn idle_gaps_produce_empty_windows() {
+        let mut obs = observer(1);
+        obs.fire(&send_exit(100));
+        obs.fire(&send_exit(4_500));
+        let windows = obs.windows();
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[1].send_samples, 0);
+        assert_eq!(windows[2].send_samples, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_rejected() {
+        observer(0);
+    }
+}

@@ -1,0 +1,620 @@
+//! The eBPF bytecode interpreter.
+//!
+//! Executes one program invocation against a read-only context buffer, a
+//! 512-byte stack, and the shared [`MapRegistry`]. Pointers are modeled as
+//! tagged 64-bit addresses in disjoint regions (context, stack, map-value
+//! slots), so a verified program behaves exactly as its abstract model
+//! predicts, and an unverified program faults with a descriptive
+//! [`ExecError`] instead of corrupting memory.
+
+use serde::{Deserialize, Serialize};
+
+use crate::helpers::Helper;
+use crate::insn::{
+    CLS_ALU, CLS_ALU64, CLS_JMP, CLS_JMP32, CLS_LD, CLS_LDX, CLS_ST, CLS_STX, OP_ADD, OP_AND, OP_ARSH,
+    OP_CALL, OP_DIV, OP_EXIT, OP_JA, OP_JEQ, OP_JGE, OP_JGT, OP_JLE, OP_JLT, OP_JNE, OP_JSET,
+    OP_JSGE, OP_JSGT, OP_JSLE, OP_JSLT, OP_LSH, OP_MOD, OP_MOV, OP_MUL, OP_NEG, OP_OR, OP_RSH,
+    OP_SUB, OP_XOR, PSEUDO_MAP_FD, REG_COUNT, STACK_SIZE,
+};
+use crate::maps::{MapFd, MapRegistry};
+use crate::program::Program;
+
+/// Base address of the read-only context region.
+const CTX_BASE: u64 = 0x1000_0000_0000;
+/// Base address of the stack region; `r10` points at `STACK_BASE + 512`.
+const STACK_BASE: u64 = 0x2000_0000_0000;
+/// Base address of map-value slots handed out by `map_lookup_elem`.
+const MAP_SLOT_BASE: u64 = 0x3000_0000_0000;
+/// Stride between map-value slots (bounds the value size).
+const MAP_SLOT_STRIDE: u64 = 1 << 20;
+/// Tag marking a register value as a map handle (`ld_map_fd` result).
+const MAP_HANDLE_BASE: u64 = 0x4000_0000_0000;
+/// Default cap on executed instructions per invocation.
+pub const DEFAULT_INSN_BUDGET: u64 = 1 << 20;
+
+/// Per-invocation inputs for the stateful helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecEnv {
+    /// Value returned by `bpf_ktime_get_ns`.
+    pub ktime_ns: u64,
+    /// Value returned by `bpf_get_current_pid_tgid`.
+    pub pid_tgid: u64,
+    /// Seed/state for `bpf_get_prandom_u32` (advanced on each call).
+    pub prandom_state: u64,
+}
+
+impl Default for ExecEnv {
+    fn default() -> Self {
+        ExecEnv {
+            ktime_ns: 0,
+            pid_tgid: 0,
+            prandom_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// Successful invocation result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecOutcome {
+    /// The program's return value (`r0` at `exit`).
+    pub ret: u64,
+    /// Number of instructions executed — the runtime cost proxy the kernel
+    /// simulator converts into probe overhead time.
+    pub insns_executed: u64,
+    /// Raw byte payloads passed to `bpf_trace_printk`.
+    pub trace_output: Vec<Vec<u8>>,
+}
+
+/// Runtime faults (unreachable for verified programs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Memory access outside any region or across a region boundary.
+    BadMemAccess {
+        /// Faulting pc.
+        pc: usize,
+        /// Faulting address.
+        addr: u64,
+        /// Access size.
+        size: usize,
+    },
+    /// Unknown or malformed opcode.
+    BadOpcode {
+        /// Faulting pc.
+        pc: usize,
+        /// Opcode byte.
+        code: u8,
+    },
+    /// Jump landed outside the program.
+    BadJumpTarget {
+        /// Faulting pc.
+        pc: usize,
+        /// Target pc.
+        target: i64,
+    },
+    /// Execution ran past the last instruction.
+    FellOffEnd,
+    /// `call` with an unknown helper id.
+    UnknownHelper {
+        /// Faulting pc.
+        pc: usize,
+        /// Helper id.
+        id: i32,
+    },
+    /// A helper was passed a value that is not a map handle.
+    NotAMapHandle {
+        /// Faulting pc.
+        pc: usize,
+        /// The offending register value.
+        value: u64,
+    },
+    /// The instruction budget was exhausted (runaway program).
+    BudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// `ld_dw` missing its second slot.
+    MalformedLdDw {
+        /// Faulting pc.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::BadMemAccess { pc, addr, size } => {
+                write!(f, "pc {pc}: bad memory access at {addr:#x} size {size}")
+            }
+            ExecError::BadOpcode { pc, code } => write!(f, "pc {pc}: bad opcode {code:#04x}"),
+            ExecError::BadJumpTarget { pc, target } => {
+                write!(f, "pc {pc}: jump to invalid target {target}")
+            }
+            ExecError::FellOffEnd => f.write_str("execution fell off the end of the program"),
+            ExecError::UnknownHelper { pc, id } => write!(f, "pc {pc}: unknown helper {id}"),
+            ExecError::NotAMapHandle { pc, value } => {
+                write!(f, "pc {pc}: {value:#x} is not a map handle")
+            }
+            ExecError::BudgetExhausted { budget } => {
+                write!(f, "instruction budget of {budget} exhausted")
+            }
+            ExecError::MalformedLdDw { pc } => write!(f, "pc {pc}: ld_dw missing second slot"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The virtual machine.
+///
+/// A `Vm` is cheap to construct; all persistent state lives in the
+/// [`MapRegistry`] passed to [`Vm::execute`].
+///
+/// # Examples
+///
+/// ```
+/// use kscope_ebpf::asm::Asm;
+/// use kscope_ebpf::insn::R0;
+/// use kscope_ebpf::interp::{ExecEnv, Vm};
+/// use kscope_ebpf::maps::MapRegistry;
+///
+/// let prog = Asm::new("ret42").mov64_imm(R0, 42).exit().assemble().unwrap();
+/// let mut maps = MapRegistry::new();
+/// let outcome = Vm::new()
+///     .execute(&prog, &[], &mut maps, &mut ExecEnv::default())
+///     .unwrap();
+/// assert_eq!(outcome.ret, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vm {
+    insn_budget: u64,
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Vm::new()
+    }
+}
+
+struct Memory<'a> {
+    ctx: &'a [u8],
+    stack: [u8; STACK_SIZE],
+    maps: &'a mut MapRegistry,
+    /// Live map-value slots: `(fd, key)` resolved on each access so writes
+    /// land in the registry directly.
+    slots: Vec<(MapFd, Vec<u8>)>,
+}
+
+impl Memory<'_> {
+    fn read(&mut self, pc: usize, addr: u64, size: usize) -> Result<u64, ExecError> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(pc, addr, &mut buf[..size])?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn read_bytes(&mut self, pc: usize, addr: u64, out: &mut [u8]) -> Result<(), ExecError> {
+        let size = out.len();
+        let fault = ExecError::BadMemAccess { pc, addr, size };
+        if (CTX_BASE..STACK_BASE).contains(&addr) {
+            let off = (addr - CTX_BASE) as usize;
+            let end = off.checked_add(size).ok_or(fault.clone())?;
+            if end > self.ctx.len() {
+                return Err(fault);
+            }
+            out.copy_from_slice(&self.ctx[off..end]);
+            Ok(())
+        } else if (STACK_BASE..MAP_SLOT_BASE).contains(&addr) {
+            let off = (addr - STACK_BASE) as usize;
+            let end = off.checked_add(size).ok_or(fault.clone())?;
+            if end > STACK_SIZE {
+                return Err(fault);
+            }
+            out.copy_from_slice(&self.stack[off..end]);
+            Ok(())
+        } else if (MAP_SLOT_BASE..MAP_HANDLE_BASE).contains(&addr) {
+            let (value, off) = self.slot_value(pc, addr)?;
+            let end = off.checked_add(size).ok_or(fault.clone())?;
+            if end > value.len() {
+                return Err(fault);
+            }
+            out.copy_from_slice(&value[off..end]);
+            Ok(())
+        } else {
+            Err(fault)
+        }
+    }
+
+    fn write(&mut self, pc: usize, addr: u64, size: usize, value: u64) -> Result<(), ExecError> {
+        let bytes = value.to_le_bytes();
+        self.write_bytes(pc, addr, &bytes[..size])
+    }
+
+    fn write_bytes(&mut self, pc: usize, addr: u64, data: &[u8]) -> Result<(), ExecError> {
+        let size = data.len();
+        let fault = ExecError::BadMemAccess { pc, addr, size };
+        if (STACK_BASE..MAP_SLOT_BASE).contains(&addr) {
+            let off = (addr - STACK_BASE) as usize;
+            let end = off.checked_add(size).ok_or(fault.clone())?;
+            if end > STACK_SIZE {
+                return Err(fault);
+            }
+            self.stack[off..end].copy_from_slice(data);
+            Ok(())
+        } else if (MAP_SLOT_BASE..MAP_HANDLE_BASE).contains(&addr) {
+            let slot = ((addr - MAP_SLOT_BASE) / MAP_SLOT_STRIDE) as usize;
+            let off = ((addr - MAP_SLOT_BASE) % MAP_SLOT_STRIDE) as usize;
+            let (fd, key) = self
+                .slots
+                .get(slot)
+                .cloned()
+                .ok_or(fault.clone())?;
+            let value = self
+                .maps
+                .lookup_mut(fd, &key)
+                .ok()
+                .flatten()
+                .ok_or(fault.clone())?;
+            let end = off.checked_add(size).ok_or(fault.clone())?;
+            if end > value.len() {
+                return Err(fault);
+            }
+            value[off..end].copy_from_slice(data);
+            Ok(())
+        } else {
+            // The context is read-only; everything else is unmapped.
+            Err(fault)
+        }
+    }
+
+    fn slot_value(&mut self, pc: usize, addr: u64) -> Result<(Vec<u8>, usize), ExecError> {
+        let slot = ((addr - MAP_SLOT_BASE) / MAP_SLOT_STRIDE) as usize;
+        let off = ((addr - MAP_SLOT_BASE) % MAP_SLOT_STRIDE) as usize;
+        let fault = ExecError::BadMemAccess { pc, addr, size: 0 };
+        let (fd, key) = self.slots.get(slot).cloned().ok_or(fault.clone())?;
+        let value = self
+            .maps
+            .lookup(fd, &key)
+            .ok()
+            .flatten()
+            .ok_or(fault)?
+            .to_vec();
+        Ok((value, off))
+    }
+}
+
+impl Vm {
+    /// Creates a VM with the default instruction budget.
+    pub fn new() -> Vm {
+        Vm {
+            insn_budget: DEFAULT_INSN_BUDGET,
+        }
+    }
+
+    /// Overrides the per-invocation instruction budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn with_insn_budget(budget: u64) -> Vm {
+        assert!(budget > 0, "instruction budget must be positive");
+        Vm {
+            insn_budget: budget,
+        }
+    }
+
+    /// Runs one invocation of `program`.
+    ///
+    /// `ctx` is the read-only context the program sees through `r1`;
+    /// `env` supplies the clock/pid helpers. Map state persists in `maps`
+    /// across invocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on memory faults, unknown opcodes/helpers, or
+    /// budget exhaustion. Programs accepted by the
+    /// [`Verifier`](crate::verifier::Verifier) never fault.
+    pub fn execute(
+        &self,
+        program: &Program,
+        ctx: &[u8],
+        maps: &mut MapRegistry,
+        env: &mut ExecEnv,
+    ) -> Result<ExecOutcome, ExecError> {
+        let insns = program.insns();
+        let mut regs = [0u64; REG_COUNT];
+        regs[1] = CTX_BASE;
+        regs[10] = STACK_BASE + STACK_SIZE as u64;
+        let mut mem = Memory {
+            ctx,
+            stack: [0; STACK_SIZE],
+            maps,
+            slots: Vec::new(),
+        };
+        let mut trace_output = Vec::new();
+        let mut executed: u64 = 0;
+        let mut pc: usize = 0;
+
+        loop {
+            if executed >= self.insn_budget {
+                return Err(ExecError::BudgetExhausted {
+                    budget: self.insn_budget,
+                });
+            }
+            let Some(&insn) = insns.get(pc) else {
+                return Err(ExecError::FellOffEnd);
+            };
+            executed += 1;
+
+            match insn.class() {
+                CLS_LD => {
+                    if !insn.is_ld_dw() {
+                        return Err(ExecError::BadOpcode { pc, code: insn.code });
+                    }
+                    let Some(&hi) = insns.get(pc + 1) else {
+                        return Err(ExecError::MalformedLdDw { pc });
+                    };
+                    if insn.src == PSEUDO_MAP_FD {
+                        regs[insn.dst as usize] = MAP_HANDLE_BASE | insn.imm as u32 as u64;
+                    } else {
+                        regs[insn.dst as usize] =
+                            (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
+                    }
+                    pc += 2;
+                    continue;
+                }
+                CLS_LDX => {
+                    let addr = regs[insn.src as usize].wrapping_add(insn.off as i64 as u64);
+                    regs[insn.dst as usize] = mem.read(pc, addr, insn.size_bytes())?;
+                }
+                CLS_STX => {
+                    let addr = regs[insn.dst as usize].wrapping_add(insn.off as i64 as u64);
+                    mem.write(pc, addr, insn.size_bytes(), regs[insn.src as usize])?;
+                }
+                CLS_ST => {
+                    let addr = regs[insn.dst as usize].wrapping_add(insn.off as i64 as u64);
+                    mem.write(pc, addr, insn.size_bytes(), insn.imm as i64 as u64)?;
+                }
+                CLS_ALU64 => {
+                    let rhs = if insn.is_src_reg() {
+                        regs[insn.src as usize]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let dst = &mut regs[insn.dst as usize];
+                    *dst = alu64(insn.op(), *dst, rhs).ok_or(ExecError::BadOpcode {
+                        pc,
+                        code: insn.code,
+                    })?;
+                }
+                CLS_ALU => {
+                    let rhs = if insn.is_src_reg() {
+                        regs[insn.src as usize]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let dst = &mut regs[insn.dst as usize];
+                    *dst = alu32(insn.op(), *dst as u32, rhs as u32).ok_or(ExecError::BadOpcode {
+                        pc,
+                        code: insn.code,
+                    })? as u64;
+                }
+                CLS_JMP | CLS_JMP32 => {
+                    let is32 = insn.class() == CLS_JMP32;
+                    let op = insn.op();
+                    // exit/call/ja are JMP-class only.
+                    if is32 && matches!(op, OP_EXIT | OP_CALL | OP_JA) {
+                        return Err(ExecError::BadOpcode { pc, code: insn.code });
+                    }
+                    if op == OP_EXIT {
+                        return Ok(ExecOutcome {
+                            ret: regs[0],
+                            insns_executed: executed,
+                            trace_output,
+                        });
+                    }
+                    if op == OP_CALL {
+                        self.call_helper(pc, insn.imm, &mut regs, &mut mem, env, &mut trace_output)?;
+                        pc += 1;
+                        continue;
+                    }
+                    let mut rhs = if insn.is_src_reg() {
+                        regs[insn.src as usize]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let mut lhs = regs[insn.dst as usize];
+                    if is32 {
+                        // JMP32 compares the lower halves; signed variants
+                        // sign-extend from 32 bits.
+                        lhs = lhs as u32 as u64;
+                        rhs = rhs as u32 as u64;
+                    }
+                    let (slhs, srhs) = if is32 {
+                        (lhs as u32 as i32 as i64, rhs as u32 as i32 as i64)
+                    } else {
+                        (lhs as i64, rhs as i64)
+                    };
+                    let taken = match op {
+                        OP_JA => true,
+                        OP_JEQ => lhs == rhs,
+                        OP_JNE => lhs != rhs,
+                        OP_JGT => lhs > rhs,
+                        OP_JGE => lhs >= rhs,
+                        OP_JLT => lhs < rhs,
+                        OP_JLE => lhs <= rhs,
+                        OP_JSET => lhs & rhs != 0,
+                        OP_JSGT => slhs > srhs,
+                        OP_JSGE => slhs >= srhs,
+                        OP_JSLT => slhs < srhs,
+                        OP_JSLE => slhs <= srhs,
+                        _ => return Err(ExecError::BadOpcode { pc, code: insn.code }),
+                    };
+                    if taken {
+                        let target = pc as i64 + 1 + insn.off as i64;
+                        if target < 0 || target as usize > insns.len() {
+                            return Err(ExecError::BadJumpTarget { pc, target });
+                        }
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                _ => return Err(ExecError::BadOpcode { pc, code: insn.code }),
+            }
+            pc += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call_helper(
+        &self,
+        pc: usize,
+        id: i32,
+        regs: &mut [u64; REG_COUNT],
+        mem: &mut Memory<'_>,
+        env: &mut ExecEnv,
+        trace_output: &mut Vec<Vec<u8>>,
+    ) -> Result<(), ExecError> {
+        let helper = Helper::from_id(id).ok_or(ExecError::UnknownHelper { pc, id })?;
+        let map_fd = |value: u64| -> Result<MapFd, ExecError> {
+            if value & MAP_HANDLE_BASE == MAP_HANDLE_BASE {
+                Ok(MapFd((value & 0xFFFF_FFFF) as u32))
+            } else {
+                Err(ExecError::NotAMapHandle { pc, value })
+            }
+        };
+        let ret = match helper {
+            Helper::KtimeGetNs => env.ktime_ns,
+            Helper::GetCurrentPidTgid => env.pid_tgid,
+            Helper::GetPrandomU32 => {
+                // xorshift64*; low 32 bits returned, state advances.
+                let mut x = env.prandom_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                env.prandom_state = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32 as u64
+            }
+            Helper::MapLookupElem => {
+                let fd = map_fd(regs[1])?;
+                let key_size = mem
+                    .maps
+                    .def(fd)
+                    .map_err(|_| ExecError::NotAMapHandle { pc, value: regs[1] })?
+                    .key_size as usize;
+                let mut key = vec![0u8; key_size];
+                mem.read_bytes(pc, regs[2], &mut key)?;
+                match mem.maps.lookup(fd, &key) {
+                    Ok(Some(_)) => {
+                        let slot = mem.slots.len() as u64;
+                        mem.slots.push((fd, key));
+                        MAP_SLOT_BASE + slot * MAP_SLOT_STRIDE
+                    }
+                    _ => 0,
+                }
+            }
+            Helper::MapUpdateElem => {
+                let fd = map_fd(regs[1])?;
+                let def = mem
+                    .maps
+                    .def(fd)
+                    .map_err(|_| ExecError::NotAMapHandle { pc, value: regs[1] })?;
+                let mut key = vec![0u8; def.key_size as usize];
+                mem.read_bytes(pc, regs[2], &mut key)?;
+                let mut value = vec![0u8; def.value_size as usize];
+                mem.read_bytes(pc, regs[3], &mut value)?;
+                match mem.maps.update(fd, &key, &value) {
+                    Ok(()) => 0,
+                    Err(_) => (-1i64) as u64,
+                }
+            }
+            Helper::MapDeleteElem => {
+                let fd = map_fd(regs[1])?;
+                let key_size = mem
+                    .maps
+                    .def(fd)
+                    .map_err(|_| ExecError::NotAMapHandle { pc, value: regs[1] })?
+                    .key_size as usize;
+                let mut key = vec![0u8; key_size];
+                mem.read_bytes(pc, regs[2], &mut key)?;
+                match mem.maps.delete(fd, &key) {
+                    Ok(true) => 0,
+                    _ => (-2i64) as u64, // -ENOENT
+                }
+            }
+            Helper::TracePrintk => {
+                let len = (regs[2] as usize).min(512);
+                let mut buf = vec![0u8; len];
+                mem.read_bytes(pc, regs[1], &mut buf)?;
+                trace_output.push(buf);
+                0
+            }
+            Helper::RingbufOutput => {
+                let fd = map_fd(regs[1])?;
+                let len = regs[3] as usize;
+                let mut buf = vec![0u8; len];
+                mem.read_bytes(pc, regs[2], &mut buf)?;
+                match mem.maps.ring_push(fd, &buf) {
+                    Ok(true) => 0,
+                    _ => (-1i64) as u64,
+                }
+            }
+        };
+        regs[0] = ret;
+        // Caller-saved registers are clobbered, as on real hardware; use a
+        // recognizable poison value to surface verifier escapes early.
+        for reg in &mut regs[1..=5] {
+            *reg = 0xDEAD_BEEF_DEAD_BEEF;
+        }
+        regs[0] = ret;
+        Ok(())
+    }
+}
+
+fn alu64(op: u8, a: u64, b: u64) -> Option<u64> {
+    Some(match op {
+        OP_ADD => a.wrapping_add(b),
+        OP_SUB => a.wrapping_sub(b),
+        OP_MUL => a.wrapping_mul(b),
+        OP_DIV => a.checked_div(b).unwrap_or(0),
+        OP_MOD => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        OP_OR => a | b,
+        OP_AND => a & b,
+        OP_XOR => a ^ b,
+        OP_LSH => a.wrapping_shl(b as u32 & 63),
+        OP_RSH => a.wrapping_shr(b as u32 & 63),
+        OP_ARSH => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+        OP_MOV => b,
+        OP_NEG => (a as i64).wrapping_neg() as u64,
+        _ => return None,
+    })
+}
+
+fn alu32(op: u8, a: u32, b: u32) -> Option<u32> {
+    Some(match op {
+        OP_ADD => a.wrapping_add(b),
+        OP_SUB => a.wrapping_sub(b),
+        OP_MUL => a.wrapping_mul(b),
+        OP_DIV => a.checked_div(b).unwrap_or(0),
+        OP_MOD => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        OP_OR => a | b,
+        OP_AND => a & b,
+        OP_XOR => a ^ b,
+        OP_LSH => a.wrapping_shl(b & 31),
+        OP_RSH => a.wrapping_shr(b & 31),
+        OP_ARSH => ((a as i32).wrapping_shr(b & 31)) as u32,
+        OP_MOV => b,
+        OP_NEG => (a as i32).wrapping_neg() as u32,
+        _ => return None,
+    })
+}

@@ -1,0 +1,66 @@
+//! # kscope-ebpf
+//!
+//! A self-contained eBPF virtual machine: instruction set, structured
+//! assembler, static verifier, interpreter, and maps.
+//!
+//! The paper's methodology runs inside the kernel's eBPF runtime
+//! (§III-A: sandboxed bytecode, verifier-enforced termination and memory
+//! safety, no floating point, maps shared with userspace). This crate
+//! rebuilds that runtime so the observability programs of `kscope-core`
+//! can execute as *actual bytecode* against the simulated kernel's
+//! tracepoints — not just as Rust closures standing in for them.
+//!
+//! * [`insn`] — the real x86-64 eBPF instruction encoding;
+//! * [`asm::Asm`] — a label-resolving builder (the "clang" of this stack);
+//! * [`verifier::Verifier`] — bounded size, no back-edges, uninitialized
+//!   read detection, bounds-checked memory, null-check enforcement for map
+//!   values, helper signature checking;
+//! * [`interp::Vm`] — the interpreter with tagged address regions;
+//! * [`maps::MapRegistry`] — hash/array/ringbuf maps shared with userspace;
+//! * [`helpers::Helper`] — Linux-numbered kernel helpers
+//!   (`bpf_ktime_get_ns` = 5, `bpf_get_current_pid_tgid` = 14, …).
+//!
+//! # Examples
+//!
+//! Assemble, verify, and run a program that doubles a context word:
+//!
+//! ```
+//! use kscope_ebpf::asm::Asm;
+//! use kscope_ebpf::insn::{R0, R1, SZ_DW};
+//! use kscope_ebpf::interp::{ExecEnv, Vm};
+//! use kscope_ebpf::maps::MapRegistry;
+//! use kscope_ebpf::verifier::Verifier;
+//!
+//! let prog = Asm::new("double")
+//!     .load(SZ_DW, R0, R1, 0)
+//!     .add64_reg(R0, R0)
+//!     .exit()
+//!     .assemble()?;
+//! let mut maps = MapRegistry::new();
+//! Verifier::default().verify(&prog, &maps)?;
+//! let ctx = 21u64.to_le_bytes();
+//! let out = Vm::new().execute(&prog, &ctx, &mut maps, &mut ExecEnv::default())?;
+//! assert_eq!(out.ret, 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+pub mod helpers;
+pub mod insn;
+pub mod interp;
+pub mod maps;
+pub mod program;
+pub mod text;
+pub mod verifier;
+
+pub use asm::Asm;
+pub use helpers::Helper;
+pub use interp::{ExecEnv, ExecError, ExecOutcome, Vm};
+pub use maps::{MapDef, MapError, MapFd, MapKind, MapRegistry};
+pub use program::Program;
+pub use text::parse_program;
+pub use verifier::{Verifier, VerifierConfig, VerifyError};

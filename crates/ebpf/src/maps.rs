@@ -1,0 +1,591 @@
+//! eBPF maps — the shared state between programs and "userspace".
+//!
+//! Maps are the only persistent storage an eBPF program has, and the channel
+//! through which the paper's in-kernel statistics reach the userspace agent.
+//! The registry supports the map kinds the methodology needs: `Hash` (the
+//! `start` timestamp map of Listing 1), `Array` (fixed accumulator slots),
+//! and `RingBuf` (event streaming, used when the collector exports raw
+//! events instead of aggregates).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Map kinds supported by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapKind {
+    /// Key/value hash map (`BPF_MAP_TYPE_HASH`).
+    Hash,
+    /// Fixed-size array indexed by `u32` (`BPF_MAP_TYPE_ARRAY`).
+    Array,
+    /// Byte ring buffer (`BPF_MAP_TYPE_RINGBUF`).
+    RingBuf,
+}
+
+/// Static definition of a map, fixed at creation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapDef {
+    /// Kind of map.
+    pub kind: MapKind,
+    /// Key size in bytes (0 for ring buffers; 4 for arrays).
+    pub key_size: u32,
+    /// Value size in bytes (capacity granularity for ring buffers).
+    pub value_size: u32,
+    /// Maximum number of entries (array length / hash capacity / ring slots).
+    pub max_entries: u32,
+}
+
+impl MapDef {
+    /// A hash map with the given key/value sizes.
+    pub fn hash(key_size: u32, value_size: u32, max_entries: u32) -> MapDef {
+        MapDef {
+            kind: MapKind::Hash,
+            key_size,
+            value_size,
+            max_entries,
+        }
+    }
+
+    /// An array of `max_entries` values (keys are `u32` indices).
+    pub fn array(value_size: u32, max_entries: u32) -> MapDef {
+        MapDef {
+            kind: MapKind::Array,
+            key_size: 4,
+            value_size,
+            max_entries,
+        }
+    }
+
+    /// A ring buffer holding up to `max_entries` records of `value_size`
+    /// bytes each.
+    pub fn ring_buf(value_size: u32, max_entries: u32) -> MapDef {
+        MapDef {
+            kind: MapKind::RingBuf,
+            key_size: 0,
+            value_size,
+            max_entries,
+        }
+    }
+}
+
+/// Handle to a created map (the "file descriptor" a program embeds via
+/// `ld_map_fd`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MapFd(pub u32);
+
+/// Errors returned by map operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The fd does not name a live map.
+    BadFd(MapFd),
+    /// Key length does not match the map definition.
+    KeySize {
+        /// Expected key size.
+        expected: u32,
+        /// Provided key size.
+        got: usize,
+    },
+    /// Value length does not match the map definition.
+    ValueSize {
+        /// Expected value size.
+        expected: u32,
+        /// Provided value size.
+        got: usize,
+    },
+    /// Array index out of range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: u32,
+        /// The array length.
+        len: u32,
+    },
+    /// Hash map is full.
+    Full,
+    /// Operation not supported for this map kind.
+    WrongKind(MapKind),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::BadFd(fd) => write!(f, "no map with fd {}", fd.0),
+            MapError::KeySize { expected, got } => {
+                write!(f, "key size mismatch: expected {expected}, got {got}")
+            }
+            MapError::ValueSize { expected, got } => {
+                write!(f, "value size mismatch: expected {expected}, got {got}")
+            }
+            MapError::IndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds for length {len}")
+            }
+            MapError::Full => f.write_str("map is full"),
+            MapError::WrongKind(kind) => write!(f, "operation not supported on {kind:?} map"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[derive(Debug, Clone)]
+enum MapStorage {
+    Hash(HashMap<Vec<u8>, Vec<u8>>),
+    Array(Vec<Vec<u8>>),
+    RingBuf {
+        records: std::collections::VecDeque<Vec<u8>>,
+        dropped: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct MapEntry {
+    def: MapDef,
+    name: String,
+    storage: MapStorage,
+}
+
+/// Owns all maps of one eBPF runtime instance.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_ebpf::maps::{MapDef, MapRegistry};
+///
+/// let mut maps = MapRegistry::new();
+/// let fd = maps.create("start", MapDef::hash(8, 8, 1024));
+/// maps.update(fd, &7u64.to_le_bytes(), &99u64.to_le_bytes()).unwrap();
+/// let value = maps.lookup(fd, &7u64.to_le_bytes()).unwrap().unwrap();
+/// assert_eq!(value, 99u64.to_le_bytes());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MapRegistry {
+    maps: Vec<MapEntry>,
+}
+
+impl MapRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MapRegistry {
+        MapRegistry::default()
+    }
+
+    /// Creates a map and returns its fd.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate definitions (zero sizes where a size is
+    /// required, zero entries).
+    pub fn create(&mut self, name: impl Into<String>, def: MapDef) -> MapFd {
+        assert!(def.max_entries > 0, "map needs at least one entry");
+        assert!(def.value_size > 0, "map values must be non-empty");
+        // The interpreter hands out map-value pointers in 1 MiB slots;
+        // larger values would alias neighbouring slots.
+        assert!(
+            def.value_size <= 1 << 20,
+            "map values are limited to 1 MiB"
+        );
+        let storage = match def.kind {
+            MapKind::Hash => {
+                assert!(def.key_size > 0, "hash maps need non-empty keys");
+                MapStorage::Hash(HashMap::new())
+            }
+            MapKind::Array => {
+                assert_eq!(def.key_size, 4, "array maps use u32 keys");
+                MapStorage::Array(vec![vec![0; def.value_size as usize]; def.max_entries as usize])
+            }
+            MapKind::RingBuf => MapStorage::RingBuf {
+                records: std::collections::VecDeque::new(),
+                dropped: 0,
+            },
+        };
+        let fd = MapFd(self.maps.len() as u32);
+        self.maps.push(MapEntry {
+            def,
+            name: name.into(),
+            storage,
+        });
+        fd
+    }
+
+    /// The definition of a map.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MapError::BadFd`] for unknown fds.
+    pub fn def(&self, fd: MapFd) -> Result<MapDef, MapError> {
+        self.entry(fd).map(|e| e.def)
+    }
+
+    /// The name a map was created with.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MapError::BadFd`] for unknown fds.
+    pub fn name(&self, fd: MapFd) -> Result<&str, MapError> {
+        self.entry(fd).map(|e| e.name.as_str())
+    }
+
+    /// Looks up a map by name (first match).
+    pub fn fd_by_name(&self, name: &str) -> Option<MapFd> {
+        self.maps
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| MapFd(i as u32))
+    }
+
+    fn entry(&self, fd: MapFd) -> Result<&MapEntry, MapError> {
+        self.maps.get(fd.0 as usize).ok_or(MapError::BadFd(fd))
+    }
+
+    fn entry_mut(&mut self, fd: MapFd) -> Result<&mut MapEntry, MapError> {
+        self.maps.get_mut(fd.0 as usize).ok_or(MapError::BadFd(fd))
+    }
+
+    fn check_key(def: &MapDef, key: &[u8]) -> Result<(), MapError> {
+        if key.len() != def.key_size as usize {
+            return Err(MapError::KeySize {
+                expected: def.key_size,
+                got: key.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_value(def: &MapDef, value: &[u8]) -> Result<(), MapError> {
+        if value.len() != def.value_size as usize {
+            return Err(MapError::ValueSize {
+                expected: def.value_size,
+                got: value.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Looks up a value by key; `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds, key-size mismatches, or ring-buffer maps.
+    pub fn lookup(&self, fd: MapFd, key: &[u8]) -> Result<Option<&[u8]>, MapError> {
+        let entry = self.entry(fd)?;
+        Self::check_key(&entry.def, key)?;
+        match &entry.storage {
+            MapStorage::Hash(map) => Ok(map.get(key).map(Vec::as_slice)),
+            MapStorage::Array(values) => {
+                let index = u32::from_le_bytes(key.try_into().expect("key size checked"));
+                if index >= entry.def.max_entries {
+                    return Ok(None); // Matches kernel semantics: OOB lookup is NULL.
+                }
+                Ok(Some(values[index as usize].as_slice()))
+            }
+            MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
+        }
+    }
+
+    /// Mutable access to a value by key; `Ok(None)` when absent.
+    ///
+    /// This mirrors the in-kernel behaviour where `map_lookup_elem` returns
+    /// a writable pointer into the map.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds, key-size mismatches, or ring-buffer maps.
+    pub fn lookup_mut(&mut self, fd: MapFd, key: &[u8]) -> Result<Option<&mut [u8]>, MapError> {
+        let entry = self.entry_mut(fd)?;
+        Self::check_key(&entry.def, key)?;
+        let max_entries = entry.def.max_entries;
+        match &mut entry.storage {
+            MapStorage::Hash(map) => Ok(map.get_mut(key).map(Vec::as_mut_slice)),
+            MapStorage::Array(values) => {
+                let index = u32::from_le_bytes(key.try_into().expect("key size checked"));
+                if index >= max_entries {
+                    return Ok(None);
+                }
+                Ok(Some(values[index as usize].as_mut_slice()))
+            }
+            MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
+        }
+    }
+
+    /// Inserts or overwrites a key/value pair.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds, size mismatches, a full hash map, an
+    /// out-of-bounds array index, or ring-buffer maps.
+    pub fn update(&mut self, fd: MapFd, key: &[u8], value: &[u8]) -> Result<(), MapError> {
+        let entry = self.entry_mut(fd)?;
+        Self::check_key(&entry.def, key)?;
+        Self::check_value(&entry.def, value)?;
+        let def = entry.def;
+        match &mut entry.storage {
+            MapStorage::Hash(map) => {
+                if !map.contains_key(key) && map.len() as u32 >= def.max_entries {
+                    return Err(MapError::Full);
+                }
+                map.insert(key.to_vec(), value.to_vec());
+                Ok(())
+            }
+            MapStorage::Array(values) => {
+                let index = u32::from_le_bytes(key.try_into().expect("key size checked"));
+                if index >= def.max_entries {
+                    return Err(MapError::IndexOutOfBounds {
+                        index,
+                        len: def.max_entries,
+                    });
+                }
+                values[index as usize].copy_from_slice(value);
+                Ok(())
+            }
+            MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
+        }
+    }
+
+    /// Deletes a key from a hash map. `Ok(false)` when the key was absent.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds, size mismatches, or non-hash maps (array elements
+    /// cannot be deleted, as in the kernel).
+    pub fn delete(&mut self, fd: MapFd, key: &[u8]) -> Result<bool, MapError> {
+        let entry = self.entry_mut(fd)?;
+        Self::check_key(&entry.def, key)?;
+        match &mut entry.storage {
+            MapStorage::Hash(map) => Ok(map.remove(key).is_some()),
+            MapStorage::Array(_) => Err(MapError::WrongKind(MapKind::Array)),
+            MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
+        }
+    }
+
+    /// Appends a record to a ring buffer, dropping it (and counting the
+    /// drop) when the buffer is full. Returns `true` when stored.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds, non-ringbuf maps, or oversized records.
+    pub fn ring_push(&mut self, fd: MapFd, record: &[u8]) -> Result<bool, MapError> {
+        let entry = self.entry_mut(fd)?;
+        let def = entry.def;
+        if record.len() > def.value_size as usize {
+            return Err(MapError::ValueSize {
+                expected: def.value_size,
+                got: record.len(),
+            });
+        }
+        match &mut entry.storage {
+            MapStorage::RingBuf { records, dropped } => {
+                if records.len() as u32 >= def.max_entries {
+                    *dropped += 1;
+                    Ok(false)
+                } else {
+                    records.push_back(record.to_vec());
+                    Ok(true)
+                }
+            }
+            other => Err(MapError::WrongKind(match other {
+                MapStorage::Hash(_) => MapKind::Hash,
+                MapStorage::Array(_) => MapKind::Array,
+                MapStorage::RingBuf { .. } => unreachable!(),
+            })),
+        }
+    }
+
+    /// Drains all pending ring-buffer records (the userspace consumer side).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds or non-ringbuf maps.
+    pub fn ring_drain(&mut self, fd: MapFd) -> Result<Vec<Vec<u8>>, MapError> {
+        let entry = self.entry_mut(fd)?;
+        match &mut entry.storage {
+            MapStorage::RingBuf { records, .. } => Ok(records.drain(..).collect()),
+            _ => Err(MapError::WrongKind(entry.def.kind)),
+        }
+    }
+
+    /// Number of records dropped because the ring buffer was full.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds or non-ringbuf maps.
+    pub fn ring_dropped(&self, fd: MapFd) -> Result<u64, MapError> {
+        let entry = self.entry(fd)?;
+        match &entry.storage {
+            MapStorage::RingBuf { dropped, .. } => Ok(*dropped),
+            _ => Err(MapError::WrongKind(entry.def.kind)),
+        }
+    }
+
+    /// Number of live entries in a hash map, or the fixed length of an
+    /// array.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds.
+    pub fn len(&self, fd: MapFd) -> Result<u32, MapError> {
+        let entry = self.entry(fd)?;
+        Ok(match &entry.storage {
+            MapStorage::Hash(map) => map.len() as u32,
+            MapStorage::Array(values) => values.len() as u32,
+            MapStorage::RingBuf { records, .. } => records.len() as u32,
+        })
+    }
+
+    /// Convenience: reads a `u64` from an array map slot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds, non-array maps, out-of-range slots, or values
+    /// narrower than 8 bytes.
+    pub fn array_u64(&self, fd: MapFd, slot: u32) -> Result<u64, MapError> {
+        let key = slot.to_le_bytes();
+        let value = self
+            .lookup(fd, &key)?
+            .ok_or(MapError::IndexOutOfBounds {
+                index: slot,
+                len: self.def(fd)?.max_entries,
+            })?;
+        if value.len() < 8 {
+            return Err(MapError::ValueSize {
+                expected: 8,
+                got: value.len(),
+            });
+        }
+        Ok(u64::from_le_bytes(value[..8].try_into().expect("length checked")))
+    }
+
+    /// Convenience: writes a `u64` into an array map slot.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MapRegistry::array_u64`].
+    pub fn set_array_u64(&mut self, fd: MapFd, slot: u32, value: u64) -> Result<(), MapError> {
+        let def = self.def(fd)?;
+        if def.value_size != 8 {
+            return Err(MapError::ValueSize {
+                expected: 8,
+                got: def.value_size as usize,
+            });
+        }
+        self.update(fd, &slot.to_le_bytes(), &value.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_lookup_update_delete() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("h", MapDef::hash(4, 4, 2));
+        assert_eq!(maps.lookup(fd, &[0; 4]).unwrap(), None);
+        maps.update(fd, &[0; 4], &[1; 4]).unwrap();
+        assert_eq!(maps.lookup(fd, &[0; 4]).unwrap(), Some(&[1u8; 4][..]));
+        assert!(maps.delete(fd, &[0; 4]).unwrap());
+        assert!(!maps.delete(fd, &[0; 4]).unwrap());
+    }
+
+    #[test]
+    fn hash_capacity_enforced() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("h", MapDef::hash(1, 1, 2));
+        maps.update(fd, &[1], &[1]).unwrap();
+        maps.update(fd, &[2], &[2]).unwrap();
+        assert_eq!(maps.update(fd, &[3], &[3]), Err(MapError::Full));
+        // Overwriting an existing key still works at capacity.
+        maps.update(fd, &[1], &[9]).unwrap();
+        assert_eq!(maps.len(fd).unwrap(), 2);
+    }
+
+    #[test]
+    fn array_semantics() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("a", MapDef::array(8, 4));
+        // Array slots are zero-initialized.
+        assert_eq!(maps.array_u64(fd, 0).unwrap(), 0);
+        maps.set_array_u64(fd, 3, 42).unwrap();
+        assert_eq!(maps.array_u64(fd, 3).unwrap(), 42);
+        // Out-of-bounds lookup is None (NULL), update is an error.
+        assert_eq!(maps.lookup(fd, &4u32.to_le_bytes()).unwrap(), None);
+        assert!(matches!(
+            maps.update(fd, &4u32.to_le_bytes(), &[0; 8]),
+            Err(MapError::IndexOutOfBounds { .. })
+        ));
+        // Deleting array entries is not a thing.
+        assert!(matches!(
+            maps.delete(fd, &0u32.to_le_bytes()),
+            Err(MapError::WrongKind(MapKind::Array))
+        ));
+    }
+
+    #[test]
+    fn key_and_value_sizes_validated() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("h", MapDef::hash(8, 8, 8));
+        assert!(matches!(
+            maps.lookup(fd, &[0; 4]),
+            Err(MapError::KeySize { expected: 8, got: 4 })
+        ));
+        assert!(matches!(
+            maps.update(fd, &[0; 8], &[0; 2]),
+            Err(MapError::ValueSize { expected: 8, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn lookup_mut_writes_through() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("h", MapDef::hash(4, 8, 8));
+        maps.update(fd, &[7, 0, 0, 0], &[0; 8]).unwrap();
+        {
+            let value = maps.lookup_mut(fd, &[7, 0, 0, 0]).unwrap().unwrap();
+            value.copy_from_slice(&123u64.to_le_bytes());
+        }
+        assert_eq!(
+            maps.lookup(fd, &[7, 0, 0, 0]).unwrap().unwrap(),
+            123u64.to_le_bytes()
+        );
+    }
+
+    #[test]
+    fn ring_buffer_push_drain_drop() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("rb", MapDef::ring_buf(16, 2));
+        assert!(maps.ring_push(fd, b"one").unwrap());
+        assert!(maps.ring_push(fd, b"two").unwrap());
+        assert!(!maps.ring_push(fd, b"three").unwrap());
+        assert_eq!(maps.ring_dropped(fd).unwrap(), 1);
+        let drained = maps.ring_drain(fd).unwrap();
+        assert_eq!(drained, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(maps.ring_push(fd, b"four").unwrap());
+    }
+
+    #[test]
+    fn ring_buffer_rejects_map_ops() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("rb", MapDef::ring_buf(8, 2));
+        assert!(matches!(
+            maps.lookup(fd, &[]),
+            Err(MapError::WrongKind(MapKind::RingBuf))
+        ));
+    }
+
+    #[test]
+    fn fd_by_name_finds_map() {
+        let mut maps = MapRegistry::new();
+        let a = maps.create("alpha", MapDef::array(8, 1));
+        let b = maps.create("beta", MapDef::array(8, 1));
+        assert_eq!(maps.fd_by_name("alpha"), Some(a));
+        assert_eq!(maps.fd_by_name("beta"), Some(b));
+        assert_eq!(maps.fd_by_name("gamma"), None);
+        assert_eq!(maps.name(a).unwrap(), "alpha");
+    }
+
+    #[test]
+    fn bad_fd_errors() {
+        let maps = MapRegistry::new();
+        let err = maps.def(MapFd(9)).unwrap_err();
+        assert_eq!(err, MapError::BadFd(MapFd(9)));
+        assert!(err.to_string().contains("fd 9"));
+    }
+}

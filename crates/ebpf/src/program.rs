@@ -1,0 +1,96 @@
+//! Program container.
+
+use serde::{Deserialize, Serialize};
+
+use crate::insn::Insn;
+
+/// An assembled (but not yet verified) eBPF program.
+///
+/// Obtain one from the [`Asm`](crate::asm::Asm) builder, then pass it to
+/// [`Verifier::verify`](crate::verifier::Verifier::verify) and execute it
+/// with [`Vm`](crate::interp::Vm).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    insns: Vec<Insn>,
+}
+
+impl Program {
+    /// Wraps a raw instruction sequence.
+    pub fn new(name: impl Into<String>, insns: Vec<Insn>) -> Program {
+        Program {
+            name: name.into(),
+            insns,
+        }
+    }
+
+    /// The program's name (used in diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction slots.
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Number of instruction slots.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True for a program with no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Renders a human-readable disassembly listing.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "; program {}", self.name);
+        let mut skip_next = false;
+        for (idx, insn) in self.insns.iter().enumerate() {
+            if skip_next {
+                skip_next = false;
+                let _ = writeln!(out, "{idx:4}:  (ld_dw continuation)");
+                continue;
+            }
+            let _ = writeln!(out, "{idx:4}:  {insn}");
+            if insn.is_ld_dw() {
+                skip_next = true;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Insn, R0};
+
+    #[test]
+    fn accessors() {
+        let prog = Program::new("p", vec![Insn::mov64_imm(R0, 0), Insn::exit()]);
+        assert_eq!(prog.name(), "p");
+        assert_eq!(prog.len(), 2);
+        assert!(!prog.is_empty());
+    }
+
+    #[test]
+    fn disassembly_lists_every_slot() {
+        let prog = Program::new(
+            "p",
+            vec![
+                Insn::ld_dw_lo(R0, 0xFFFF_FFFF_FFFF),
+                Insn::ld_dw_hi(0xFFFF_FFFF_FFFF),
+                Insn::exit(),
+            ],
+        );
+        let dis = prog.disassemble();
+        assert_eq!(dis.lines().count(), 4); // header + 3 slots
+        assert!(dis.contains("continuation"));
+        assert!(dis.contains("exit"));
+    }
+}

@@ -1,0 +1,1180 @@
+//! Static verification of eBPF programs.
+//!
+//! Mirrors the guarantees the in-kernel verifier gives before a program may
+//! attach to a tracepoint (§III-A of the paper: "programs pass eBPF
+//! verification before being loaded … fixed stack size, reduced instruction
+//! set, … to ensure programs are verifiable in time and correctness"):
+//!
+//! * bounded size and **no back-edges** (the classic no-loop rule);
+//! * no reads of uninitialized registers or stack bytes;
+//! * all memory accesses bounds-checked against their region (context,
+//!   stack, map value);
+//! * map-value pointers must be null-checked before dereference;
+//! * helper calls type-checked against their signatures;
+//! * `r10` is read-only, the context is read-only, `exit` needs `r0` set.
+//!
+//! The analysis is a branch-sensitive abstract interpretation over the
+//! instruction DAG (acyclicity makes a single in-order pass with state
+//! joins sufficient).
+
+use crate::helpers::{ArgClass, Helper, RetClass};
+use crate::insn::{
+    Insn, CLS_ALU, CLS_ALU64, CLS_JMP, CLS_JMP32, CLS_LD, CLS_LDX, CLS_ST, CLS_STX, MAX_INSNS, OP_ADD,
+    OP_AND, OP_ARSH, OP_CALL, OP_DIV, OP_EXIT, OP_JA, OP_JEQ, OP_JGE, OP_JGT, OP_JLE, OP_JLT,
+    OP_JNE, OP_JSET, OP_JSGE, OP_JSGT, OP_JSLE, OP_JSLT, OP_LSH, OP_MOD, OP_MOV, OP_MUL, OP_NEG,
+    OP_OR, OP_RSH, OP_SUB, OP_XOR, PSEUDO_MAP_FD, REG_COUNT, STACK_SIZE,
+};
+use crate::maps::{MapFd, MapRegistry};
+use crate::program::Program;
+
+/// Verifier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifierConfig {
+    /// Size in bytes of the read-only context the program receives in `r1`.
+    pub ctx_size: usize,
+    /// Maximum number of instruction slots.
+    pub max_insns: usize,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig {
+            ctx_size: 64,
+            max_insns: MAX_INSNS,
+        }
+    }
+}
+
+/// Verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program has no instructions.
+    Empty,
+    /// The program exceeds the instruction limit.
+    TooLarge {
+        /// Actual size.
+        len: usize,
+        /// Allowed maximum.
+        max: usize,
+    },
+    /// A jump lands at or before its own pc (loops are forbidden).
+    BackEdge {
+        /// The jumping instruction.
+        from: usize,
+        /// The target pc.
+        to: usize,
+    },
+    /// A jump target is outside the program or inside an `ld_dw` pair.
+    BadJumpTarget {
+        /// The jumping instruction.
+        from: usize,
+        /// The bad target.
+        to: i64,
+    },
+    /// Execution can fall off the end of the program.
+    FallOffEnd {
+        /// The last pc on the falling path.
+        pc: usize,
+    },
+    /// Read of an uninitialized register.
+    UninitRead {
+        /// Instruction pc.
+        pc: usize,
+        /// The register.
+        reg: u8,
+    },
+    /// Unknown or malformed opcode.
+    BadOpcode {
+        /// Instruction pc.
+        pc: usize,
+        /// The opcode byte.
+        code: u8,
+    },
+    /// Write to the frame pointer `r10`.
+    WriteToFp {
+        /// Instruction pc.
+        pc: usize,
+    },
+    /// Store through the read-only context pointer.
+    WriteToCtx {
+        /// Instruction pc.
+        pc: usize,
+    },
+    /// Out-of-bounds or misaligned memory access.
+    OutOfBounds {
+        /// Instruction pc.
+        pc: usize,
+        /// Which region was accessed.
+        region: &'static str,
+        /// Byte offset of the access.
+        off: i64,
+        /// Access size.
+        size: usize,
+    },
+    /// Read of uninitialized stack bytes.
+    UninitStackRead {
+        /// Instruction pc.
+        pc: usize,
+        /// Stack offset (relative to `r10`).
+        off: i64,
+    },
+    /// Dereference of a possibly-NULL map-value pointer.
+    MaybeNullDeref {
+        /// Instruction pc.
+        pc: usize,
+    },
+    /// Arithmetic that would corrupt a pointer.
+    PointerArith {
+        /// Instruction pc.
+        pc: usize,
+    },
+    /// Immediate division or modulo by zero.
+    DivByZeroImm {
+        /// Instruction pc.
+        pc: usize,
+    },
+    /// `call` with an unknown helper id.
+    UnknownHelper {
+        /// Instruction pc.
+        pc: usize,
+        /// The bad helper id.
+        id: i32,
+    },
+    /// A helper argument has the wrong class.
+    BadHelperArg {
+        /// Instruction pc.
+        pc: usize,
+        /// Helper being called.
+        helper: Helper,
+        /// Argument index (1-based, i.e. the register number).
+        arg: u8,
+        /// What the signature expected.
+        expected: &'static str,
+    },
+    /// `ld_map_fd` references a map that does not exist.
+    BadMapFd {
+        /// Instruction pc.
+        pc: usize,
+        /// The unknown fd.
+        fd: u32,
+    },
+    /// Second slot of an `ld_dw` is malformed or missing.
+    MalformedLdDw {
+        /// Instruction pc of the first slot.
+        pc: usize,
+    },
+    /// `exit` without a value in `r0`.
+    ExitWithoutR0 {
+        /// Instruction pc.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Empty => f.write_str("program is empty"),
+            VerifyError::TooLarge { len, max } => {
+                write!(f, "program has {len} insns, limit is {max}")
+            }
+            VerifyError::BackEdge { from, to } => {
+                write!(f, "back-edge from {from} to {to} (loops are forbidden)")
+            }
+            VerifyError::BadJumpTarget { from, to } => {
+                write!(f, "jump from {from} to invalid target {to}")
+            }
+            VerifyError::FallOffEnd { pc } => write!(f, "control falls off the end after {pc}"),
+            VerifyError::UninitRead { pc, reg } => {
+                write!(f, "pc {pc}: read of uninitialized r{reg}")
+            }
+            VerifyError::BadOpcode { pc, code } => write!(f, "pc {pc}: bad opcode {code:#04x}"),
+            VerifyError::WriteToFp { pc } => write!(f, "pc {pc}: write to frame pointer r10"),
+            VerifyError::WriteToCtx { pc } => write!(f, "pc {pc}: store to read-only context"),
+            VerifyError::OutOfBounds {
+                pc,
+                region,
+                off,
+                size,
+            } => write!(
+                f,
+                "pc {pc}: {region} access out of bounds (off {off}, size {size})"
+            ),
+            VerifyError::UninitStackRead { pc, off } => {
+                write!(f, "pc {pc}: read of uninitialized stack at {off}")
+            }
+            VerifyError::MaybeNullDeref { pc } => {
+                write!(f, "pc {pc}: map value pointer may be NULL; null-check first")
+            }
+            VerifyError::PointerArith { pc } => {
+                write!(f, "pc {pc}: forbidden arithmetic on pointer")
+            }
+            VerifyError::DivByZeroImm { pc } => {
+                write!(f, "pc {pc}: division/modulo by constant zero")
+            }
+            VerifyError::UnknownHelper { pc, id } => {
+                write!(f, "pc {pc}: unknown helper id {id}")
+            }
+            VerifyError::BadHelperArg {
+                pc,
+                helper,
+                arg,
+                expected,
+            } => write!(
+                f,
+                "pc {pc}: {name} argument r{arg} must be {expected}",
+                name = helper.name()
+            ),
+            VerifyError::BadMapFd { pc, fd } => write!(f, "pc {pc}: no map with fd {fd}"),
+            VerifyError::MalformedLdDw { pc } => {
+                write!(f, "pc {pc}: ld_dw missing its second slot")
+            }
+            VerifyError::ExitWithoutR0 { pc } => {
+                write!(f, "pc {pc}: exit without setting r0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Abstract register contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegType {
+    Uninit,
+    Scalar { known: Option<u64> },
+    PtrCtx { off: i64 },
+    PtrStack { off: i64 },
+    PtrMapValue { off: i64, value_size: u32, nullable: bool },
+    MapHandle { fd: MapFd },
+}
+
+impl RegType {
+    fn scalar() -> RegType {
+        RegType::Scalar { known: None }
+    }
+
+    fn known(v: u64) -> RegType {
+        RegType::Scalar { known: Some(v) }
+    }
+
+    fn is_init(self) -> bool {
+        !matches!(self, RegType::Uninit)
+    }
+
+    fn join(a: RegType, b: RegType) -> RegType {
+        use RegType::*;
+        match (a, b) {
+            (x, y) if x == y => x,
+            (Scalar { known: ka }, Scalar { known: kb }) => Scalar {
+                known: if ka == kb { ka } else { None },
+            },
+            (
+                PtrMapValue {
+                    off: oa,
+                    value_size: sa,
+                    nullable: na,
+                },
+                PtrMapValue {
+                    off: ob,
+                    value_size: sb,
+                    nullable: nb,
+                },
+            ) if oa == ob && sa == sb => PtrMapValue {
+                off: oa,
+                value_size: sa,
+                nullable: na || nb,
+            },
+            _ => Uninit,
+        }
+    }
+}
+
+const SLOT_COUNT: usize = STACK_SIZE / 8;
+
+/// Abstract stack-slot contents (8-byte granularity, byte-level init mask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotType {
+    /// `mask` bit i set means byte i of the slot is initialized scalar data.
+    Bytes { mask: u8 },
+    /// Full 8-byte spill of a register.
+    Spill(RegType),
+}
+
+impl SlotType {
+    const UNINIT: SlotType = SlotType::Bytes { mask: 0 };
+
+    fn join(a: SlotType, b: SlotType) -> SlotType {
+        use SlotType::*;
+        match (a, b) {
+            (x, y) if x == y => x,
+            (Spill(ra), Spill(rb)) => {
+                let joined = RegType::join(ra, rb);
+                if joined.is_init() {
+                    Spill(joined)
+                } else {
+                    SlotType::UNINIT
+                }
+            }
+            (Spill(_), Bytes { mask }) | (Bytes { mask }, Spill(_)) => Bytes { mask },
+            (Bytes { mask: ma }, Bytes { mask: mb }) => Bytes { mask: ma & mb },
+        }
+    }
+
+    fn init_mask(self) -> u8 {
+        match self {
+            SlotType::Bytes { mask } => mask,
+            SlotType::Spill(_) => 0xff,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    regs: [RegType; REG_COUNT],
+    stack: [SlotType; SLOT_COUNT],
+}
+
+impl State {
+    fn entry() -> State {
+        let mut regs = [RegType::Uninit; REG_COUNT];
+        regs[1] = RegType::PtrCtx { off: 0 };
+        regs[10] = RegType::PtrStack { off: 0 };
+        State {
+            regs,
+            stack: [SlotType::UNINIT; SLOT_COUNT],
+        }
+    }
+
+    fn join_into(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.regs.iter_mut().zip(&other.regs) {
+            let joined = RegType::join(*mine, *theirs);
+            if joined != *mine {
+                *mine = joined;
+                changed = true;
+            }
+        }
+        for (mine, theirs) in self.stack.iter_mut().zip(&other.stack) {
+            let joined = SlotType::join(*mine, *theirs);
+            if joined != *mine {
+                *mine = joined;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// The verifier.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_ebpf::asm::Asm;
+/// use kscope_ebpf::insn::R0;
+/// use kscope_ebpf::maps::MapRegistry;
+/// use kscope_ebpf::verifier::Verifier;
+///
+/// let prog = Asm::new("ok").mov64_imm(R0, 0).exit().assemble().unwrap();
+/// Verifier::default().verify(&prog, &MapRegistry::new()).unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Verifier {
+    config: VerifierConfig,
+}
+
+impl Verifier {
+    /// Creates a verifier with the given configuration.
+    pub fn new(config: VerifierConfig) -> Verifier {
+        Verifier { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VerifierConfig {
+        &self.config
+    }
+
+    /// Verifies `program` against the maps in `maps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] encountered; a verified program is
+    /// guaranteed not to fault in the interpreter.
+    pub fn verify(&self, program: &Program, maps: &MapRegistry) -> Result<(), VerifyError> {
+        let insns = program.insns();
+        if insns.is_empty() {
+            return Err(VerifyError::Empty);
+        }
+        if insns.len() > self.config.max_insns {
+            return Err(VerifyError::TooLarge {
+                len: insns.len(),
+                max: self.config.max_insns,
+            });
+        }
+
+        // Structural pass: ld_dw pairing and jump-target validation.
+        let mut is_ld_dw_hi = vec![false; insns.len()];
+        let mut pc = 0;
+        while pc < insns.len() {
+            let insn = insns[pc];
+            if insn.is_ld_dw() {
+                if pc + 1 >= insns.len() || insns[pc + 1].code != 0 {
+                    return Err(VerifyError::MalformedLdDw { pc });
+                }
+                is_ld_dw_hi[pc + 1] = true;
+                pc += 2;
+            } else {
+                pc += 1;
+            }
+        }
+        for (pc, insn) in insns.iter().enumerate() {
+            if is_ld_dw_hi[pc] || (insn.class() != CLS_JMP && insn.class() != CLS_JMP32) {
+                continue;
+            }
+            let op = insn.op();
+            if insn.class() == CLS_JMP && (op == OP_CALL || op == OP_EXIT) {
+                continue;
+            }
+            let target = pc as i64 + 1 + insn.off as i64;
+            if target < 0 || target as usize >= insns.len() || is_ld_dw_hi[target as usize] {
+                return Err(VerifyError::BadJumpTarget {
+                    from: pc,
+                    to: target,
+                });
+            }
+            if target as usize <= pc {
+                return Err(VerifyError::BackEdge {
+                    from: pc,
+                    to: target as usize,
+                });
+            }
+        }
+
+        // Abstract interpretation in pc order (valid because the CFG is a DAG
+        // with edges only going forward).
+        let mut states: Vec<Option<State>> = vec![None; insns.len()];
+        states[0] = Some(State::entry());
+        let merge =
+            |states: &mut Vec<Option<State>>, target: usize, state: &State| match &mut states
+                [target]
+            {
+                Some(existing) => {
+                    existing.join_into(state);
+                }
+                slot @ None => *slot = Some(state.clone()),
+            };
+
+        let mut pc = 0;
+        while pc < insns.len() {
+            if is_ld_dw_hi[pc] {
+                pc += 1;
+                continue;
+            }
+            let Some(state) = states[pc].clone() else {
+                pc += 1;
+                continue; // unreachable instruction
+            };
+            let insn = insns[pc];
+            match self.step(pc, insn, state, insns, maps)? {
+                Flow::Next(state) => {
+                    let next = if insn.is_ld_dw() { pc + 2 } else { pc + 1 };
+                    if next >= insns.len() {
+                        return Err(VerifyError::FallOffEnd { pc });
+                    }
+                    merge(&mut states, next, &state);
+                }
+                Flow::Jump { target, state } => merge(&mut states, target, &state),
+                Flow::Branch {
+                    taken,
+                    taken_state,
+                    fall_state,
+                } => {
+                    merge(&mut states, taken, &taken_state);
+                    if pc + 1 >= insns.len() {
+                        return Err(VerifyError::FallOffEnd { pc });
+                    }
+                    merge(&mut states, pc + 1, &fall_state);
+                }
+                Flow::Exit => {}
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    fn step(
+        &self,
+        pc: usize,
+        insn: Insn,
+        mut state: State,
+        _insns: &[Insn],
+        maps: &MapRegistry,
+    ) -> Result<Flow, VerifyError> {
+        let read = |state: &State, reg: u8| -> Result<RegType, VerifyError> {
+            let t = state.regs[reg as usize];
+            if t.is_init() {
+                Ok(t)
+            } else {
+                Err(VerifyError::UninitRead { pc, reg })
+            }
+        };
+        let write = |state: &mut State, reg: u8, t: RegType| -> Result<(), VerifyError> {
+            if reg == 10 {
+                return Err(VerifyError::WriteToFp { pc });
+            }
+            state.regs[reg as usize] = t;
+            Ok(())
+        };
+
+        match insn.class() {
+            CLS_LD => {
+                if !insn.is_ld_dw() {
+                    return Err(VerifyError::BadOpcode { pc, code: insn.code });
+                }
+                if insn.src == PSEUDO_MAP_FD {
+                    let fd = MapFd(insn.imm as u32);
+                    if maps.def(fd).is_err() {
+                        return Err(VerifyError::BadMapFd { pc, fd: fd.0 });
+                    }
+                    write(&mut state, insn.dst, RegType::MapHandle { fd })?;
+                } else {
+                    // Value itself is known (both halves are constants).
+                    write(&mut state, insn.dst, RegType::scalar())?;
+                }
+                Ok(Flow::Next(state))
+            }
+            CLS_LDX => {
+                let base = read(&state, insn.src)?;
+                let size = insn.size_bytes();
+                let loaded = self.check_load(pc, &state, base, insn.off as i64, size)?;
+                write(&mut state, insn.dst, loaded)?;
+                Ok(Flow::Next(state))
+            }
+            CLS_ST | CLS_STX => {
+                let base = read(&state, insn.dst)?;
+                let size = insn.size_bytes();
+                let src_type = if insn.class() == CLS_STX {
+                    read(&state, insn.src)?
+                } else {
+                    RegType::known(insn.imm as i64 as u64)
+                };
+                self.check_store(pc, &mut state, base, insn.off as i64, size, src_type)?;
+                Ok(Flow::Next(state))
+            }
+            CLS_ALU64 => {
+                self.alu(pc, insn, &mut state, true)?;
+                Ok(Flow::Next(state))
+            }
+            CLS_ALU => {
+                self.alu(pc, insn, &mut state, false)?;
+                Ok(Flow::Next(state))
+            }
+            CLS_JMP => self.jump(pc, insn, state, maps, false),
+            CLS_JMP32 => self.jump(pc, insn, state, maps, true),
+            _ => Err(VerifyError::BadOpcode { pc, code: insn.code }),
+        }
+    }
+
+    fn check_load(
+        &self,
+        pc: usize,
+        state: &State,
+        base: RegType,
+        insn_off: i64,
+        size: usize,
+    ) -> Result<RegType, VerifyError> {
+        match base {
+            RegType::PtrCtx { off } => {
+                let start = off + insn_off;
+                if start < 0 || (start + size as i64) as usize > self.config.ctx_size || start as usize >= self.config.ctx_size {
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        region: "context",
+                        off: start,
+                        size,
+                    });
+                }
+                Ok(RegType::scalar())
+            }
+            RegType::PtrStack { off } => {
+                let start = off + insn_off;
+                check_stack_range(pc, start, size)?;
+                let abs = (start + STACK_SIZE as i64) as usize;
+                // Aligned 8-byte fill of a spilled register restores its type.
+                if size == 8 && abs.is_multiple_of(8) {
+                    if let SlotType::Spill(t) = state.stack[abs / 8] {
+                        return Ok(t);
+                    }
+                }
+                // Otherwise every accessed byte must be initialized.
+                for byte in abs..abs + size {
+                    let mask = state.stack[byte / 8].init_mask();
+                    if mask & (1 << (byte % 8)) == 0 {
+                        return Err(VerifyError::UninitStackRead { pc, off: start });
+                    }
+                }
+                Ok(RegType::scalar())
+            }
+            RegType::PtrMapValue {
+                off,
+                value_size,
+                nullable,
+            } => {
+                if nullable {
+                    return Err(VerifyError::MaybeNullDeref { pc });
+                }
+                let start = off + insn_off;
+                if start < 0 || (start + size as i64) > value_size as i64 {
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        region: "map value",
+                        off: start,
+                        size,
+                    });
+                }
+                Ok(RegType::scalar())
+            }
+            _ => Err(VerifyError::PointerArith { pc }),
+        }
+    }
+
+    fn check_store(
+        &self,
+        pc: usize,
+        state: &mut State,
+        base: RegType,
+        insn_off: i64,
+        size: usize,
+        src_type: RegType,
+    ) -> Result<(), VerifyError> {
+        match base {
+            RegType::PtrCtx { .. } => Err(VerifyError::WriteToCtx { pc }),
+            RegType::PtrStack { off } => {
+                let start = off + insn_off;
+                check_stack_range(pc, start, size)?;
+                let abs = (start + STACK_SIZE as i64) as usize;
+                if size == 8 && abs.is_multiple_of(8) {
+                    state.stack[abs / 8] = SlotType::Spill(src_type);
+                } else {
+                    for byte in abs..abs + size {
+                        let slot = &mut state.stack[byte / 8];
+                        let mask = slot.init_mask();
+                        // A partial overwrite of a spilled pointer degrades
+                        // the whole slot to scalar bytes.
+                        let base_mask = if matches!(slot, SlotType::Spill(_)) {
+                            0xff
+                        } else {
+                            mask
+                        };
+                        *slot = SlotType::Bytes {
+                            mask: base_mask | (1 << (byte % 8)),
+                        };
+                    }
+                }
+                Ok(())
+            }
+            RegType::PtrMapValue {
+                off,
+                value_size,
+                nullable,
+            } => {
+                if nullable {
+                    return Err(VerifyError::MaybeNullDeref { pc });
+                }
+                let start = off + insn_off;
+                if start < 0 || (start + size as i64) > value_size as i64 {
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        region: "map value",
+                        off: start,
+                        size,
+                    });
+                }
+                // Storing pointers into maps would leak kernel addresses.
+                if !matches!(src_type, RegType::Scalar { .. }) {
+                    return Err(VerifyError::PointerArith { pc });
+                }
+                Ok(())
+            }
+            _ => Err(VerifyError::PointerArith { pc }),
+        }
+    }
+
+    fn alu(
+        &self,
+        pc: usize,
+        insn: Insn,
+        state: &mut State,
+        is64: bool,
+    ) -> Result<(), VerifyError> {
+        if insn.dst == 10 {
+            return Err(VerifyError::WriteToFp { pc });
+        }
+        let op = insn.op();
+        let operand: Option<RegType> = if insn.is_src_reg() {
+            let t = state.regs[insn.src as usize];
+            if !t.is_init() {
+                return Err(VerifyError::UninitRead { pc, reg: insn.src });
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let imm_scalar = RegType::known(insn.imm as i64 as u64);
+        let rhs = operand.unwrap_or(imm_scalar);
+
+        // MOV initializes dst; every other op also reads it.
+        if op != OP_MOV {
+            let t = state.regs[insn.dst as usize];
+            if !t.is_init() {
+                return Err(VerifyError::UninitRead { pc, reg: insn.dst });
+            }
+        }
+        let dst_t = state.regs[insn.dst as usize];
+
+        if (op == OP_DIV || op == OP_MOD) && !insn.is_src_reg() && insn.imm == 0 {
+            return Err(VerifyError::DivByZeroImm { pc });
+        }
+
+        if !is64 {
+            // 32-bit ALU only operates on scalars (pointer truncation is
+            // forbidden).
+            if op != OP_MOV && !matches!(dst_t, RegType::Scalar { .. }) {
+                return Err(VerifyError::PointerArith { pc });
+            }
+            if insn.is_src_reg() && !matches!(rhs, RegType::Scalar { .. }) {
+                return Err(VerifyError::PointerArith { pc });
+            }
+            let known = eval_known(op, dst_t, rhs, false);
+            state.regs[insn.dst as usize] = RegType::Scalar { known };
+            return Ok(());
+        }
+
+        let result = match op {
+            OP_MOV => rhs,
+            OP_ADD | OP_SUB => match (dst_t, rhs) {
+                (RegType::Scalar { .. }, RegType::Scalar { .. }) => RegType::Scalar {
+                    known: eval_known(op, dst_t, rhs, true),
+                },
+                (ptr, RegType::Scalar { known: Some(k) }) if is_ptr(ptr) => {
+                    // Wrapping: `k = i64::MIN as u64` must not panic the
+                    // verifier in debug builds; any huge delta simply
+                    // produces an out-of-bounds offset rejected at access.
+                    let delta = if op == OP_ADD {
+                        k as i64
+                    } else {
+                        (k as i64).wrapping_neg()
+                    };
+                    adjust_ptr(ptr, delta)
+                }
+                (ptr, RegType::Scalar { known: None }) if is_ptr(ptr) => {
+                    return Err(VerifyError::PointerArith { pc });
+                }
+                _ => return Err(VerifyError::PointerArith { pc }),
+            },
+            OP_NEG => {
+                if !matches!(dst_t, RegType::Scalar { .. }) {
+                    return Err(VerifyError::PointerArith { pc });
+                }
+                RegType::Scalar {
+                    known: eval_known(op, dst_t, dst_t, true),
+                }
+            }
+            OP_MUL | OP_DIV | OP_OR | OP_AND | OP_LSH | OP_RSH | OP_MOD | OP_XOR | OP_ARSH => {
+                if !matches!(dst_t, RegType::Scalar { .. })
+                    || !matches!(rhs, RegType::Scalar { .. })
+                {
+                    return Err(VerifyError::PointerArith { pc });
+                }
+                RegType::Scalar {
+                    known: eval_known(op, dst_t, rhs, true),
+                }
+            }
+            _ => return Err(VerifyError::BadOpcode { pc, code: insn.code }),
+        };
+        state.regs[insn.dst as usize] = result;
+        Ok(())
+    }
+
+    fn jump(
+        &self,
+        pc: usize,
+        insn: Insn,
+        mut state: State,
+        maps: &MapRegistry,
+        is32: bool,
+    ) -> Result<Flow, VerifyError> {
+        let op = insn.op();
+        if is32 && matches!(op, OP_EXIT | OP_CALL | OP_JA) {
+            return Err(VerifyError::BadOpcode { pc, code: insn.code });
+        }
+        match op {
+            OP_EXIT => {
+                if !matches!(state.regs[0], RegType::Scalar { .. }) {
+                    return Err(VerifyError::ExitWithoutR0 { pc });
+                }
+                Ok(Flow::Exit)
+            }
+            OP_CALL => {
+                let helper = Helper::from_id(insn.imm)
+                    .ok_or(VerifyError::UnknownHelper { pc, id: insn.imm })?;
+                self.check_call(pc, helper, &mut state, maps)?;
+                Ok(Flow::Next(state))
+            }
+            OP_JA => Ok(Flow::Jump {
+                target: (pc as i64 + 1 + insn.off as i64) as usize,
+                state,
+            }),
+            OP_JEQ | OP_JNE | OP_JGT | OP_JGE | OP_JLT | OP_JLE | OP_JSGT | OP_JSGE | OP_JSLT
+            | OP_JSLE | OP_JSET => {
+                let dst_t = state.regs[insn.dst as usize];
+                if !dst_t.is_init() {
+                    return Err(VerifyError::UninitRead { pc, reg: insn.dst });
+                }
+                if is32 && !matches!(dst_t, RegType::Scalar { .. }) {
+                    // Comparing the lower half of a pointer is meaningless.
+                    return Err(VerifyError::PointerArith { pc });
+                }
+                let rhs_is_zero_imm = !is32 && !insn.is_src_reg() && insn.imm == 0;
+                if insn.is_src_reg() {
+                    let src_t = state.regs[insn.src as usize];
+                    if !src_t.is_init() {
+                        return Err(VerifyError::UninitRead { pc, reg: insn.src });
+                    }
+                    // Register comparisons must involve scalars or pointers
+                    // of the same region; comparing a map handle is
+                    // meaningless.
+                    if matches!(dst_t, RegType::MapHandle { .. })
+                        || matches!(src_t, RegType::MapHandle { .. })
+                    {
+                        return Err(VerifyError::PointerArith { pc });
+                    }
+                } else if matches!(dst_t, RegType::MapHandle { .. }) {
+                    return Err(VerifyError::PointerArith { pc });
+                } else if is_ptr(dst_t)
+                    && !(rhs_is_zero_imm && matches!(dst_t, RegType::PtrMapValue { .. }))
+                {
+                    // The only pointer-vs-immediate comparison allowed is the
+                    // NULL check on a map value.
+                    return Err(VerifyError::PointerArith { pc });
+                }
+
+                let target = (pc as i64 + 1 + insn.off as i64) as usize;
+                let mut taken_state = state.clone();
+                // NULL-check refinement.
+                if let RegType::PtrMapValue {
+                    off, value_size, ..
+                } = dst_t
+                {
+                    if rhs_is_zero_imm {
+                        match op {
+                            OP_JEQ => {
+                                // taken: pointer is NULL; treat as scalar 0.
+                                taken_state.regs[insn.dst as usize] = RegType::known(0);
+                                state.regs[insn.dst as usize] = RegType::PtrMapValue {
+                                    off,
+                                    value_size,
+                                    nullable: false,
+                                };
+                            }
+                            OP_JNE => {
+                                taken_state.regs[insn.dst as usize] = RegType::PtrMapValue {
+                                    off,
+                                    value_size,
+                                    nullable: false,
+                                };
+                                state.regs[insn.dst as usize] = RegType::known(0);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Ok(Flow::Branch {
+                    taken: target,
+                    taken_state,
+                    fall_state: state,
+                })
+            }
+            _ => Err(VerifyError::BadOpcode { pc, code: insn.code }),
+        }
+    }
+
+    fn check_call(
+        &self,
+        pc: usize,
+        helper: Helper,
+        state: &mut State,
+        maps: &MapRegistry,
+    ) -> Result<(), VerifyError> {
+        let signature = helper.signature();
+        let mut map_fd: Option<MapFd> = None;
+        let mut mem_ptr_pending: Option<(u8, RegType)> = None;
+        for (i, class) in signature.iter().enumerate() {
+            let reg = (i + 1) as u8;
+            let t = state.regs[reg as usize];
+            if !t.is_init() {
+                return Err(VerifyError::UninitRead { pc, reg });
+            }
+            match class {
+                ArgClass::Map => match t {
+                    RegType::MapHandle { fd } => map_fd = Some(fd),
+                    _ => {
+                        return Err(VerifyError::BadHelperArg {
+                            pc,
+                            helper,
+                            arg: reg,
+                            expected: "a map handle (ld_map_fd)",
+                        })
+                    }
+                },
+                ArgClass::MapKeyPtr | ArgClass::MapValuePtr => {
+                    let fd = map_fd.ok_or(VerifyError::BadHelperArg {
+                        pc,
+                        helper,
+                        arg: reg,
+                        expected: "a map handle before key/value args",
+                    })?;
+                    let def = maps.def(fd).map_err(|_| VerifyError::BadMapFd { pc, fd: fd.0 })?;
+                    let needed = if *class == ArgClass::MapKeyPtr {
+                        def.key_size
+                    } else {
+                        def.value_size
+                    } as usize;
+                    self.check_readable(pc, state, t, needed).map_err(|_| {
+                        VerifyError::BadHelperArg {
+                            pc,
+                            helper,
+                            arg: reg,
+                            expected: "a readable pointer covering the key/value size",
+                        }
+                    })?;
+                }
+                ArgClass::MemPtr => {
+                    mem_ptr_pending = Some((reg, t));
+                }
+                ArgClass::Scalar => {
+                    if !matches!(t, RegType::Scalar { .. }) {
+                        return Err(VerifyError::BadHelperArg {
+                            pc,
+                            helper,
+                            arg: reg,
+                            expected: "a scalar",
+                        });
+                    }
+                    // If the previous arg was a MemPtr, this scalar is its
+                    // length and must be a known constant for bounds checks.
+                    if let Some((mem_reg, mem_t)) = mem_ptr_pending.take() {
+                        let RegType::Scalar { known: Some(len) } = t else {
+                            return Err(VerifyError::BadHelperArg {
+                                pc,
+                                helper,
+                                arg: reg,
+                                expected: "a known-constant length",
+                            });
+                        };
+                        self.check_readable(pc, state, mem_t, len as usize)
+                            .map_err(|_| VerifyError::BadHelperArg {
+                                pc,
+                                helper,
+                                arg: mem_reg,
+                                expected: "a readable buffer of the given length",
+                            })?;
+                    }
+                }
+            }
+        }
+
+        // Caller-saved registers are clobbered; r0 takes the return type.
+        for reg in 1..=5 {
+            state.regs[reg] = RegType::Uninit;
+        }
+        state.regs[0] = match helper.return_class() {
+            RetClass::Scalar => RegType::scalar(),
+            RetClass::MapValueOrNull => {
+                let fd = map_fd.expect("map helpers always have a Map arg");
+                let def = maps.def(fd).map_err(|_| VerifyError::BadMapFd { pc, fd: fd.0 })?;
+                RegType::PtrMapValue {
+                    off: 0,
+                    value_size: def.value_size,
+                    nullable: true,
+                }
+            }
+        };
+        Ok(())
+    }
+
+    /// Checks `len` bytes are readable through `ptr`.
+    fn check_readable(
+        &self,
+        pc: usize,
+        state: &State,
+        ptr: RegType,
+        len: usize,
+    ) -> Result<(), VerifyError> {
+        if len == 0 {
+            return Ok(());
+        }
+        match ptr {
+            RegType::PtrStack { off } => {
+                check_stack_range(pc, off, len)?;
+                let abs = (off + STACK_SIZE as i64) as usize;
+                for byte in abs..abs + len {
+                    if state.stack[byte / 8].init_mask() & (1 << (byte % 8)) == 0 {
+                        return Err(VerifyError::UninitStackRead { pc, off });
+                    }
+                }
+                Ok(())
+            }
+            RegType::PtrMapValue {
+                off,
+                value_size,
+                nullable,
+            } => {
+                if nullable {
+                    return Err(VerifyError::MaybeNullDeref { pc });
+                }
+                if off < 0 || off + len as i64 > value_size as i64 {
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        region: "map value",
+                        off,
+                        size: len,
+                    });
+                }
+                Ok(())
+            }
+            RegType::PtrCtx { off } => {
+                if off < 0 || (off + len as i64) as usize > self.config.ctx_size {
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        region: "context",
+                        off,
+                        size: len,
+                    });
+                }
+                Ok(())
+            }
+            _ => Err(VerifyError::PointerArith { pc }),
+        }
+    }
+}
+
+fn check_stack_range(pc: usize, off: i64, size: usize) -> Result<(), VerifyError> {
+    if off < -(STACK_SIZE as i64) || off + size as i64 > 0 {
+        Err(VerifyError::OutOfBounds {
+            pc,
+            region: "stack",
+            off,
+            size,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn is_ptr(t: RegType) -> bool {
+    matches!(
+        t,
+        RegType::PtrCtx { .. } | RegType::PtrStack { .. } | RegType::PtrMapValue { .. }
+    )
+}
+
+fn adjust_ptr(ptr: RegType, delta: i64) -> RegType {
+    // Saturating: repeated huge adjustments must not overflow-panic the
+    // verifier; a saturated offset is simply out of bounds at access time.
+    match ptr {
+        RegType::PtrCtx { off } => RegType::PtrCtx {
+            off: off.saturating_add(delta),
+        },
+        RegType::PtrStack { off } => RegType::PtrStack {
+            off: off.saturating_add(delta),
+        },
+        RegType::PtrMapValue {
+            off,
+            value_size,
+            nullable,
+        } => RegType::PtrMapValue {
+            off: off.saturating_add(delta),
+            value_size,
+            nullable,
+        },
+        other => other,
+    }
+}
+
+/// Constant folding for scalar ALU ops (used to track known values).
+fn eval_known(op: u8, dst: RegType, rhs: RegType, is64: bool) -> Option<u64> {
+    let (RegType::Scalar { known: da }, RegType::Scalar { known: db }) = (dst, rhs) else {
+        return None;
+    };
+    let b = db?;
+    if op == OP_MOV {
+        return Some(if is64 { b } else { b as u32 as u64 });
+    }
+    let a = da?;
+    let v = if is64 {
+        match op {
+            OP_ADD => a.wrapping_add(b),
+            OP_SUB => a.wrapping_sub(b),
+            OP_MUL => a.wrapping_mul(b),
+            OP_DIV => a.checked_div(b).unwrap_or(0),
+            OP_MOD => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            OP_OR => a | b,
+            OP_AND => a & b,
+            OP_XOR => a ^ b,
+            OP_LSH => a.wrapping_shl(b as u32 & 63),
+            OP_RSH => a.wrapping_shr(b as u32 & 63),
+            OP_ARSH => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+            OP_NEG => (a as i64).wrapping_neg() as u64,
+            _ => return None,
+        }
+    } else {
+        let a = a as u32;
+        let b = b as u32;
+        let v32 = match op {
+            OP_ADD => a.wrapping_add(b),
+            OP_SUB => a.wrapping_sub(b),
+            OP_MUL => a.wrapping_mul(b),
+            OP_DIV => a.checked_div(b).unwrap_or(0),
+            OP_MOD => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            OP_OR => a | b,
+            OP_AND => a & b,
+            OP_XOR => a ^ b,
+            OP_LSH => a.wrapping_shl(b & 31),
+            OP_RSH => a.wrapping_shr(b & 31),
+            OP_ARSH => ((a as i32).wrapping_shr(b & 31)) as u32,
+            OP_NEG => (a as i32).wrapping_neg() as u32,
+            _ => return None,
+        };
+        v32 as u64
+    };
+    Some(v)
+}
+
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // transient per-instruction value
+enum Flow {
+    Next(State),
+    Jump { target: usize, state: State },
+    Branch {
+        taken: usize,
+        taken_state: State,
+        fall_state: State,
+    },
+    Exit,
+}
+
+/// Convenience alias for verifier results.
+pub type VerifyResult = Result<(), VerifyError>;

@@ -1,0 +1,8 @@
+//! Regenerates Figure 1 (syscall stream anatomy). Pass `--quick` for a
+//! reduced run.
+use kscope_experiments::{fig1, Scale};
+
+fn main() {
+    let result = fig1::run(Scale::from_args());
+    println!("{}", fig1::render(&result));
+}

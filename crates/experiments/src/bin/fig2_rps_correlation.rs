@@ -1,0 +1,12 @@
+//! Regenerates Figure 2 (RPS correlation + residuals). Pass `--quick` for
+//! a reduced sweep.
+use kscope_experiments::{fig2, write_artifact, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let result = fig2::run(scale);
+    println!("{}", fig2::render(&result, scale == Scale::Full));
+    if let Some(path) = write_artifact("fig2_rps_correlation.csv", &fig2::to_csv(&result)) {
+        println!("scatter written to {}", path.display());
+    }
+}

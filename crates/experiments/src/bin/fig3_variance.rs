@@ -1,0 +1,11 @@
+//! Regenerates Figure 3 (inter-send variance vs load).
+use kscope_experiments::{fig3, write_artifact, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let curves = fig3::run(scale);
+    println!("{}", fig3::render(&curves, scale == Scale::Full));
+    if let Some(path) = write_artifact("fig3_variance.csv", &fig3::to_csv(&curves)) {
+        println!("curves written to {}", path.display());
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 4 (poll-duration slack vs load).
+use kscope_experiments::{fig4, write_artifact, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let curves = fig4::run(scale);
+    println!("{}", fig4::render(&curves, scale == Scale::Full));
+    if let Some(path) = write_artifact("fig4_epoll_duration.csv", &fig4::to_csv(&curves)) {
+        println!("curves written to {}", path.display());
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 5 (loss robustness, Triton/gRPC).
+use kscope_experiments::{fig5, write_artifact, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let result = fig5::run(scale);
+    println!("{}", fig5::render(&result, true));
+    if let Some(path) = write_artifact("fig5_loss_robustness.csv", &fig5::to_csv(&result)) {
+        println!("series written to {}", path.display());
+    }
+}

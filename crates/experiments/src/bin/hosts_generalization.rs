@@ -1,0 +1,7 @@
+//! Regenerates the dual-host generalization study.
+use kscope_experiments::{hosts, Scale};
+
+fn main() {
+    let rows = hosts::run(Scale::from_args());
+    println!("{}", hosts::render(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §V-C io_uring blind-spot study.
+use kscope_experiments::{iouring, write_artifact, Scale};
+
+fn main() {
+    let rows = iouring::run(Scale::from_args());
+    println!("{}", iouring::render(&rows));
+    if let Some(path) = write_artifact("iouring_limitation.csv", &iouring::to_csv(&rows)) {
+        println!("rows written to {}", path.display());
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §VI probe-overhead study.
+use kscope_experiments::{overhead, write_artifact, Scale};
+
+fn main() {
+    let rows = overhead::run(Scale::from_args());
+    println!("{}", overhead::render(&rows));
+    if let Some(path) = write_artifact("overhead_study.csv", &overhead::to_csv(&rows)) {
+        println!("rows written to {}", path.display());
+    }
+}

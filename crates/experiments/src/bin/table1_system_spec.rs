@@ -1,0 +1,6 @@
+//! Prints Table I (system specification of the simulated hosts).
+use kscope_experiments::table1;
+
+fn main() {
+    println!("{}", table1::render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table II (network effect on the RPS fit).
+use kscope_experiments::{table2, write_artifact, Scale};
+
+fn main() {
+    let rows = table2::run(Scale::from_args());
+    println!("{}", table2::render(&rows));
+    if let Some(path) = write_artifact("table2_netem_rps.csv", &table2::to_csv(&rows)) {
+        println!("rows written to {}", path.display());
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §IV-B window-size sensitivity study.
+use kscope_experiments::{windows, write_artifact, Scale};
+
+fn main() {
+    let rows = windows::run(Scale::from_args());
+    println!("{}", windows::render(&rows));
+    if let Some(path) = write_artifact("window_sensitivity.csv", &windows::to_csv(&rows)) {
+        println!("rows written to {}", path.display());
+    }
+}

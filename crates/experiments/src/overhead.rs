@@ -1,0 +1,211 @@
+//! §VI overhead study: what does the probe cost the application?
+//!
+//! Runs each workload at a moderate and a near-knee load three times with
+//! identical seeds — no probe, native probe, bytecode probe — and compares
+//! p99 tail latency. The paper reports median and upper-quartile overhead
+//! below 1% (typically below 0.5%).
+
+use kscope_analysis::TextTable;
+use kscope_core::{BytecodeBackend, NativeBackend, WindowedObserver, DEFAULT_SHIFT};
+use kscope_kernel::TracepointProbe;
+use kscope_netem::NetemConfig;
+use kscope_simcore::Nanos;
+use kscope_workloads::{all_paper_workloads, run_workload_with, RunConfig, WorkloadSpec};
+
+use crate::Scale;
+
+/// Probe configurations compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeSetup {
+    /// Tracepoints fire with no probe attached.
+    None,
+    /// Native (JIT-model) probe.
+    Native,
+    /// Interpreted bytecode probe.
+    Bytecode,
+}
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Workload name.
+    pub workload: String,
+    /// Fraction of failure RPS offered.
+    pub load_fraction: f64,
+    /// Baseline p99 (no probe), ms.
+    pub p99_base_ms: f64,
+    /// p99 with the native probe, ms.
+    pub p99_native_ms: f64,
+    /// p99 with the bytecode probe, ms.
+    pub p99_bytecode_ms: f64,
+    /// Total probe time charged by the native probe (ns).
+    pub native_probe_ns: u64,
+    /// Total probe time charged by the bytecode probe (ns).
+    pub bytecode_probe_ns: u64,
+    /// Tracepoint firings during the probed run.
+    pub tracepoint_firings: u64,
+}
+
+impl OverheadRow {
+    /// Native-probe p99 overhead, relative.
+    pub fn native_overhead(&self) -> f64 {
+        (self.p99_native_ms - self.p99_base_ms) / self.p99_base_ms
+    }
+
+    /// Bytecode-probe p99 overhead, relative.
+    pub fn bytecode_overhead(&self) -> f64 {
+        (self.p99_bytecode_ms - self.p99_base_ms) / self.p99_base_ms
+    }
+}
+
+fn run_once(spec: &WorkloadSpec, fraction: f64, setup: ProbeSetup, scale: Scale) -> (f64, u64, u64) {
+    let offered = spec.paper_failure_rps * fraction;
+    let mut config = RunConfig::new(offered, 31);
+    config.netem = NetemConfig::loopback();
+    config.collect_trace = false;
+    let samples_target = if scale == Scale::Full { 6_000.0 } else { 1_200.0 };
+    config.warmup = Nanos::from_secs_f64((spec.service_time.mean() / 1e9 * 30.0).max(0.3));
+    config.measure = Nanos::from_secs_f64((samples_target / offered).clamp(1.0, 900.0));
+
+    let outcome = run_workload_with(spec, &config, |sim| {
+        let pids = sim.server_pids();
+        let profile = sim.spec().profile.clone();
+        let window = Nanos::from_secs(3_600); // effectively one window
+        match setup {
+            ProbeSetup::None => Vec::new(),
+            ProbeSetup::Native => vec![Box::new(WindowedObserver::new(
+                NativeBackend::new_multi(pids, profile, DEFAULT_SHIFT),
+                window,
+            )) as Box<dyn TracepointProbe>],
+            ProbeSetup::Bytecode => vec![Box::new(WindowedObserver::new(
+                BytecodeBackend::new_multi(pids, profile, DEFAULT_SHIFT)
+                    .expect("generated programs verify"),
+                window,
+            )) as Box<dyn TracepointProbe>],
+        }
+    });
+    let stats = outcome.kernel.tracing.stats();
+    (
+        outcome.client.p99_latency.as_millis_f64(),
+        stats.probe_overhead.as_nanos(),
+        stats.enters + stats.exits,
+    )
+}
+
+/// Runs the study.
+pub fn run(scale: Scale) -> Vec<OverheadRow> {
+    let specs = all_paper_workloads();
+    let fractions: &[f64] = if scale == Scale::Full {
+        &[0.5, 0.9]
+    } else {
+        &[0.7]
+    };
+    let mut rows = Vec::new();
+    for spec in &specs {
+        for &fraction in fractions {
+            let (p99_base, _, _) = run_once(spec, fraction, ProbeSetup::None, scale);
+            let (p99_native, native_ns, events) = run_once(spec, fraction, ProbeSetup::Native, scale);
+            let (p99_bytecode, bytecode_ns, _) = run_once(spec, fraction, ProbeSetup::Bytecode, scale);
+            rows.push(OverheadRow {
+                workload: spec.name.clone(),
+                load_fraction: fraction,
+                p99_base_ms: p99_base,
+                p99_native_ms: p99_native,
+                p99_bytecode_ms: p99_bytecode,
+                native_probe_ns: native_ns,
+                bytecode_probe_ns: bytecode_ns,
+                tracepoint_firings: events,
+            });
+        }
+    }
+    rows
+}
+
+/// Median of a slice (not necessarily sorted).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    if values.is_empty() {
+        0.0
+    } else {
+        values[values.len() / 2]
+    }
+}
+
+/// Renders the study.
+pub fn render(rows: &[OverheadRow]) -> String {
+    let mut table = TextTable::new(vec![
+        "workload",
+        "load",
+        "p99 base (ms)",
+        "native Δ%",
+        "bytecode Δ%",
+        "native ns/event",
+        "bytecode ns/event",
+    ]);
+    for row in rows {
+        let per_event = |ns: u64| {
+            if row.tracepoint_firings == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}", ns as f64 / row.tracepoint_firings as f64)
+            }
+        };
+        table.row(vec![
+            row.workload.clone(),
+            format!("{:.0}%", row.load_fraction * 100.0),
+            format!("{:.3}", row.p99_base_ms),
+            format!("{:+.3}%", row.native_overhead() * 100.0),
+            format!("{:+.3}%", row.bytecode_overhead() * 100.0),
+            per_event(row.native_probe_ns),
+            per_event(row.bytecode_probe_ns),
+        ]);
+    }
+    let mut native: Vec<f64> = rows.iter().map(|r| r.native_overhead().abs()).collect();
+    let mut bytecode: Vec<f64> = rows.iter().map(|r| r.bytecode_overhead().abs()).collect();
+    let mut out = String::from("§VI — probe overhead on p99 tail latency\n\n");
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nmedian |Δp99|: native {:.2}%, bytecode {:.2}% (paper: < 1%, typically < 0.5%)\n",
+        median(&mut native) * 100.0,
+        median(&mut bytecode) * 100.0
+    ));
+    out
+}
+
+/// CSV form.
+pub fn to_csv(rows: &[OverheadRow]) -> String {
+    let mut table = TextTable::new(vec![
+        "workload",
+        "load_fraction",
+        "p99_base_ms",
+        "p99_native_ms",
+        "p99_bytecode_ms",
+    ]);
+    for row in rows {
+        table.row(vec![
+            row.workload.clone(),
+            format!("{}", row.load_fraction),
+            format!("{:.4}", row.p99_base_ms),
+            format!("{:.4}", row.p99_native_ms),
+            format!("{:.4}", row.p99_bytecode_ms),
+        ]);
+    }
+    table.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kscope_workloads::data_caching;
+
+    #[test]
+    fn probe_overhead_is_small_at_moderate_load() {
+        let spec = data_caching();
+        let (base, _, _) = run_once(&spec, 0.6, ProbeSetup::None, Scale::Quick);
+        let (native, native_ns, events) = run_once(&spec, 0.6, ProbeSetup::Native, Scale::Quick);
+        assert!(events > 0);
+        assert!(native_ns > 0, "probe charged no time");
+        let overhead = (native - base).abs() / base;
+        assert!(overhead < 0.05, "overhead {overhead:.3} (base {base}, probed {native})");
+    }
+}

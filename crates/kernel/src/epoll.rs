@@ -1,0 +1,266 @@
+//! Event-polling (epoll/select) semantics.
+//!
+//! The poll-family syscalls are the paper's idleness signal (Fig. 4): a
+//! thread that calls `epoll_wait` blocks until one of its watched channels
+//! becomes readable, and the *duration* of that block is exactly the
+//! server's idle slack. This module provides the bookkeeping: watch sets,
+//! blocked waiters, and wakeups on delivery.
+
+use std::collections::VecDeque;
+
+use kscope_syscalls::Tid;
+use serde::{Deserialize, Serialize};
+
+use crate::socket::{ChannelId, ChannelTable};
+
+/// Identifier of an epoll (or select fd-set) instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct EpollId(pub u32);
+
+#[derive(Debug, Clone, Default)]
+struct EpollInstance {
+    watched: Vec<ChannelId>,
+    waiters: VecDeque<Tid>,
+}
+
+/// All epoll instances of the simulated host.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_kernel::{ChannelTable, EpollTable, Message};
+/// use kscope_simcore::Nanos;
+///
+/// let mut channels = ChannelTable::new();
+/// let mut epolls = EpollTable::new();
+/// let conn = channels.create();
+/// let ep = epolls.create();
+/// epolls.watch(ep, conn);
+///
+/// // Nothing readable: the caller must block.
+/// assert!(epolls.ready_channels(ep, &channels).is_empty());
+/// epolls.block(ep, 42);
+///
+/// // Delivery wakes the blocked thread.
+/// channels.deliver(conn, Message { request: 1, bytes: 8, enqueued_at: Nanos::ZERO });
+/// assert_eq!(epolls.on_readable(conn), vec![(ep, 42)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpollTable {
+    instances: Vec<EpollInstance>,
+}
+
+impl EpollTable {
+    /// Creates an empty table.
+    pub fn new() -> EpollTable {
+        EpollTable::default()
+    }
+
+    /// Creates a new epoll instance (`epoll_create1`).
+    pub fn create(&mut self) -> EpollId {
+        let id = EpollId(self.instances.len() as u32);
+        self.instances.push(EpollInstance::default());
+        id
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True if no instances exist.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Adds a channel to an instance's watch set (`epoll_ctl ADD`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown epoll id or a duplicate watch.
+    pub fn watch(&mut self, ep: EpollId, channel: ChannelId) {
+        let inst = &mut self.instances[ep.0 as usize];
+        assert!(
+            !inst.watched.contains(&channel),
+            "channel {channel:?} already watched by {ep:?}"
+        );
+        inst.watched.push(channel);
+    }
+
+    /// The watched channels of an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown epoll id.
+    pub fn watched(&self, ep: EpollId) -> &[ChannelId] {
+        &self.instances[ep.0 as usize].watched
+    }
+
+    /// Channels of `ep` that are currently readable (level-triggered).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown epoll id.
+    pub fn ready_channels(&self, ep: EpollId, channels: &ChannelTable) -> Vec<ChannelId> {
+        self.instances[ep.0 as usize]
+            .watched
+            .iter()
+            .copied()
+            .filter(|&c| channels.is_readable(c))
+            .collect()
+    }
+
+    /// Registers `tid` as blocked in `epoll_wait` on `ep`.
+    ///
+    /// The caller is responsible for first checking
+    /// [`ready_channels`](Self::ready_channels) — blocking with data pending
+    /// is a driver bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown epoll id or if the thread is already blocked
+    /// on this instance.
+    pub fn block(&mut self, ep: EpollId, tid: Tid) {
+        let inst = &mut self.instances[ep.0 as usize];
+        assert!(
+            !inst.waiters.contains(&tid),
+            "thread {tid} already blocked on {ep:?}"
+        );
+        inst.waiters.push_back(tid);
+    }
+
+    /// Number of threads blocked on an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown epoll id.
+    pub fn blocked_count(&self, ep: EpollId) -> usize {
+        self.instances[ep.0 as usize].waiters.len()
+    }
+
+    /// Called when `channel` becomes readable: wakes at most one waiter per
+    /// watching instance (no thundering herd, as with modern epoll).
+    ///
+    /// Returns `(instance, thread)` pairs for every wakeup; the driver
+    /// completes those threads' `epoll_wait` calls.
+    pub fn on_readable(&mut self, channel: ChannelId) -> Vec<(EpollId, Tid)> {
+        let mut wakeups = Vec::new();
+        for (idx, inst) in self.instances.iter_mut().enumerate() {
+            if inst.watched.contains(&channel) {
+                if let Some(tid) = inst.waiters.pop_front() {
+                    wakeups.push((EpollId(idx as u32), tid));
+                }
+            }
+        }
+        wakeups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::socket::Message;
+    use kscope_simcore::Nanos;
+
+    fn msg(request: u64) -> Message {
+        Message {
+            request,
+            bytes: 16,
+            enqueued_at: Nanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn ready_channels_is_level_triggered() {
+        let mut channels = ChannelTable::new();
+        let mut epolls = EpollTable::new();
+        let a = channels.create();
+        let b = channels.create();
+        let ep = epolls.create();
+        epolls.watch(ep, a);
+        epolls.watch(ep, b);
+        assert!(epolls.ready_channels(ep, &channels).is_empty());
+        channels.deliver(a, msg(1));
+        channels.deliver(a, msg(2));
+        channels.deliver(b, msg(3));
+        assert_eq!(epolls.ready_channels(ep, &channels), vec![a, b]);
+        channels.recv(a);
+        // One message still pending on a: still ready (level-triggered).
+        assert_eq!(epolls.ready_channels(ep, &channels), vec![a, b]);
+    }
+
+    #[test]
+    fn wakes_one_waiter_per_instance() {
+        let mut channels = ChannelTable::new();
+        let mut epolls = EpollTable::new();
+        let conn = channels.create();
+        let ep = epolls.create();
+        epolls.watch(ep, conn);
+        epolls.block(ep, 10);
+        epolls.block(ep, 11);
+        channels.deliver(conn, msg(1));
+        assert_eq!(epolls.on_readable(conn), vec![(ep, 10)]);
+        assert_eq!(epolls.blocked_count(ep), 1);
+        channels.deliver(conn, msg(2));
+        assert_eq!(epolls.on_readable(conn), vec![(ep, 11)]);
+        assert_eq!(epolls.blocked_count(ep), 0);
+        // Nobody left to wake.
+        channels.deliver(conn, msg(3));
+        assert!(epolls.on_readable(conn).is_empty());
+    }
+
+    #[test]
+    fn wakeups_go_to_every_watching_instance() {
+        let mut channels = ChannelTable::new();
+        let mut epolls = EpollTable::new();
+        let conn = channels.create();
+        let ep1 = epolls.create();
+        let ep2 = epolls.create();
+        epolls.watch(ep1, conn);
+        epolls.watch(ep2, conn);
+        epolls.block(ep1, 20);
+        epolls.block(ep2, 21);
+        channels.deliver(conn, msg(1));
+        let wakeups = epolls.on_readable(conn);
+        assert_eq!(wakeups, vec![(ep1, 20), (ep2, 21)]);
+    }
+
+    #[test]
+    fn waiters_wake_in_fifo_order() {
+        let mut epolls = EpollTable::new();
+        let mut channels = ChannelTable::new();
+        let conn = channels.create();
+        let ep = epolls.create();
+        epolls.watch(ep, conn);
+        for tid in [5, 6, 7] {
+            epolls.block(ep, tid);
+        }
+        channels.deliver(conn, msg(1));
+        assert_eq!(epolls.on_readable(conn)[0].1, 5);
+        channels.deliver(conn, msg(2));
+        assert_eq!(epolls.on_readable(conn)[0].1, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "already watched")]
+    fn duplicate_watch_panics() {
+        let mut channels = ChannelTable::new();
+        let mut epolls = EpollTable::new();
+        let conn = channels.create();
+        let ep = epolls.create();
+        epolls.watch(ep, conn);
+        epolls.watch(ep, conn);
+    }
+
+    #[test]
+    #[should_panic(expected = "already blocked")]
+    fn double_block_panics() {
+        let mut epolls = EpollTable::new();
+        let ep = epolls.create();
+        epolls.block(ep, 1);
+        epolls.block(ep, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Host hardware profiles (the simulator's stand-in for Table I).
+//!
+//! The paper evaluates on two physical servers; here a [`HostSpec`] fixes
+//! the core count (which bounds server capacity) and documents the rest of
+//! the configuration so the `table1_system_spec` experiment can print the
+//! same table shape.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated host.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Marketing name of the CPU.
+    pub cpu_model: String,
+    /// OS / kernel string (informational).
+    pub os: String,
+    /// Number of sockets.
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Hardware threads per core.
+    pub threads_per_core: u32,
+    /// Minimum core frequency in MHz.
+    pub min_freq_mhz: u32,
+    /// Maximum core frequency in MHz.
+    pub max_freq_mhz: u32,
+    /// Memory capacity in GiB.
+    pub memory_gib: u32,
+}
+
+impl HostSpec {
+    /// The AMD EPYC 7302 server of Table I.
+    pub fn amd_epyc_7302() -> HostSpec {
+        HostSpec {
+            cpu_model: "AMD EPYC 7302".to_string(),
+            os: "Ubuntu 20.04.1 (5.15.0-52-generic)".to_string(),
+            sockets: 2,
+            cores_per_socket: 16,
+            threads_per_core: 2,
+            min_freq_mhz: 1500,
+            max_freq_mhz: 3000,
+            memory_gib: 512,
+        }
+    }
+
+    /// The Intel Xeon E5-2620 server of Table I.
+    pub fn intel_xeon_e5_2620() -> HostSpec {
+        HostSpec {
+            cpu_model: "Intel Xeon CPU E5-2620".to_string(),
+            os: "Red Hat 4.8.5-36 (4.20.13-1.el7.elrepo)".to_string(),
+            sockets: 2,
+            cores_per_socket: 8,
+            threads_per_core: 1,
+            min_freq_mhz: 1200,
+            max_freq_mhz: 3000,
+            memory_gib: 128,
+        }
+    }
+
+    /// Total hardware threads (the scheduler's core count).
+    pub fn logical_cpus(&self) -> u32 {
+        self.sockets * self.cores_per_socket * self.threads_per_core
+    }
+
+    /// Total physical cores.
+    pub fn physical_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+}
+
+impl Default for HostSpec {
+    /// Defaults to the AMD server, the one whose failure-RPS values the
+    /// paper reports.
+    fn default() -> Self {
+        HostSpec::amd_epyc_7302()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amd_matches_table_one() {
+        let amd = HostSpec::amd_epyc_7302();
+        assert_eq!(amd.sockets, 2);
+        assert_eq!(amd.cores_per_socket, 16);
+        assert_eq!(amd.threads_per_core, 2);
+        assert_eq!(amd.logical_cpus(), 64);
+        assert_eq!(amd.physical_cores(), 32);
+    }
+
+    #[test]
+    fn intel_matches_table_one() {
+        let intel = HostSpec::intel_xeon_e5_2620();
+        assert_eq!(intel.logical_cpus(), 16);
+        assert_eq!(intel.physical_cores(), 16);
+        assert_eq!(intel.memory_gib, 128);
+    }
+
+    #[test]
+    fn default_is_amd() {
+        assert_eq!(HostSpec::default(), HostSpec::amd_epyc_7302());
+    }
+
+    #[test]
+    fn kernel_for_host_sizes_the_scheduler() {
+        use crate::{Kernel, SchedConfig};
+        let kernel = Kernel::for_host(HostSpec::intel_xeon_e5_2620(), SchedConfig::default());
+        assert_eq!(kernel.sched.cores(), 16);
+        assert_eq!(kernel.host.cpu_model, "Intel Xeon CPU E5-2620");
+    }
+}

@@ -1,0 +1,336 @@
+//! Multicore CPU scheduling with run-queue contention.
+//!
+//! The scheduler is the mechanism behind the paper's saturation signals:
+//! below the capacity knee a worker thread gets a core immediately and the
+//! send stream inherits the arrival process's spacing; past the knee,
+//! threads queue for cores, completions cluster into bursts separated by
+//! service-length gaps, and the variance of inter-send deltas climbs
+//! (Fig. 3) while poll durations collapse to their floor (Fig. 4).
+//!
+//! The model is non-preemptive FCFS over `cores` identical cores, with a
+//! fixed context-switch cost when dispatching from the run queue and a
+//! contention jitter term that grows with the instantaneous queue length
+//! (standing in for cache pollution, lock contention, and scheduler noise —
+//! the "irregular activity patterns" of §III-B).
+
+use std::collections::VecDeque;
+
+use kscope_simcore::{Nanos, SimRng};
+use kscope_syscalls::Tid;
+use serde::{Deserialize, Serialize};
+
+/// Scheduler tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Cost of dispatching a thread from the run queue (context switch).
+    pub csw_cost: Nanos,
+    /// Mean of the exponential contention jitter added per queued waiter at
+    /// dispatch time, in nanoseconds. Zero disables jitter.
+    pub jitter_per_waiter_ns: f64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            csw_cost: Nanos::from_micros(3),
+            jitter_per_waiter_ns: 2_000.0,
+        }
+    }
+}
+
+/// A granted CPU slice: `tid` runs until `finish`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeGrant {
+    /// The thread now running.
+    pub tid: Tid,
+    /// Absolute completion instant; the driver must call
+    /// [`CpuScheduler::complete`] at this time.
+    pub finish: Nanos,
+}
+
+/// Aggregate scheduler statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Compute requests that got a core immediately.
+    pub immediate: u64,
+    /// Compute requests that had to queue.
+    pub queued: u64,
+    /// Total time spent waiting in the run queue.
+    pub total_wait: Nanos,
+    /// Largest run-queue depth observed.
+    pub max_queue_depth: usize,
+    /// Total busy core-time granted.
+    pub busy_time: Nanos,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiting {
+    tid: Tid,
+    demand: Nanos,
+    since: Nanos,
+}
+
+/// Non-preemptive FCFS multicore scheduler.
+///
+/// The scheduler is passive bookkeeping: the discrete-event driver calls
+/// [`submit`](CpuScheduler::submit) when a thread wants CPU and
+/// [`complete`](CpuScheduler::complete) when a granted slice finishes, and
+/// schedules engine events for the returned [`ComputeGrant`]s.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_kernel::{CpuScheduler, SchedConfig};
+/// use kscope_simcore::{Nanos, SimRng};
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let mut sched = CpuScheduler::new(1, SchedConfig { csw_cost: Nanos::ZERO, jitter_per_waiter_ns: 0.0 });
+/// let grant = sched.submit(7, Nanos::from_micros(10), Nanos::ZERO, &mut rng).unwrap();
+/// assert_eq!(grant.finish, Nanos::from_micros(10));
+/// // A second thread queues behind the first.
+/// assert!(sched.submit(8, Nanos::from_micros(5), Nanos::from_micros(1), &mut rng).is_none());
+/// let next = sched.complete(7, grant.finish, &mut rng).unwrap();
+/// assert_eq!(next.tid, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuScheduler {
+    cores: u32,
+    busy: Vec<Tid>,
+    run_queue: VecDeque<Waiting>,
+    config: SchedConfig,
+    stats: SchedStats,
+}
+
+impl CpuScheduler {
+    /// Creates a scheduler with `cores` identical cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: u32, config: SchedConfig) -> CpuScheduler {
+        assert!(cores > 0, "a scheduler needs at least one core");
+        CpuScheduler {
+            cores,
+            busy: Vec::with_capacity(cores as usize),
+            run_queue: VecDeque::new(),
+            config,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Number of currently busy cores.
+    pub fn busy_cores(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Current run-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.run_queue.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Requests `demand` of CPU time for `tid` starting at `now`.
+    ///
+    /// Returns the grant when a core is free; otherwise the thread queues
+    /// and a grant will be returned by a later [`complete`](Self::complete).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is already running or queued.
+    pub fn submit(
+        &mut self,
+        tid: Tid,
+        demand: Nanos,
+        now: Nanos,
+        rng: &mut SimRng,
+    ) -> Option<ComputeGrant> {
+        assert!(
+            !self.busy.contains(&tid) && !self.run_queue.iter().any(|w| w.tid == tid),
+            "thread {tid} already owns or awaits a core"
+        );
+        if (self.busy.len() as u32) < self.cores {
+            self.busy.push(tid);
+            self.stats.immediate += 1;
+            let demand = self.with_jitter(demand, rng);
+            self.stats.busy_time += demand;
+            Some(ComputeGrant {
+                tid,
+                finish: now + demand,
+            })
+        } else {
+            self.run_queue.push_back(Waiting {
+                tid,
+                demand,
+                since: now,
+            });
+            self.stats.queued += 1;
+            self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.run_queue.len());
+            None
+        }
+    }
+
+    /// Marks `tid`'s slice complete at `now` and dispatches the next queued
+    /// thread, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not currently running.
+    pub fn complete(&mut self, tid: Tid, now: Nanos, rng: &mut SimRng) -> Option<ComputeGrant> {
+        let idx = self
+            .busy
+            .iter()
+            .position(|&t| t == tid)
+            .unwrap_or_else(|| panic!("thread {tid} is not running"));
+        self.busy.swap_remove(idx);
+        let next = self.run_queue.pop_front()?;
+        self.busy.push(next.tid);
+        self.stats.total_wait += now.saturating_sub(next.since);
+        let demand = self.config.csw_cost + self.with_jitter(next.demand, rng);
+        self.stats.busy_time += demand;
+        Some(ComputeGrant {
+            tid: next.tid,
+            finish: now + demand,
+        })
+    }
+
+    /// Inflates a demand with contention jitter proportional to the current
+    /// run-queue depth.
+    fn with_jitter(&self, demand: Nanos, rng: &mut SimRng) -> Nanos {
+        let waiters = self.run_queue.len();
+        if waiters == 0 || self.config.jitter_per_waiter_ns <= 0.0 {
+            return demand;
+        }
+        let mean = self.config.jitter_per_waiter_ns * waiters as f64;
+        let extra = rng.next_exponential(1.0 / mean);
+        demand + Nanos::from_nanos(extra.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config() -> SchedConfig {
+        SchedConfig {
+            csw_cost: Nanos::ZERO,
+            jitter_per_waiter_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn grants_up_to_core_count_immediately() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut sched = CpuScheduler::new(2, quiet_config());
+        assert!(sched
+            .submit(1, Nanos::from_micros(10), Nanos::ZERO, &mut rng)
+            .is_some());
+        assert!(sched
+            .submit(2, Nanos::from_micros(10), Nanos::ZERO, &mut rng)
+            .is_some());
+        assert!(sched
+            .submit(3, Nanos::from_micros(10), Nanos::ZERO, &mut rng)
+            .is_none());
+        assert_eq!(sched.busy_cores(), 2);
+        assert_eq!(sched.queue_depth(), 1);
+    }
+
+    #[test]
+    fn fcfs_order_is_respected() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut sched = CpuScheduler::new(1, quiet_config());
+        let g1 = sched
+            .submit(1, Nanos::from_micros(5), Nanos::ZERO, &mut rng)
+            .unwrap();
+        sched.submit(2, Nanos::from_micros(5), Nanos::ZERO, &mut rng);
+        sched.submit(3, Nanos::from_micros(5), Nanos::ZERO, &mut rng);
+        let g2 = sched.complete(1, g1.finish, &mut rng).unwrap();
+        assert_eq!(g2.tid, 2);
+        let g3 = sched.complete(2, g2.finish, &mut rng).unwrap();
+        assert_eq!(g3.tid, 3);
+        assert!(sched.complete(3, g3.finish, &mut rng).is_none());
+        assert_eq!(sched.busy_cores(), 0);
+    }
+
+    #[test]
+    fn context_switch_cost_applies_to_queued_dispatch() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let config = SchedConfig {
+            csw_cost: Nanos::from_micros(1),
+            jitter_per_waiter_ns: 0.0,
+        };
+        let mut sched = CpuScheduler::new(1, config);
+        let g1 = sched
+            .submit(1, Nanos::from_micros(10), Nanos::ZERO, &mut rng)
+            .unwrap();
+        assert_eq!(g1.finish, Nanos::from_micros(10)); // no csw when immediate
+        sched.submit(2, Nanos::from_micros(10), Nanos::ZERO, &mut rng);
+        let g2 = sched.complete(1, g1.finish, &mut rng).unwrap();
+        assert_eq!(g2.finish, Nanos::from_micros(21)); // 10 + 10 + 1 csw
+    }
+
+    #[test]
+    fn wait_time_is_accounted() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut sched = CpuScheduler::new(1, quiet_config());
+        let g1 = sched
+            .submit(1, Nanos::from_micros(10), Nanos::ZERO, &mut rng)
+            .unwrap();
+        sched.submit(2, Nanos::from_micros(1), Nanos::from_micros(2), &mut rng);
+        sched.complete(1, g1.finish, &mut rng);
+        assert_eq!(sched.stats().total_wait, Nanos::from_micros(8));
+        assert_eq!(sched.stats().immediate, 1);
+        assert_eq!(sched.stats().queued, 1);
+        assert_eq!(sched.stats().max_queue_depth, 1);
+    }
+
+    #[test]
+    fn jitter_grows_with_queue_depth() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let config = SchedConfig {
+            csw_cost: Nanos::ZERO,
+            jitter_per_waiter_ns: 10_000.0,
+        };
+        let mut sched = CpuScheduler::new(1, config);
+        let g = sched
+            .submit(1, Nanos::from_micros(1), Nanos::ZERO, &mut rng)
+            .unwrap();
+        // No waiters at submit time: no jitter.
+        assert_eq!(g.finish, Nanos::from_micros(1));
+        for tid in 2..12 {
+            sched.submit(tid, Nanos::from_micros(1), Nanos::ZERO, &mut rng);
+        }
+        // With 9 threads still queued behind, dispatch demand is inflated.
+        let g2 = sched.complete(1, g.finish, &mut rng).unwrap();
+        assert!(
+            g2.finish > g.finish + Nanos::from_micros(1),
+            "expected contention jitter, got finish {}",
+            g2.finish
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already owns")]
+    fn double_submit_panics() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut sched = CpuScheduler::new(1, quiet_config());
+        sched.submit(1, Nanos::from_micros(1), Nanos::ZERO, &mut rng);
+        sched.submit(1, Nanos::from_micros(1), Nanos::ZERO, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not running")]
+    fn completing_unknown_thread_panics() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut sched = CpuScheduler::new(1, quiet_config());
+        sched.complete(9, Nanos::ZERO, &mut rng);
+    }
+}

@@ -1,0 +1,187 @@
+//! Syscall event records, as observed from the `sys_enter`/`sys_exit`
+//! tracepoints.
+
+use core::fmt;
+
+use kscope_simcore::Nanos;
+use serde::{Deserialize, Serialize};
+
+use crate::no::SyscallNo;
+
+/// A thread id (Linux: the value `gettid` returns, kernel-side `pid`).
+pub type Tid = u32;
+/// A process id (Linux: the thread-group id, kernel-side `tgid`).
+pub type Pid = u32;
+
+/// Packs a `(tgid, pid)` pair the way `bpf_get_current_pid_tgid` does:
+/// tgid in the upper 32 bits, tid in the lower.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_syscalls::{pid_tgid, split_pid_tgid};
+///
+/// let packed = pid_tgid(1200, 1203);
+/// assert_eq!(split_pid_tgid(packed), (1200, 1203));
+/// ```
+#[inline]
+pub fn pid_tgid(tgid: Pid, tid: Tid) -> u64 {
+    ((tgid as u64) << 32) | tid as u64
+}
+
+/// Splits a packed `pid_tgid` back into `(tgid, tid)`.
+#[inline]
+pub fn split_pid_tgid(packed: u64) -> (Pid, Tid) {
+    ((packed >> 32) as Pid, packed as Tid)
+}
+
+/// A completed system call: the pairing of one `sys_enter` with its matching
+/// `sys_exit`, exactly what the paper's Listing 1 reconstructs inside eBPF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SyscallEvent {
+    /// Thread that issued the call.
+    pub tid: Tid,
+    /// Process (thread group) the thread belongs to.
+    pub pid: Pid,
+    /// Which system call.
+    pub no: SyscallNo,
+    /// Timestamp of `sys_enter`.
+    pub enter: Nanos,
+    /// Timestamp of `sys_exit`.
+    pub exit: Nanos,
+    /// Return value (bytes transferred for I/O calls, ready-fd count for
+    /// polls, 0/-errno otherwise).
+    pub ret: i64,
+}
+
+impl SyscallEvent {
+    /// Duration spent inside the kernel for this call.
+    ///
+    /// For poll-family syscalls this is the quantity the paper's slack
+    /// estimator averages (Fig. 4).
+    #[inline]
+    pub fn duration(&self) -> Nanos {
+        self.exit.saturating_sub(self.enter)
+    }
+
+    /// The packed `pid_tgid` value an eBPF program would observe.
+    #[inline]
+    pub fn pid_tgid(&self) -> u64 {
+        pid_tgid(self.pid, self.tid)
+    }
+}
+
+impl fmt::Display for SyscallEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{enter}] {no}(tid={tid}) = {ret} ({dur})",
+            enter = self.enter,
+            no = self.no,
+            tid = self.tid,
+            ret = self.ret,
+            dur = self.duration()
+        )
+    }
+}
+
+/// Which edge of the syscall a tracepoint callback is observing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TracePhase {
+    /// `raw_syscalls:sys_enter`.
+    Enter,
+    /// `raw_syscalls:sys_exit`.
+    Exit,
+}
+
+/// The context handed to a tracepoint probe — the fields an eBPF program
+/// attached to `raw_syscalls:sys_enter`/`sys_exit` can actually read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TracepointCtx {
+    /// Which edge fired.
+    pub phase: TracePhase,
+    /// Syscall id (`args->id`).
+    pub no: SyscallNo,
+    /// Packed `bpf_get_current_pid_tgid()`.
+    pub pid_tgid: u64,
+    /// Current `bpf_ktime_get_ns()`.
+    pub ktime: Nanos,
+    /// Return value; only meaningful on [`TracePhase::Exit`].
+    pub ret: i64,
+}
+
+impl TracepointCtx {
+    /// The thread-group (process) id encoded in `pid_tgid`.
+    #[inline]
+    pub fn tgid(&self) -> Pid {
+        split_pid_tgid(self.pid_tgid).0
+    }
+
+    /// The thread id encoded in `pid_tgid`.
+    #[inline]
+    pub fn tid(&self) -> Tid {
+        split_pid_tgid(self.pid_tgid).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> SyscallEvent {
+        SyscallEvent {
+            tid: 1203,
+            pid: 1200,
+            no: SyscallNo::EPOLL_WAIT,
+            enter: Nanos::from_micros(100),
+            exit: Nanos::from_micros(350),
+            ret: 1,
+        }
+    }
+
+    #[test]
+    fn duration_is_exit_minus_enter() {
+        assert_eq!(sample_event().duration(), Nanos::from_micros(250));
+    }
+
+    #[test]
+    fn duration_saturates_on_clock_skew() {
+        let mut ev = sample_event();
+        ev.exit = Nanos::from_micros(50);
+        assert_eq!(ev.duration(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn pid_tgid_packing_matches_bpf_helper_layout() {
+        let packed = pid_tgid(0xAABB_CCDD, 0x1122_3344);
+        assert_eq!(packed >> 32, 0xAABB_CCDD);
+        assert_eq!(packed & 0xFFFF_FFFF, 0x1122_3344);
+        assert_eq!(split_pid_tgid(packed), (0xAABB_CCDD, 0x1122_3344));
+    }
+
+    #[test]
+    fn event_pid_tgid_uses_process_then_thread() {
+        let ev = sample_event();
+        assert_eq!(split_pid_tgid(ev.pid_tgid()), (1200, 1203));
+    }
+
+    #[test]
+    fn tracepoint_ctx_accessors() {
+        let ctx = TracepointCtx {
+            phase: TracePhase::Exit,
+            no: SyscallNo::SENDTO,
+            pid_tgid: pid_tgid(10, 12),
+            ktime: Nanos::from_nanos(5),
+            ret: 128,
+        };
+        assert_eq!(ctx.tgid(), 10);
+        assert_eq!(ctx.tid(), 12);
+    }
+
+    #[test]
+    fn display_is_reasonably_informative() {
+        let s = sample_event().to_string();
+        assert!(s.contains("epoll_wait"));
+        assert!(s.contains("tid=1203"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # kscope-workloads
+//!
+//! The nine latency-sensitive applications of the paper's evaluation
+//! (§IV-A) as discrete-event server models, plus the open-loop client and
+//! the runner that measures ground truth.
+//!
+//! Each [`WorkloadSpec`] combines a syscall profile, a threading model
+//! (worker pool / two-stage / dispatch pool — the diversity the paper
+//! selected its workloads for), calibrated service-time distributions, and
+//! a QoS threshold. [`run_workload`] drives the model against a
+//! [`NetemConfig`](kscope_netem::NetemConfig) and returns both the
+//! client-observed ground truth ([`ClientStats`]) and the server-side
+//! syscall evidence (the kernel's trace and any attached probes' state) —
+//! the two sides whose correlation the paper measures.
+//!
+//! # Examples
+//!
+//! ```
+//! use kscope_workloads::{data_caching, run_workload, RunConfig};
+//!
+//! let spec = data_caching();
+//! let config = RunConfig::new(spec.paper_failure_rps * 0.3, 1).quick();
+//! let outcome = run_workload(&spec, &config, Vec::new());
+//! assert!(outcome.client.completed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod run;
+mod server;
+mod spec;
+
+pub use run::{run_workload, run_workload_with, ClientStats, RunConfig, RunOutcome};
+pub use server::{Completion, Ev, ServerSim};
+pub use spec::{
+    all_paper_workloads, data_caching, echo_single_thread, img_dnn, moses, silo, specjbb,
+    triton_grpc, triton_http, web_search, xapian, ThreadingModel, WorkloadSpec,
+};
