@@ -1,7 +1,5 @@
 //! Fixed-width histograms for duration and delta distributions.
 
-use serde::{Deserialize, Serialize};
-
 /// A linear fixed-width histogram over `[lo, hi)` with under/overflow bins.
 ///
 /// # Examples
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.bin_counts()[0], 2); // [0, 2)
 /// assert_eq!(h.overflow(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -5,8 +5,6 @@
 //! ([`percentile_of_sorted`]); long-running monitors can instead use the
 //! constant-space P² estimator ([`P2Quantile`], Jain & Chlamtac 1985).
 
-use serde::{Deserialize, Serialize};
-
 /// Exact percentile of a **sorted ascending** slice with linear
 /// interpolation between closest ranks.
 ///
@@ -69,7 +67,7 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
 /// let est = p99.estimate().unwrap();
 /// assert!((est - 9_900.0).abs() < 150.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct P2Quantile {
     q: f64,
     /// Marker heights.

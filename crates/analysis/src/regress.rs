@@ -5,8 +5,6 @@
 //! deltas) and real RPS (reported by the benchmark), plus residual scatter
 //! plots around that fit. [`LinearFit`] implements exactly that analysis.
 
-use serde::{Deserialize, Serialize};
-
 /// The result of an ordinary least-squares fit `y ≈ slope·x + intercept`.
 ///
 /// # Examples
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((fit.slope - 2.0).abs() < 0.1);
 /// assert!(fit.r_squared > 0.99);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Fitted slope.
     pub slope: f64,

@@ -7,8 +7,6 @@
 //! (`kscope-core`), which deliberately uses the paper's naive
 //! `E[x²] − E[x]²` form (Eq. 2) because that is what fits in eBPF.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford mean/variance accumulator.
 ///
 /// # Examples
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(acc.mean(), 5.0);
 /// assert_eq!(acc.population_variance(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -120,7 +118,7 @@ impl FromIterator<f64> for Welford {
 }
 
 /// Running minimum / maximum / sum tracker.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Extrema {
     count: u64,
     min: f64,

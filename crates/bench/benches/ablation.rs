@@ -6,7 +6,7 @@
 //! variance knee disappears), so `cargo bench` doubles as an ablation
 //! study.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_microbench::{criterion_group, criterion_main, Criterion};
 use kscope_experiments::{fig3, sweep::SweepConfig};
 use kscope_netem::{LossModel, NetemConfig, NetemLink};
 use kscope_simcore::{Nanos, SimRng};

@@ -4,7 +4,7 @@
 //! performance. (The paper-scale versions are the `kscope-experiments`
 //! binaries; see EXPERIMENTS.md.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_microbench::{criterion_group, criterion_main, Criterion};
 use kscope_experiments::{fig1, fig2, fig3, fig4, fig5, overhead, sweep, table1, Scale};
 use kscope_workloads::data_caching;
 use std::hint::black_box;

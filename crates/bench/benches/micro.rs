@@ -2,7 +2,7 @@
 //! (the quantity §VI's overhead argument rests on), eBPF interpreter
 //! throughput, map operations, and the event engine itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_microbench::{criterion_group, criterion_main, Criterion};
 use kscope_core::{BytecodeBackend, MetricBackend, NativeBackend, DEFAULT_SHIFT};
 use kscope_ebpf::asm::Asm;
 use kscope_ebpf::insn::{R0, R1, SZ_DW};

@@ -1,14 +1,12 @@
 //! The userspace agent: estimators composed over an observer's windows.
 
-use serde::{Deserialize, Serialize};
-
 use crate::counters::WindowMetrics;
 use crate::estimators::{
     RpsEstimator, SaturationAssessment, SaturationDetector, SlackAssessment, SlackEstimator,
 };
 
 /// Everything the agent derived from one window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgentReport {
     /// The window's raw metrics.
     pub window: WindowMetrics,

@@ -7,7 +7,6 @@
 //! value; natively they are plain fields.
 
 use kscope_simcore::Nanos;
-use serde::{Deserialize, Serialize};
 
 use crate::fixed::ScaledAcc;
 
@@ -42,7 +41,7 @@ pub mod offsets {
 }
 
 /// Decoded contents of the stats cells.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RawCounters {
     /// Inter-send deltas (Eq. 1 numerator / Eq. 2 input).
     pub send: ScaledAcc,
@@ -117,7 +116,7 @@ impl RawCounters {
 
 /// Metrics derived from one observation window — what the userspace agent
 /// hands to the estimators.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowMetrics {
     /// Window start.
     pub start: Nanos,

@@ -6,8 +6,6 @@
 //! * [`SlackEstimator`] — saturation slack from mean poll duration
 //!   (§IV-C2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::counters::WindowMetrics;
 
 /// The paper's recommended minimum sample count for a stable Eq. 1
@@ -30,7 +28,7 @@ pub const PAPER_MIN_SAMPLES: u64 = 2048;
 /// let est = RpsEstimator::default();
 /// assert!((est.from_window(&w).unwrap() - 1_000.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RpsEstimator {
     /// Minimum send samples for a confident estimate.
     pub min_samples: u64,
@@ -77,7 +75,7 @@ impl RpsEstimator {
 }
 
 /// Saturation assessment from the variance signal.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaturationAssessment {
     /// Whether the detector currently flags saturation.
     pub saturated: bool,
@@ -99,7 +97,7 @@ pub struct SaturationAssessment {
 /// stops growing — the detector flags windows whose variance exceeds the
 /// floor by `rise_factor` while throughput is within `rps_band` of the
 /// maximum seen.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SaturationDetector {
     /// Variance must exceed its floor by this factor.
     pub rise_factor: f64,
@@ -163,7 +161,7 @@ impl SaturationDetector {
 }
 
 /// Slack assessment from the poll-duration signal.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlackAssessment {
     /// Mean poll duration in this window (ns).
     pub poll_mean_ns: f64,
@@ -179,7 +177,7 @@ pub struct SlackAssessment {
 /// saturation. Headroom is the window's mean poll duration positioned
 /// between the floor and the largest (idlest) mean seen, on a log scale —
 /// poll durations span orders of magnitude across the load range.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlackEstimator {
     /// Poll-duration floor in ns (syscall overhead at zero idleness).
     pub floor_ns: f64,

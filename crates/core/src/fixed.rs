@@ -7,8 +7,6 @@
 //! window lengths, and Eq. 2's naive `E[x²] − E[x]²` form is evaluated in
 //! `u128` only at *read* time (userspace), never in kernel context.
 
-use serde::{Deserialize, Serialize};
-
 /// Default scaling shift: 10 bits ≈ microsecond resolution for
 /// nanosecond inputs.
 pub const DEFAULT_SHIFT: u32 = 10;
@@ -30,7 +28,7 @@ pub const DEFAULT_SHIFT: u32 = 10;
 /// assert_eq!(acc.mean(), Some(5.0));
 /// assert_eq!(acc.variance(), Some(4.0));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScaledAcc {
     shift: u32,
     /// Number of samples.

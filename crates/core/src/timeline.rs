@@ -10,10 +10,9 @@
 
 use kscope_simcore::Nanos;
 use kscope_syscalls::{SyscallEvent, SyscallProfile, SyscallRole, Tid, Trace};
-use serde::{Deserialize, Serialize};
 
 /// One reconstructed request: a recv/send pair on the same thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestSpan {
     /// Thread that served the request.
     pub tid: Tid,
@@ -31,7 +30,7 @@ impl RequestSpan {
 }
 
 /// Result of a reconstruction pass.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimelineReport {
     /// Paired requests, in completion order.
     pub spans: Vec<RequestSpan>,

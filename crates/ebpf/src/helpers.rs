@@ -4,10 +4,8 @@
 //! against this runtime read like genuine bcc/libbpf output (the paper's
 //! Listing 1 calls `bpf_ktime_get_ns` and `bpf_get_current_pid_tgid`).
 
-use serde::{Deserialize, Serialize};
-
 /// The helpers this runtime implements, with their Linux helper ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(i32)]
 pub enum Helper {
     /// `void *bpf_map_lookup_elem(map, key)` — id 1.

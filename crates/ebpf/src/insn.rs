@@ -8,8 +8,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Register identifier (`r0`–`r10`).
 pub type Reg = u8;
 
@@ -159,7 +157,7 @@ pub const PSEUDO_MAP_FD: u8 = 1;
 /// let mov = Insn::mov64_reg(R2, R1);
 /// assert_eq!(Insn::decode(mov.encode()), mov);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Insn {
     /// Opcode byte (class | size/op | mode/src).
     pub code: u8,

@@ -7,8 +7,6 @@
 //! predicts, and an unverified program faults with a descriptive
 //! [`ExecError`] instead of corrupting memory.
 
-use serde::{Deserialize, Serialize};
-
 use crate::helpers::Helper;
 use crate::insn::{
     CLS_ALU, CLS_ALU64, CLS_JMP, CLS_JMP32, CLS_LD, CLS_LDX, CLS_ST, CLS_STX, OP_ADD, OP_AND, OP_ARSH,
@@ -33,7 +31,7 @@ const MAP_HANDLE_BASE: u64 = 0x4000_0000_0000;
 pub const DEFAULT_INSN_BUDGET: u64 = 1 << 20;
 
 /// Per-invocation inputs for the stateful helpers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecEnv {
     /// Value returned by `bpf_ktime_get_ns`.
     pub ktime_ns: u64,
@@ -54,7 +52,7 @@ impl Default for ExecEnv {
 }
 
 /// Successful invocation result.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecOutcome {
     /// The program's return value (`r0` at `exit`).
     pub ret: u64,

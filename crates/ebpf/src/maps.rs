@@ -9,10 +9,8 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Map kinds supported by the runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MapKind {
     /// Key/value hash map (`BPF_MAP_TYPE_HASH`).
     Hash,
@@ -23,7 +21,7 @@ pub enum MapKind {
 }
 
 /// Static definition of a map, fixed at creation time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MapDef {
     /// Kind of map.
     pub kind: MapKind,
@@ -70,8 +68,7 @@ impl MapDef {
 
 /// Handle to a created map (the "file descriptor" a program embeds via
 /// `ld_map_fd`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MapFd(pub u32);
 
 /// Errors returned by map operations.

@@ -1,7 +1,5 @@
 //! Program container.
 
-use serde::{Deserialize, Serialize};
-
 use crate::insn::Insn;
 
 /// An assembled (but not yet verified) eBPF program.
@@ -9,7 +7,7 @@ use crate::insn::Insn;
 /// Obtain one from the [`Asm`](crate::asm::Asm) builder, then pass it to
 /// [`Verifier::verify`](crate::verifier::Verifier::verify) and execute it
 /// with [`Vm`](crate::interp::Vm).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     name: String,
     insns: Vec<Insn>,

@@ -464,6 +464,182 @@ pub fn parse_program(name: &str, source: &str) -> Result<Program, ParseError> {
     Ok(Program::new(name, insns))
 }
 
+/// An instruction that has no textual rendering (unknown opcode byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmitError {
+    /// Slot index of the offending instruction.
+    pub pc: usize,
+    /// The opcode byte that could not be rendered.
+    pub code: u8,
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pc {}: opcode {:#04x} has no text form", self.pc, self.code)
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+fn alu_name(op: u8) -> Option<&'static str> {
+    Some(match op {
+        OP_ADD => "add",
+        OP_SUB => "sub",
+        OP_MUL => "mul",
+        OP_DIV => "div",
+        OP_OR => "or",
+        OP_AND => "and",
+        OP_LSH => "lsh",
+        OP_RSH => "rsh",
+        OP_NEG => "neg",
+        OP_MOD => "mod",
+        OP_XOR => "xor",
+        OP_MOV => "mov",
+        OP_ARSH => "arsh",
+        _ => return None,
+    })
+}
+
+fn jmp_name(op: u8) -> Option<&'static str> {
+    Some(match op {
+        OP_JEQ => "jeq",
+        OP_JGT => "jgt",
+        OP_JGE => "jge",
+        OP_JSET => "jset",
+        OP_JNE => "jne",
+        OP_JSGT => "jsgt",
+        OP_JSGE => "jsge",
+        OP_JLT => "jlt",
+        OP_JLE => "jle",
+        OP_JSLT => "jslt",
+        OP_JSLE => "jsle",
+        _ => return None,
+    })
+}
+
+fn size_name(size: u8) -> &'static str {
+    match size {
+        SZ_B => "b",
+        SZ_H => "h",
+        SZ_W => "w",
+        _ => {
+            if size == SZ_DW {
+                "dw"
+            } else {
+                "?"
+            }
+        }
+    }
+}
+
+/// Renders a program back into the text grammar [`parse_program`] accepts.
+///
+/// The output is the inverse of parsing: for any program built from the
+/// canonical [`Insn`] constructors (as the assembler and parser both do),
+/// `parse_program(name, &emit_program(p)?)` reproduces `p` slot for slot.
+/// Jump targets are rendered as relative `+N`/`-N` displacements, so no
+/// label inference is needed.
+///
+/// # Errors
+///
+/// Returns [`EmitError`] if an instruction's opcode byte has no mnemonic
+/// (e.g. raw fuzzer garbage).
+///
+/// # Examples
+///
+/// ```
+/// use kscope_ebpf::text::{emit_program, parse_program};
+///
+/// let prog = parse_program("t", "mov r0, 6\nmul r0, 7\nexit").unwrap();
+/// let text = emit_program(&prog).unwrap();
+/// assert_eq!(parse_program("t", &text).unwrap().insns(), prog.insns());
+/// ```
+pub fn emit_program(prog: &Program) -> Result<String, EmitError> {
+    use crate::insn::{
+        CLS_ALU, CLS_ALU64, CLS_JMP, CLS_JMP32, CLS_LD, CLS_LDX, CLS_ST, CLS_STX, MODE_IMM,
+        OP_CALL, OP_EXIT, OP_JA, PSEUDO_MAP_FD,
+    };
+
+    let insns = prog.insns();
+    let mut out = String::new();
+    let mut pc = 0usize;
+    while pc < insns.len() {
+        let insn = insns[pc];
+        let bad = EmitError {
+            pc,
+            code: insn.code,
+        };
+        let line = match insn.class() {
+            CLS_LD if insn.size() == SZ_DW && insn.code & 0xe0 == MODE_IMM => {
+                if insn.src == PSEUDO_MAP_FD {
+                    pc += 1; // skip the zero hi slot
+                    format!("ld_map_fd r{}, {}", insn.dst, insn.imm as u32)
+                } else if insn.src == 0 {
+                    let hi = insns.get(pc + 1).ok_or(bad)?;
+                    pc += 1;
+                    let value = (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
+                    format!("ld_dw r{}, {:#x}", insn.dst, value)
+                } else {
+                    return Err(bad);
+                }
+            }
+            CLS_LDX => format!(
+                "ldx{} r{}, [r{}{:+}]",
+                size_name(insn.size()),
+                insn.dst,
+                insn.src,
+                insn.off
+            ),
+            CLS_STX => format!(
+                "stx{} [r{}{:+}], r{}",
+                size_name(insn.size()),
+                insn.dst,
+                insn.off,
+                insn.src
+            ),
+            CLS_ST => format!(
+                "st{} [r{}{:+}], {}",
+                size_name(insn.size()),
+                insn.dst,
+                insn.off,
+                insn.imm
+            ),
+            CLS_ALU | CLS_ALU64 => {
+                let name = alu_name(insn.op()).ok_or(bad)?;
+                let sfx = if insn.class() == CLS_ALU { "32" } else { "" };
+                if insn.op() == OP_NEG {
+                    format!("{name}{sfx} r{}", insn.dst)
+                } else if insn.is_src_reg() {
+                    format!("{name}{sfx} r{}, r{}", insn.dst, insn.src)
+                } else {
+                    format!("{name}{sfx} r{}, {}", insn.dst, insn.imm)
+                }
+            }
+            CLS_JMP if insn.op() == OP_JA => format!("ja {:+}", insn.off),
+            CLS_JMP if insn.op() == OP_CALL => match Helper::from_id(insn.imm) {
+                Some(helper) => format!("call {}", helper.name()),
+                None => format!("call {}", insn.imm),
+            },
+            CLS_JMP if insn.op() == OP_EXIT => "exit".to_string(),
+            CLS_JMP | CLS_JMP32 => {
+                let name = jmp_name(insn.op()).ok_or(bad)?;
+                let sfx = if insn.class() == CLS_JMP32 { "32" } else { "" };
+                if insn.is_src_reg() {
+                    format!("{name}{sfx} r{}, r{}, {:+}", insn.dst, insn.src, insn.off)
+                } else {
+                    format!("{name}{sfx} r{}, {}, {:+}", insn.dst, insn.imm, insn.off)
+                }
+            }
+            _ => return Err(bad),
+        };
+        out.push_str(&line);
+        out.push('\n');
+        pc += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,200 +4,179 @@
 //! accepts must execute without faulting, for every context the runtime
 //! can supply. Random-program fuzzing can't prove it, but it searches the
 //! instruction space far more rudely than hand-written tests do.
+//!
+//! The instruction generators live in `kscope_testkit::ebpf_gen` so the
+//! differential fuzzer (`crates/testkit/tests/differential.rs`) drives
+//! the exact same distribution.
 
-use proptest::prelude::*;
-
-use kscope_ebpf::insn::{
-    Insn, CLS_ALU, CLS_ALU64, CLS_JMP, OP_ADD, OP_AND, OP_ARSH, OP_DIV, OP_JA, OP_JEQ, OP_JGE,
-    OP_JGT, OP_JLE, OP_JLT, OP_JNE, OP_JSET, OP_JSGE, OP_JSGT, OP_JSLE, OP_JSLT, OP_LSH, OP_MOD,
-    OP_MOV, OP_MUL, OP_NEG, OP_OR, OP_RSH, OP_SUB, OP_XOR, SRC_K, SRC_X, SZ_B, SZ_DW, SZ_H, SZ_W,
-};
+use kscope_ebpf::insn::{Insn, OP_ADD, OP_SUB};
 use kscope_ebpf::interp::{ExecEnv, Vm};
 use kscope_ebpf::maps::{MapDef, MapRegistry};
 use kscope_ebpf::verifier::Verifier;
 use kscope_ebpf::{Helper, Program};
+use kscope_simcore::SimRng;
+use kscope_testkit::ebpf_gen::{arb_insn, fuzz_program};
+use kscope_testkit::{gen, Config};
 
-fn arb_alu_op() -> impl Strategy<Value = u8> {
-    prop_oneof![
-        Just(OP_ADD),
-        Just(OP_SUB),
-        Just(OP_MUL),
-        Just(OP_DIV),
-        Just(OP_OR),
-        Just(OP_AND),
-        Just(OP_LSH),
-        Just(OP_RSH),
-        Just(OP_NEG),
-        Just(OP_MOD),
-        Just(OP_XOR),
-        Just(OP_MOV),
-        Just(OP_ARSH),
-    ]
+/// Encoding round-trips for arbitrary instruction words.
+#[test]
+fn encode_decode_round_trip() {
+    kscope_testkit::check!(
+        Config::cases(400),
+        |rng: &mut SimRng| arb_insn(rng),
+        |&insn: &Insn| {
+            assert_eq!(Insn::decode(insn.encode()), insn);
+        }
+    );
 }
 
-fn arb_jmp_op() -> impl Strategy<Value = u8> {
-    prop_oneof![
-        Just(OP_JEQ),
-        Just(OP_JGT),
-        Just(OP_JGE),
-        Just(OP_JSET),
-        Just(OP_JNE),
-        Just(OP_JSGT),
-        Just(OP_JSGE),
-        Just(OP_JLT),
-        Just(OP_JLE),
-        Just(OP_JSLT),
-        Just(OP_JSLE),
-    ]
+/// Soundness: if the verifier accepts a random program, the
+/// interpreter must not fault on it — for any context contents.
+#[test]
+fn verified_programs_never_fault() {
+    kscope_testkit::check!(
+        Config::cases(400),
+        |rng: &mut SimRng| {
+            (
+                gen::vec_of(rng, 0, 23, arb_insn),
+                gen::u8_any(rng),
+            )
+        },
+        |case: &(Vec<Insn>, u8)| {
+            let (ref body, ctx_fill) = *case;
+            // Seed r0 so `exit` is reachable-legal, then append the random
+            // body and a final exit.
+            let mut insns = vec![Insn::mov64_imm(0, 7)];
+            insns.extend(body.iter().copied());
+            insns.push(Insn::exit());
+            let prog = Program::new("fuzz", insns);
+
+            let mut maps = MapRegistry::new();
+            maps.create("m", MapDef::hash(8, 8, 64));
+            if Verifier::default().verify(&prog, &maps).is_ok() {
+                let ctx = vec![ctx_fill; 64];
+                let result = Vm::new().execute(&prog, &ctx, &mut maps, &mut ExecEnv::default());
+                assert!(
+                    result.is_ok(),
+                    "verifier accepted but interpreter faulted: {:?}\n{}",
+                    result,
+                    prog.disassemble()
+                );
+            }
+        }
+    );
 }
 
-fn arb_size() -> impl Strategy<Value = u8> {
-    prop_oneof![Just(SZ_B), Just(SZ_H), Just(SZ_W), Just(SZ_DW)]
+/// The verifier itself must be total: no panics on arbitrary input.
+#[test]
+fn verifier_never_panics() {
+    kscope_testkit::check!(
+        Config::cases(400),
+        |rng: &mut SimRng| gen::vec_of(rng, 0, 31, arb_insn),
+        |body: &Vec<Insn>| {
+            let prog = Program::new("fuzz", body.clone());
+            let maps = MapRegistry::new();
+            let _ = Verifier::default().verify(&prog, &maps);
+        }
+    );
 }
 
-/// A random (usually invalid) instruction: the verifier must never panic
-/// on it, and whatever it accepts must run clean.
-fn arb_insn() -> impl Strategy<Value = Insn> {
-    (
-        0u8..=7,          // class-ish
-        0u8..=10,         // dst
-        0u8..=10,         // src
-        -16i16..16,       // off
-        -1000i32..1000,   // imm
-        arb_alu_op(),
-        arb_jmp_op(),
-        arb_size(),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(class, dst, src, off, imm, alu, jmp, size, use_reg)| {
-                let srcbit = if use_reg { SRC_X } else { SRC_K };
-                let code = match class {
-                    0 | 1 => CLS_ALU64 | alu | srcbit,
-                    2 => CLS_ALU | alu | srcbit,
-                    3 => {
-                        if use_reg {
-                            kscope_ebpf::insn::CLS_JMP32 | jmp | srcbit
-                        } else {
-                            CLS_JMP | jmp | srcbit
-                        }
-                    }
-                    4 => CLS_JMP | OP_JA,
-                    5 => kscope_ebpf::insn::CLS_LDX | size | kscope_ebpf::insn::MODE_MEM,
-                    6 => kscope_ebpf::insn::CLS_STX | size | kscope_ebpf::insn::MODE_MEM,
-                    _ => kscope_ebpf::insn::CLS_ST | size | kscope_ebpf::insn::MODE_MEM,
-                };
-                Insn {
-                    code,
-                    dst,
-                    src,
-                    off,
-                    imm,
-                }
-            },
-        )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(400))]
-
-    /// Encoding round-trips for arbitrary instruction words.
-    #[test]
-    fn encode_decode_round_trip(insn in arb_insn()) {
-        prop_assert_eq!(Insn::decode(insn.encode()), insn);
-    }
-
-    /// Soundness: if the verifier accepts a random program, the
-    /// interpreter must not fault on it — for any context contents.
-    #[test]
-    fn verified_programs_never_fault(
-        body in prop::collection::vec(arb_insn(), 0..24),
-        ctx_fill in any::<u8>(),
-    ) {
-        // Seed r0 so `exit` is reachable-legal, then append the random
-        // body and a final exit.
-        let mut insns = vec![Insn::mov64_imm(0, 7)];
-        insns.extend(body);
-        insns.push(Insn::exit());
-        let prog = Program::new("fuzz", insns);
-
-        let mut maps = MapRegistry::new();
-        maps.create("m", MapDef::hash(8, 8, 64));
-        if Verifier::default().verify(&prog, &maps).is_ok() {
-            let ctx = vec![ctx_fill; 64];
-            let result = Vm::new().execute(&prog, &ctx, &mut maps, &mut ExecEnv::default());
-            prop_assert!(
-                result.is_ok(),
-                "verifier accepted but interpreter faulted: {:?}\n{}",
-                result,
-                prog.disassemble()
+/// The interpreter must be total too (fault, not panic), even on
+/// unverified garbage.
+#[test]
+fn interpreter_never_panics_on_unverified_input() {
+    kscope_testkit::check!(
+        Config::cases(400),
+        |rng: &mut SimRng| gen::vec_of(rng, 1, 23, arb_insn),
+        |body: &Vec<Insn>| {
+            let prog = Program::new("fuzz", body.clone());
+            let mut maps = MapRegistry::new();
+            let _ = Vm::with_insn_budget(10_000).execute(
+                &prog,
+                &[0u8; 32],
+                &mut maps,
+                &mut ExecEnv::default(),
             );
         }
-    }
+    );
+}
 
-    /// The verifier itself must be total: no panics on arbitrary input.
-    #[test]
-    fn verifier_never_panics(body in prop::collection::vec(arb_insn(), 0..32)) {
-        let prog = Program::new("fuzz", body);
-        let maps = MapRegistry::new();
-        let _ = Verifier::default().verify(&prog, &maps);
-    }
-
-    /// The interpreter must be total too (fault, not panic), even on
-    /// unverified garbage.
-    #[test]
-    fn interpreter_never_panics_on_unverified_input(
-        body in prop::collection::vec(arb_insn(), 1..24)
-    ) {
-        let prog = Program::new("fuzz", body);
-        let mut maps = MapRegistry::new();
-        let _ = Vm::with_insn_budget(10_000).execute(
-            &prog,
-            &[0u8; 32],
-            &mut maps,
-            &mut ExecEnv::default(),
-        );
-    }
-
-    /// ALU semantics: mov/add/sub round-trip against native arithmetic.
-    #[test]
-    fn alu_matches_native_arithmetic(a in any::<i32>(), b in any::<i32>()) {
-        let prog = Program::new(
-            "alu",
-            vec![
-                Insn::mov64_imm(0, a),
-                Insn::alu64_imm(OP_ADD, 0, b),
-                Insn::alu64_imm(OP_SUB, 0, b),
-                Insn::exit(),
-            ],
-        );
-        let mut maps = MapRegistry::new();
-        Verifier::default().verify(&prog, &maps).unwrap();
-        let out = Vm::new()
-            .execute(&prog, &[], &mut maps, &mut ExecEnv::default())
-            .unwrap();
-        prop_assert_eq!(out.ret, a as i64 as u64);
-    }
-
-    /// Map round-trip: whatever bytes go in through update come back out
-    /// through lookup, for arbitrary keys and values.
-    #[test]
-    fn map_update_lookup_round_trip(
-        key in any::<u64>(),
-        value in any::<u64>(),
-    ) {
-        let mut maps = MapRegistry::new();
-        let fd = maps.create("m", MapDef::hash(8, 8, 16));
-        maps.update(fd, &key.to_le_bytes(), &value.to_le_bytes()).unwrap();
-        let got = maps.lookup(fd, &key.to_le_bytes()).unwrap().unwrap();
-        prop_assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), value);
-    }
-
-    /// Helper ids round-trip through `from_id`.
-    #[test]
-    fn helper_ids_round_trip(id in 0i32..200) {
-        if let Some(helper) = Helper::from_id(id) {
-            prop_assert_eq!(helper.id(), id);
+/// The wrapped generator used by the differential suite also never
+/// faults once verified (same soundness property, richer prologue).
+#[test]
+fn fuzz_program_generator_is_sound() {
+    kscope_testkit::check!(
+        Config::cases(200),
+        |rng: &mut SimRng| {
+            fuzz_program(rng, 24).insns().to_vec()
+        },
+        |insns: &Vec<Insn>| {
+            let prog = Program::new("fuzz", insns.clone());
+            let mut maps = MapRegistry::new();
+            maps.create("m", MapDef::hash(8, 8, 64));
+            if Verifier::default().verify(&prog, &maps).is_ok() {
+                let result =
+                    Vm::new().execute(&prog, &[0u8; 64], &mut maps, &mut ExecEnv::default());
+                assert!(result.is_ok(), "faulted after verification: {result:?}");
+            }
         }
-    }
+    );
+}
+
+/// ALU semantics: mov/add/sub round-trip against native arithmetic.
+#[test]
+fn alu_matches_native_arithmetic() {
+    kscope_testkit::check!(
+        Config::cases(400),
+        |rng: &mut SimRng| (gen::i32_any(rng), gen::i32_any(rng)),
+        |&(a, b): &(i32, i32)| {
+            let prog = Program::new(
+                "alu",
+                vec![
+                    Insn::mov64_imm(0, a),
+                    Insn::alu64_imm(OP_ADD, 0, b),
+                    Insn::alu64_imm(OP_SUB, 0, b),
+                    Insn::exit(),
+                ],
+            );
+            let mut maps = MapRegistry::new();
+            Verifier::default().verify(&prog, &maps).unwrap();
+            let out = Vm::new()
+                .execute(&prog, &[], &mut maps, &mut ExecEnv::default())
+                .unwrap();
+            assert_eq!(out.ret, a as i64 as u64);
+        }
+    );
+}
+
+/// Map round-trip: whatever bytes go in through update come back out
+/// through lookup, for arbitrary keys and values.
+#[test]
+fn map_update_lookup_round_trip() {
+    kscope_testkit::check!(
+        Config::cases(400),
+        |rng: &mut SimRng| (gen::u64_any(rng), gen::u64_any(rng)),
+        |&(key, value): &(u64, u64)| {
+            let mut maps = MapRegistry::new();
+            let fd = maps.create("m", MapDef::hash(8, 8, 16));
+            maps.update(fd, &key.to_le_bytes(), &value.to_le_bytes())
+                .unwrap();
+            let got = maps.lookup(fd, &key.to_le_bytes()).unwrap().unwrap();
+            assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), value);
+        }
+    );
+}
+
+/// Helper ids round-trip through `from_id`.
+#[test]
+fn helper_ids_round_trip() {
+    kscope_testkit::check!(
+        Config::cases(400),
+        |rng: &mut SimRng| gen::i32_in(rng, 0, 199),
+        |&id: &i32| {
+            if let Some(helper) = Helper::from_id(id) {
+                assert_eq!(helper.id(), id);
+            }
+        }
+    );
 }

@@ -1,0 +1,314 @@
+//! Table-driven rejection-path coverage for the verifier.
+//!
+//! One minimal program per [`VerifyError`] class. The table is the
+//! specification: adding a variant to `VerifyError` without extending the
+//! table fails the `every_error_class_is_covered` completeness check, so
+//! rejection paths can't silently lose coverage.
+
+use kscope_ebpf::asm::Asm;
+use kscope_ebpf::insn::{Insn, OP_ADD, OP_DIV, OP_MUL, R0, R1, R2, R10, SZ_DW, SZ_W};
+use kscope_ebpf::maps::{MapDef, MapRegistry};
+use kscope_ebpf::verifier::{Verifier, VerifyError};
+use kscope_ebpf::{Helper, Program};
+
+struct Case {
+    /// Which `VerifyError` variant this program must trigger.
+    class: &'static str,
+    build: fn(&mut MapRegistry) -> Program,
+    matches: fn(&VerifyError) -> bool,
+}
+
+/// The full variant list of `VerifyError`, kept in declaration order.
+const ALL_CLASSES: &[&str] = &[
+    "Empty",
+    "TooLarge",
+    "BackEdge",
+    "BadJumpTarget",
+    "FallOffEnd",
+    "UninitRead",
+    "BadOpcode",
+    "WriteToFp",
+    "WriteToCtx",
+    "OutOfBounds",
+    "UninitStackRead",
+    "MaybeNullDeref",
+    "PointerArith",
+    "DivByZeroImm",
+    "UnknownHelper",
+    "BadHelperArg",
+    "BadMapFd",
+    "MalformedLdDw",
+    "ExitWithoutR0",
+];
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            class: "Empty",
+            build: |_| Program::new("empty", vec![]),
+            matches: |e| matches!(e, VerifyError::Empty),
+        },
+        Case {
+            class: "TooLarge",
+            build: |_| {
+                let mut insns = vec![Insn::mov64_imm(R0, 0); 4096];
+                insns.push(Insn::exit());
+                Program::new("huge", insns)
+            },
+            matches: |e| matches!(e, VerifyError::TooLarge { .. }),
+        },
+        Case {
+            class: "BackEdge",
+            build: |_| {
+                // `ja -2` from pc 1 targets pc 0: a loop.
+                Program::new(
+                    "loop",
+                    vec![Insn::mov64_imm(R0, 0), Insn::ja(-2), Insn::exit()],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::BackEdge { .. }),
+        },
+        Case {
+            class: "BadJumpTarget",
+            build: |_| {
+                Program::new(
+                    "wild-jump",
+                    vec![Insn::mov64_imm(R0, 0), Insn::ja(100), Insn::exit()],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::BadJumpTarget { .. }),
+        },
+        Case {
+            class: "FallOffEnd",
+            build: |_| Program::new("no-exit", vec![Insn::mov64_imm(R0, 0)]),
+            matches: |e| matches!(e, VerifyError::FallOffEnd { .. }),
+        },
+        Case {
+            class: "UninitRead",
+            build: |_| {
+                // r6 was never written.
+                Program::new("uninit", vec![Insn::mov64_reg(R0, 6), Insn::exit()])
+            },
+            matches: |e| matches!(e, VerifyError::UninitRead { reg: 6, .. }),
+        },
+        Case {
+            class: "BadOpcode",
+            build: |_| {
+                let garbage = Insn {
+                    code: 0xFF,
+                    dst: 0,
+                    src: 0,
+                    off: 0,
+                    imm: 0,
+                };
+                Program::new(
+                    "garbage",
+                    vec![Insn::mov64_imm(R0, 0), garbage, Insn::exit()],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::BadOpcode { code: 0xFF, .. }),
+        },
+        Case {
+            class: "WriteToFp",
+            build: |_| {
+                Program::new(
+                    "clobber-fp",
+                    vec![
+                        Insn::alu64_imm(OP_ADD, R10, 8),
+                        Insn::mov64_imm(R0, 0),
+                        Insn::exit(),
+                    ],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::WriteToFp { .. }),
+        },
+        Case {
+            class: "WriteToCtx",
+            build: |_| {
+                // r1 is the read-only context pointer at entry.
+                Program::new(
+                    "ctx-write",
+                    vec![
+                        Insn::mov64_imm(R0, 0),
+                        Insn::store_imm(SZ_W, R1, 0, 1),
+                        Insn::exit(),
+                    ],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::WriteToCtx { .. }),
+        },
+        Case {
+            class: "OutOfBounds",
+            build: |_| {
+                // Stack grows down from fp; offset 0 is past its top.
+                Program::new(
+                    "oob",
+                    vec![
+                        Insn::mov64_imm(R0, 0),
+                        Insn::store_imm(SZ_DW, R10, 0, 1),
+                        Insn::exit(),
+                    ],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::OutOfBounds { .. }),
+        },
+        Case {
+            class: "UninitStackRead",
+            build: |_| {
+                Program::new(
+                    "uninit-stack",
+                    vec![Insn::load(SZ_DW, R0, R10, -8), Insn::exit()],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::UninitStackRead { .. }),
+        },
+        Case {
+            class: "MaybeNullDeref",
+            build: |maps| {
+                let fd = maps.create("m", MapDef::hash(8, 8, 16));
+                Asm::new("null-deref")
+                    .store_imm(SZ_DW, R10, -8, 1)
+                    .ld_map_fd(R1, fd)
+                    .mov64_reg(R2, R10)
+                    .insn(Insn::alu64_imm(OP_ADD, R2, -8))
+                    .call(Helper::MapLookupElem)
+                    .load(SZ_DW, R0, R0, 0) // no null check!
+                    .exit()
+                    .assemble()
+                    .unwrap()
+            },
+            matches: |e| matches!(e, VerifyError::MaybeNullDeref { .. }),
+        },
+        Case {
+            class: "PointerArith",
+            build: |_| {
+                Program::new(
+                    "ptr-mul",
+                    vec![
+                        Insn::mov64_reg(R2, R10),
+                        Insn::alu64_imm(OP_MUL, R2, 4),
+                        Insn::mov64_imm(R0, 0),
+                        Insn::exit(),
+                    ],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::PointerArith { .. }),
+        },
+        Case {
+            class: "DivByZeroImm",
+            build: |_| {
+                Program::new(
+                    "div0",
+                    vec![
+                        Insn::mov64_imm(R0, 5),
+                        Insn::alu64_imm(OP_DIV, R0, 0),
+                        Insn::exit(),
+                    ],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::DivByZeroImm { .. }),
+        },
+        Case {
+            class: "UnknownHelper",
+            build: |_| Program::new("bad-call", vec![Insn::call(9999), Insn::exit()]),
+            matches: |e| matches!(e, VerifyError::UnknownHelper { id: 9999, .. }),
+        },
+        Case {
+            class: "BadHelperArg",
+            build: |maps| {
+                let _fd = maps.create("m", MapDef::hash(8, 8, 16));
+                // r1 must be a map handle; a scalar zero is not.
+                Asm::new("bad-arg")
+                    .mov64_imm(R1, 0)
+                    .mov64_reg(R2, R10)
+                    .call(Helper::MapLookupElem)
+                    .exit()
+                    .assemble()
+                    .unwrap()
+            },
+            matches: |e| matches!(e, VerifyError::BadHelperArg { arg: 1, .. }),
+        },
+        Case {
+            class: "BadMapFd",
+            build: |_| {
+                // Registry is empty, so fd 42 cannot exist.
+                Program::new(
+                    "bad-fd",
+                    vec![
+                        Insn::ld_map_fd_lo(R1, 42),
+                        Insn::ld_dw_hi(0),
+                        Insn::mov64_imm(R0, 0),
+                        Insn::exit(),
+                    ],
+                )
+            },
+            matches: |e| matches!(e, VerifyError::BadMapFd { fd: 42, .. }),
+        },
+        Case {
+            class: "MalformedLdDw",
+            build: |_| {
+                // The second slot must be a bare hi word (code 0); `exit`
+                // is not one.
+                Program::new("torn-lddw", vec![Insn::ld_dw_lo(R0, 5), Insn::exit()])
+            },
+            matches: |e| matches!(e, VerifyError::MalformedLdDw { .. }),
+        },
+        Case {
+            class: "ExitWithoutR0",
+            build: |_| Program::new("no-r0", vec![Insn::exit()]),
+            matches: |e| matches!(e, VerifyError::ExitWithoutR0 { .. }),
+        },
+    ]
+}
+
+/// Every case must be rejected with exactly its declared error class.
+#[test]
+fn each_class_fires_on_its_minimal_program() {
+    for case in cases() {
+        let mut maps = MapRegistry::new();
+        let prog = (case.build)(&mut maps);
+        match Verifier::default().verify(&prog, &maps) {
+            Ok(()) => panic!(
+                "case `{}`: verifier accepted the program\n{}",
+                case.class,
+                prog.disassemble()
+            ),
+            Err(e) => assert!(
+                (case.matches)(&e),
+                "case `{}`: expected that class, got {e:?}\n{}",
+                case.class,
+                prog.disassemble()
+            ),
+        }
+    }
+}
+
+/// The table must name every `VerifyError` variant exactly once.
+#[test]
+fn every_error_class_is_covered() {
+    let table: Vec<&str> = cases().iter().map(|c| c.class).collect();
+    for class in ALL_CLASSES {
+        assert!(
+            table.contains(class),
+            "no rejection case for VerifyError::{class}"
+        );
+    }
+    assert_eq!(
+        table.len(),
+        ALL_CLASSES.len(),
+        "table has duplicate or stray classes"
+    );
+}
+
+/// Rejected programs stay rejected under re-verification (the verifier
+/// is stateless), and the error is stable.
+#[test]
+fn rejections_are_deterministic() {
+    for case in cases() {
+        let mut maps = MapRegistry::new();
+        let prog = (case.build)(&mut maps);
+        let first = Verifier::default().verify(&prog, &maps).unwrap_err();
+        let second = Verifier::default().verify(&prog, &maps).unwrap_err();
+        assert_eq!(first, second, "case `{}` gave unstable errors", case.class);
+    }
+}

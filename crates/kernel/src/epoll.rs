@@ -9,15 +9,13 @@
 use std::collections::VecDeque;
 
 use kscope_syscalls::Tid;
-use serde::{Deserialize, Serialize};
 
 use crate::socket::{ChannelId, ChannelTable};
 
 /// Identifier of an epoll (or select fd-set) instance.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
-#[serde(transparent)]
 pub struct EpollId(pub u32);
 
 #[derive(Debug, Clone, Default)]

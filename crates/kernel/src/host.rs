@@ -5,10 +5,8 @@
 //! the configuration so the `table1_system_spec` experiment can print the
 //! same table shape.
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of a simulated host.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostSpec {
     /// Marketing name of the CPU.
     pub cpu_model: String,

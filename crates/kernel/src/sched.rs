@@ -17,10 +17,9 @@ use std::collections::VecDeque;
 
 use kscope_simcore::{Nanos, SimRng};
 use kscope_syscalls::Tid;
-use serde::{Deserialize, Serialize};
 
 /// Scheduler tuning parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedConfig {
     /// Cost of dispatching a thread from the run queue (context switch).
     pub csw_cost: Nanos,
@@ -49,7 +48,7 @@ pub struct ComputeGrant {
 }
 
 /// Aggregate scheduler statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SchedStats {
     /// Compute requests that got a core immediately.
     pub immediate: u64,

@@ -10,17 +10,15 @@
 use std::collections::VecDeque;
 
 use kscope_simcore::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a connection or internal queue.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
-#[serde(transparent)]
 pub struct ChannelId(pub u32);
 
 /// One queued message (request or stage-handoff work item).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Message {
     /// The request this message belongs to (threading-model agnostic token).
     pub request: u64,

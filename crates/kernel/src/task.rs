@@ -1,10 +1,9 @@
 //! Process and thread bookkeeping.
 
 use kscope_syscalls::{Pid, Tid};
-use serde::{Deserialize, Serialize};
 
 /// One thread's identity within the task table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskInfo {
     /// The thread id.
     pub tid: Tid,

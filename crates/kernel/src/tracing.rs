@@ -12,7 +12,6 @@ use std::collections::HashMap;
 
 use kscope_simcore::Nanos;
 use kscope_syscalls::{pid_tgid, Pid, SyscallEvent, SyscallNo, Tid, TracePhase, TracepointCtx, Trace};
-use serde::{Deserialize, Serialize};
 
 /// A program attached to the syscall tracepoints.
 ///
@@ -33,12 +32,11 @@ pub trait TracepointProbe {
 }
 
 /// Handle to an attached probe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProbeId(pub u32);
 
 /// Aggregate tracing statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TracingStats {
     /// `sys_enter` firings delivered to probes.
     pub enters: u64,

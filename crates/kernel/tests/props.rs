@@ -2,40 +2,56 @@
 
 use kscope_kernel::{ChannelTable, CpuScheduler, EpollTable, Message, SchedConfig};
 use kscope_simcore::{Nanos, SimRng};
-use proptest::prelude::*;
+use kscope_testkit::{gen, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Scheduler invariants under random submit/complete interleavings:
+/// never more running threads than cores, FIFO dispatch order, and
+/// every submitted slice eventually granted.
+#[test]
+fn scheduler_never_oversubscribes() {
+    kscope_testkit::check!(
+        Config::cases(128),
+        |rng: &mut SimRng| {
+            (
+                gen::u64_any(rng),
+                gen::u64_in(rng, 1, 7) as u32,
+                gen::vec_of(rng, 1, 63, |r| gen::u64_in(r, 1, 99_999)),
+            )
+        },
+        |case: &(u64, u32, Vec<u64>)| {
+            let (seed, cores, ref demands) = *case;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut sched = CpuScheduler::new(cores, SchedConfig::default());
+            let mut running: Vec<(u32, Nanos)> = Vec::new(); // (tid, finish)
+            let mut granted = 0usize;
+            let mut queued_order: Vec<u32> = Vec::new();
+            let mut dispatch_order: Vec<u32> = Vec::new();
+            let mut now = Nanos::ZERO;
 
-    /// Scheduler invariants under random submit/complete interleavings:
-    /// never more running threads than cores, FIFO dispatch order, and
-    /// every submitted slice eventually granted.
-    #[test]
-    fn scheduler_never_oversubscribes(
-        seed in any::<u64>(),
-        cores in 1u32..8,
-        demands in prop::collection::vec(1u64..100_000, 1..64),
-    ) {
-        let mut rng = SimRng::seed_from_u64(seed);
-        let mut sched = CpuScheduler::new(cores, SchedConfig::default());
-        let mut running: Vec<(u32, Nanos)> = Vec::new(); // (tid, finish)
-        let mut granted = 0usize;
-        let mut queued_order: Vec<u32> = Vec::new();
-        let mut dispatch_order: Vec<u32> = Vec::new();
-        let mut now = Nanos::ZERO;
-
-        for (i, &demand) in demands.iter().enumerate() {
-            let tid = i as u32;
-            match sched.submit(tid, Nanos::from_nanos(demand), now, &mut rng) {
-                Some(grant) => {
-                    granted += 1;
-                    running.push((grant.tid, grant.finish));
+            for (i, &demand) in demands.iter().enumerate() {
+                let tid = i as u32;
+                match sched.submit(tid, Nanos::from_nanos(demand), now, &mut rng) {
+                    Some(grant) => {
+                        granted += 1;
+                        running.push((grant.tid, grant.finish));
+                    }
+                    None => queued_order.push(tid),
                 }
-                None => queued_order.push(tid),
+                assert!(sched.busy_cores() <= cores as usize);
+                // Occasionally complete the earliest-running slice.
+                if running.len() == cores as usize {
+                    running.sort_by_key(|&(_, f)| f);
+                    let (tid_done, finish) = running.remove(0);
+                    now = now.max(finish);
+                    if let Some(next) = sched.complete(tid_done, now, &mut rng) {
+                        granted += 1;
+                        dispatch_order.push(next.tid);
+                        running.push((next.tid, next.finish));
+                    }
+                }
             }
-            prop_assert!(sched.busy_cores() <= cores as usize);
-            // Occasionally complete the earliest-running slice.
-            if running.len() == cores as usize {
+            // Drain.
+            while !running.is_empty() {
                 running.sort_by_key(|&(_, f)| f);
                 let (tid_done, finish) = running.remove(0);
                 now = now.max(finish);
@@ -44,79 +60,89 @@ proptest! {
                     dispatch_order.push(next.tid);
                     running.push((next.tid, next.finish));
                 }
+                assert!(sched.busy_cores() <= cores as usize);
             }
+            assert_eq!(granted, demands.len(), "every slice granted exactly once");
+            assert_eq!(sched.queue_depth(), 0);
+            // FIFO: queued threads dispatch in submission order.
+            assert_eq!(dispatch_order, queued_order);
         }
-        // Drain.
-        while !running.is_empty() {
-            running.sort_by_key(|&(_, f)| f);
-            let (tid_done, finish) = running.remove(0);
-            now = now.max(finish);
-            if let Some(next) = sched.complete(tid_done, now, &mut rng) {
-                granted += 1;
-                dispatch_order.push(next.tid);
-                running.push((next.tid, next.finish));
+    );
+}
+
+/// Channel conservation: messages out = messages in, in FIFO order.
+#[test]
+fn channels_conserve_messages() {
+    kscope_testkit::check!(
+        Config::cases(128),
+        |rng: &mut SimRng| gen::vec_of(rng, 0, 99, |r| gen::u64_in(r, 1, 1_999) as u32),
+        |payloads: &Vec<u32>| {
+            let mut channels = ChannelTable::new();
+            let c = channels.create();
+            for (i, &bytes) in payloads.iter().enumerate() {
+                channels.deliver(
+                    c,
+                    Message {
+                        request: i as u64,
+                        bytes,
+                        enqueued_at: Nanos::from_nanos(i as u64),
+                    },
+                );
             }
-            prop_assert!(sched.busy_cores() <= cores as usize);
+            for (i, &bytes) in payloads.iter().enumerate() {
+                let msg = channels.recv(c).unwrap();
+                assert_eq!(msg.request, i as u64);
+                assert_eq!(msg.bytes, bytes);
+            }
+            assert!(channels.recv(c).is_none());
+            assert_eq!(channels.total_pending(), 0);
         }
-        prop_assert_eq!(granted, demands.len(), "every slice granted exactly once");
-        prop_assert_eq!(sched.queue_depth(), 0);
-        // FIFO: queued threads dispatch in submission order.
-        prop_assert_eq!(dispatch_order, queued_order);
-    }
+    );
+}
 
-    /// Channel conservation: messages out = messages in, in FIFO order.
-    #[test]
-    fn channels_conserve_messages(payloads in prop::collection::vec(1u32..2_000, 0..100)) {
-        let mut channels = ChannelTable::new();
-        let c = channels.create();
-        for (i, &bytes) in payloads.iter().enumerate() {
-            channels.deliver(c, Message {
-                request: i as u64,
-                bytes,
-                enqueued_at: Nanos::from_nanos(i as u64),
-            });
-        }
-        for (i, &bytes) in payloads.iter().enumerate() {
-            let msg = channels.recv(c).unwrap();
-            prop_assert_eq!(msg.request, i as u64);
-            prop_assert_eq!(msg.bytes, bytes);
-        }
-        prop_assert!(channels.recv(c).is_none());
-        prop_assert_eq!(channels.total_pending(), 0);
-    }
+/// Epoll wake-one: each delivery wakes at most one waiter per watching
+/// instance, and waiters wake in FIFO order.
+#[test]
+fn epoll_wakes_at_most_one_waiter() {
+    kscope_testkit::check!(
+        Config::cases(128),
+        |rng: &mut SimRng| {
+            (
+                gen::vec_of(rng, 0, 15, |r| gen::u64_in(r, 1, 999) as u32),
+                gen::usize_in(rng, 0, 19),
+            )
+        },
+        |case: &(Vec<u32>, usize)| {
+            let (ref waiters, deliveries) = *case;
+            // Deduplicate tids (block() forbids duplicates by contract).
+            let mut tids = waiters.clone();
+            tids.sort_unstable();
+            tids.dedup();
 
-    /// Epoll wake-one: each delivery wakes at most one waiter per watching
-    /// instance, and waiters wake in FIFO order.
-    #[test]
-    fn epoll_wakes_at_most_one_waiter(
-        waiters in prop::collection::vec(1u32..1000, 0..16),
-        deliveries in 0usize..20,
-    ) {
-        // Deduplicate tids (block() forbids duplicates by contract).
-        let mut tids = waiters.clone();
-        tids.sort_unstable();
-        tids.dedup();
-
-        let mut channels = ChannelTable::new();
-        let mut epolls = EpollTable::new();
-        let conn = channels.create();
-        let ep = epolls.create();
-        epolls.watch(ep, conn);
-        for &tid in &tids {
-            epolls.block(ep, tid);
+            let mut channels = ChannelTable::new();
+            let mut epolls = EpollTable::new();
+            let conn = channels.create();
+            let ep = epolls.create();
+            epolls.watch(ep, conn);
+            for &tid in &tids {
+                epolls.block(ep, tid);
+            }
+            let mut woken = Vec::new();
+            for i in 0..deliveries {
+                channels.deliver(
+                    conn,
+                    Message {
+                        request: i as u64,
+                        bytes: 1,
+                        enqueued_at: Nanos::ZERO,
+                    },
+                );
+                let wakeups = epolls.on_readable(conn);
+                assert!(wakeups.len() <= 1);
+                woken.extend(wakeups.into_iter().map(|(_, tid)| tid));
+            }
+            let expected: Vec<u32> = tids.iter().copied().take(deliveries).collect();
+            assert_eq!(woken, expected);
         }
-        let mut woken = Vec::new();
-        for i in 0..deliveries {
-            channels.deliver(conn, Message {
-                request: i as u64,
-                bytes: 1,
-                enqueued_at: Nanos::ZERO,
-            });
-            let wakeups = epolls.on_readable(conn);
-            prop_assert!(wakeups.len() <= 1);
-            woken.extend(wakeups.into_iter().map(|(_, tid)| tid));
-        }
-        let expected: Vec<u32> = tids.iter().copied().take(deliveries).collect();
-        prop_assert_eq!(woken, expected);
-    }
+    );
 }

@@ -1,0 +1,266 @@
+//! # kscope-microbench
+//!
+//! A minimal wall-clock benchmarking harness exposing the slice of the
+//! Criterion API the workspace's bench targets use (`Criterion`,
+//! `bench_function`, `benchmark_group`, the `criterion_group!` /
+//! `criterion_main!` macros). It exists so `crates/bench` builds and runs
+//! in an offline environment with no external dependencies; it performs
+//! real timing but none of Criterion's statistical machinery (no outlier
+//! analysis, no HTML reports, no baseline comparisons).
+//!
+//! Timing scheme per benchmark: a warm-up phase sizes the per-sample
+//! iteration count, then `sample_size` samples are timed and summarized
+//! as min/mean/max nanoseconds per iteration on stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up (and sizing iteration counts).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.clone(),
+            stats: None,
+        };
+        f(&mut bencher);
+        report(name.as_ref(), bencher.stats.as_ref());
+        self
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Closes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration timing summary, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Total iterations timed.
+    pub iters: u64,
+}
+
+/// Handed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    config: Criterion,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times `routine`, warm-up first, then `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles as calibration: count how many iterations fit
+        // in the warm-up budget to size each timed sample.
+        let warm_up = self.config.warm_up_time.max(Duration::from_millis(1));
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.config.sample_size;
+        let sample_budget = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((sample_budget / per_iter) as u64).clamp(1, 1 << 24);
+
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let mut total_ns = 0.0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            total_ns += ns;
+            total_iters += iters_per_sample;
+        }
+        self.stats = Some(Stats {
+            min_ns,
+            mean_ns: total_ns / samples as f64,
+            max_ns,
+            iters: total_iters,
+        });
+    }
+}
+
+fn report(name: &str, stats: Option<&Stats>) {
+    match stats {
+        Some(s) => println!(
+            "{name:<48} time: [{} {} {}] ({} iters)",
+            fmt_ns(s.min_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.max_ns),
+            s.iters
+        ),
+        None => println!("{name:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`. Both the `name =`/`config =`/`targets =`
+/// form and the positional form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = fast_config();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| std::hint::black_box(7u64).pow(2)));
+        group.bench_function(String::from("owned-name"), |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    #[test]
+    fn macros_expand() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("t", |b| b.iter(|| ()));
+        }
+        criterion_group! {
+            name = demo;
+            config = fast_config();
+            targets = target
+        }
+        criterion_group!(demo_default, target);
+        // Groups are plain functions; the positional form must also run.
+        // Use a tiny default config override by calling the named one.
+        demo();
+        let _ = demo_default; // default config takes ~2s; just ensure it exists
+    }
+}

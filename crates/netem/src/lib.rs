@@ -17,11 +17,9 @@
 #![warn(missing_debug_implementations)]
 
 use kscope_simcore::{Dist, Nanos, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// Packet-loss models supported by the link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LossModel {
     /// No loss.
     None,
@@ -69,7 +67,7 @@ impl LossModel {
 
 /// Configuration of one link direction (the `tc qdisc add dev lo root
 /// netem …` equivalent).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetemConfig {
     /// Fixed one-way propagation delay.
     pub delay: Nanos,
@@ -139,7 +137,7 @@ impl Default for NetemConfig {
 }
 
 /// Outcome of sending one message through the link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transit {
     /// Time from send to successful delivery.
     pub delay: Nanos,
@@ -148,7 +146,7 @@ pub struct Transit {
 }
 
 /// Aggregate link statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Messages offered to the link.
     pub offered: u64,

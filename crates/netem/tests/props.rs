@@ -2,86 +2,117 @@
 
 use kscope_netem::{LossModel, NetemConfig, NetemLink};
 use kscope_simcore::{Nanos, SimRng};
-use proptest::prelude::*;
+use kscope_testkit::{gen, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Conservation: every offered message is eventually delivered, and
-    /// transit delay is never below the configured propagation delay.
-    #[test]
-    fn conservation_and_delay_floor(
-        seed in any::<u64>(),
-        delay_us in 0u64..50_000,
-        loss in 0.0f64..0.6,
-        n in 1usize..200,
-    ) {
-        let mut cfg = NetemConfig::impaired(Nanos::from_micros(delay_us), loss);
-        cfg.jitter = None;
-        let mut link = NetemLink::new(cfg);
-        let mut rng = SimRng::seed_from_u64(seed);
-        for _ in 0..n {
-            let t = link.send(&mut rng);
-            prop_assert!(t.delay >= Nanos::from_micros(delay_us));
-            prop_assert!(t.transmissions >= 1);
+/// Conservation: every offered message is eventually delivered, and
+/// transit delay is never below the configured propagation delay.
+#[test]
+fn conservation_and_delay_floor() {
+    kscope_testkit::check!(
+        Config::cases(128),
+        |rng: &mut SimRng| {
+            (
+                gen::u64_any(rng),
+                gen::u64_in(rng, 0, 49_999),
+                gen::f64_in(rng, 0.0, 0.6),
+                gen::usize_in(rng, 1, 199),
+            )
+        },
+        |&(seed, delay_us, loss, n): &(u64, u64, f64, usize)| {
+            let mut cfg = NetemConfig::impaired(Nanos::from_micros(delay_us), loss);
+            cfg.jitter = None;
+            let mut link = NetemLink::new(cfg);
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..n {
+                let t = link.send(&mut rng);
+                assert!(t.delay >= Nanos::from_micros(delay_us));
+                assert!(t.transmissions >= 1);
+            }
+            assert_eq!(link.stats().offered, n as u64);
+            assert_eq!(link.stats().delivered, n as u64);
         }
-        prop_assert_eq!(link.stats().offered, n as u64);
-        prop_assert_eq!(link.stats().delivered, n as u64);
-    }
+    );
+}
 
-    /// Retransmission count is bounded by the configured maximum.
-    #[test]
-    fn retransmissions_are_bounded(seed in any::<u64>(), max_rtx in 0u32..8) {
-        let mut cfg = NetemConfig::ideal();
-        cfg.loss = LossModel::Bernoulli { p: 0.9 };
-        cfg.max_retransmits = max_rtx;
-        let mut link = NetemLink::new(cfg);
-        let mut rng = SimRng::seed_from_u64(seed);
-        for _ in 0..100 {
-            let t = link.send(&mut rng);
-            prop_assert!(t.transmissions <= max_rtx + 1);
+/// Retransmission count is bounded by the configured maximum.
+#[test]
+fn retransmissions_are_bounded() {
+    kscope_testkit::check!(
+        Config::cases(128),
+        |rng: &mut SimRng| (gen::u64_any(rng), gen::u64_in(rng, 0, 7) as u32),
+        |&(seed, max_rtx): &(u64, u32)| {
+            let mut cfg = NetemConfig::ideal();
+            cfg.loss = LossModel::Bernoulli { p: 0.9 };
+            cfg.max_retransmits = max_rtx;
+            let mut link = NetemLink::new(cfg);
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                let t = link.send(&mut rng);
+                assert!(t.transmissions <= max_rtx + 1);
+            }
         }
-    }
+    );
+}
 
-    /// A lossless link never retransmits, whatever the other knobs say.
-    #[test]
-    fn lossless_links_never_retransmit(seed in any::<u64>(), delay_us in 0u64..10_000) {
-        let mut link = NetemLink::new(NetemConfig::impaired(Nanos::from_micros(delay_us), 0.0));
-        let mut rng = SimRng::seed_from_u64(seed);
-        for _ in 0..200 {
-            prop_assert_eq!(link.send(&mut rng).transmissions, 1);
+/// A lossless link never retransmits, whatever the other knobs say.
+#[test]
+fn lossless_links_never_retransmit() {
+    kscope_testkit::check!(
+        Config::cases(128),
+        |rng: &mut SimRng| (gen::u64_any(rng), gen::u64_in(rng, 0, 9_999)),
+        |&(seed, delay_us): &(u64, u64)| {
+            let mut link =
+                NetemLink::new(NetemConfig::impaired(Nanos::from_micros(delay_us), 0.0));
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..200 {
+                assert_eq!(link.send(&mut rng).transmissions, 1);
+            }
+            assert_eq!(link.stats().retransmissions, 0);
         }
-        prop_assert_eq!(link.stats().retransmissions, 0);
-    }
+    );
+}
 
-    /// Steady-state loss of any model is a probability.
-    #[test]
-    fn steady_state_loss_is_a_probability(
-        p_gb in 0.0f64..1.0,
-        p_bg in 0.0f64..1.0,
-        lg in 0.0f64..1.0,
-        lb in 0.0f64..1.0,
-    ) {
-        let model = LossModel::GilbertElliott {
-            p_good_to_bad: p_gb,
-            p_bad_to_good: p_bg,
-            loss_good: lg,
-            loss_bad: lb,
-        };
-        let rate = model.steady_state_loss();
-        prop_assert!((0.0..=1.0).contains(&rate), "rate {rate}");
-    }
-
-    /// Determinism: identical seeds produce identical transit sequences.
-    #[test]
-    fn links_are_deterministic(seed in any::<u64>()) {
-        let cfg = NetemConfig::impaired(Nanos::from_millis(1), 0.2);
-        let mut a = NetemLink::new(cfg.clone());
-        let mut b = NetemLink::new(cfg);
-        let mut rng_a = SimRng::seed_from_u64(seed);
-        let mut rng_b = SimRng::seed_from_u64(seed);
-        for _ in 0..50 {
-            prop_assert_eq!(a.send(&mut rng_a), b.send(&mut rng_b));
+/// Steady-state loss of any model is a probability.
+#[test]
+fn steady_state_loss_is_a_probability() {
+    kscope_testkit::check!(
+        Config::cases(128),
+        |rng: &mut SimRng| {
+            (
+                gen::f64_in(rng, 0.0, 1.0),
+                gen::f64_in(rng, 0.0, 1.0),
+                gen::f64_in(rng, 0.0, 1.0),
+                gen::f64_in(rng, 0.0, 1.0),
+            )
+        },
+        |&(p_gb, p_bg, lg, lb): &(f64, f64, f64, f64)| {
+            let model = LossModel::GilbertElliott {
+                p_good_to_bad: p_gb,
+                p_bad_to_good: p_bg,
+                loss_good: lg,
+                loss_bad: lb,
+            };
+            let rate = model.steady_state_loss();
+            assert!((0.0..=1.0).contains(&rate), "rate {rate}");
         }
-    }
+    );
+}
+
+/// Determinism: identical seeds produce identical transit sequences.
+#[test]
+fn links_are_deterministic() {
+    kscope_testkit::check!(
+        Config::cases(128),
+        |rng: &mut SimRng| gen::u64_any(rng),
+        |&seed: &u64| {
+            let cfg = NetemConfig::impaired(Nanos::from_millis(1), 0.2);
+            let mut a = NetemLink::new(cfg.clone());
+            let mut b = NetemLink::new(cfg);
+            let mut rng_a = SimRng::seed_from_u64(seed);
+            let mut rng_b = SimRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                assert_eq!(a.send(&mut rng_a), b.send(&mut rng_b));
+            }
+        }
+    );
 }

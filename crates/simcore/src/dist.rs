@@ -6,8 +6,6 @@
 //! per-request fan-out counts are all expressed as `Dist` values, which makes
 //! workload definitions plain data that can be logged alongside results.
 
-use serde::{Deserialize, Serialize};
-
 use crate::rng::SimRng;
 use crate::time::Nanos;
 
@@ -26,8 +24,7 @@ use crate::time::Nanos;
 /// let x = service.sample(&mut rng);
 /// assert!(x >= 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Dist {
     /// Always the same value.
     Constant {
@@ -367,22 +364,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn debug_format_names_the_variant() {
         let d = Dist::mix(
             0.1,
             Dist::lognormal_mean_cv(500.0, 0.3),
             Dist::pareto(10.0, 2.0),
         );
-        let json = serde_json_lite(&d);
-        assert!(json.contains("mix"));
-    }
-
-    // serde_json is not a dependency; exercise Serialize via the
-    // serde-provided debug path instead (the derive compiles, which is the
-    // contract we care about) and round-trip through bincode-like manual
-    // check using the `Dist` equality.
-    fn serde_json_lite(d: &Dist) -> String {
-        format!("{d:?}").to_lowercase()
+        let rendered = format!("{d:?}").to_lowercase();
+        assert!(rendered.contains("mix"));
     }
 
     #[test]

@@ -10,8 +10,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An absolute instant of virtual time, in nanoseconds since simulation start.
 ///
 /// `Nanos` is the simulation's equivalent of the value returned by the kernel
@@ -29,9 +27,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((end - start).as_nanos(), 5_000);
 /// ```
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
-#[serde(transparent)]
 pub struct Nanos(u64);
 
 impl Nanos {
@@ -232,9 +229,8 @@ impl From<Nanos> for u64 {
 /// Produced by [`Nanos::signed_delta`]; useful for residuals and jitter where
 /// the sign carries meaning.
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
-#[serde(transparent)]
 pub struct NanoDelta(i64);
 
 impl NanoDelta {

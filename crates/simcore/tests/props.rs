@@ -1,7 +1,7 @@
 //! Property-based tests for the simulation kernel.
 
 use kscope_simcore::{Dist, Engine, Nanos, Scheduler, SimRng, Simulation};
-use proptest::prelude::*;
+use kscope_testkit::{gen, Config};
 
 /// Records delivery order for ordering properties.
 struct Recorder {
@@ -15,111 +15,157 @@ impl Simulation for Recorder {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Events are always delivered in non-decreasing time order, and
-    /// FIFO within a timestamp, regardless of insertion order.
-    #[test]
-    fn dispatch_order_is_total(times in prop::collection::vec(0u64..1_000, 1..64)) {
-        let mut engine = Engine::new();
-        for (i, &t) in times.iter().enumerate() {
-            engine.schedule(Nanos::from_nanos(t), i as u64);
-        }
-        let mut rec = Recorder { seen: Vec::new() };
-        engine.run(&mut rec);
-        prop_assert_eq!(rec.seen.len(), times.len());
-        for pair in rec.seen.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0, "time went backwards");
-            if pair[0].0 == pair[1].0 {
-                // FIFO tie-break: sequence ids ascend within an instant
-                // when the events were scheduled in that order... which
-                // they were iff their times are equal and ids ascend.
-                let (a, b) = (pair[0].1, pair[1].1);
-                prop_assert!(
-                    times[a as usize] == times[b as usize],
-                    "tie grouped different times"
-                );
-                prop_assert!(a < b, "FIFO violated within an instant");
+/// Events are always delivered in non-decreasing time order, and
+/// FIFO within a timestamp, regardless of insertion order.
+#[test]
+fn dispatch_order_is_total() {
+    kscope_testkit::check!(
+        Config::cases(256),
+        |rng: &mut SimRng| gen::vec_of(rng, 1, 63, |r| gen::u64_in(r, 0, 999)),
+        |times: &Vec<u64>| {
+            let mut engine = Engine::new();
+            for (i, &t) in times.iter().enumerate() {
+                engine.schedule(Nanos::from_nanos(t), i as u64);
+            }
+            let mut rec = Recorder { seen: Vec::new() };
+            engine.run(&mut rec);
+            assert_eq!(rec.seen.len(), times.len());
+            for pair in rec.seen.windows(2) {
+                assert!(pair[0].0 <= pair[1].0, "time went backwards");
+                if pair[0].0 == pair[1].0 {
+                    // FIFO tie-break: sequence ids ascend within an instant
+                    // when the events were scheduled in that order... which
+                    // they were iff their times are equal and ids ascend.
+                    let (a, b) = (pair[0].1, pair[1].1);
+                    assert!(
+                        times[a as usize] == times[b as usize],
+                        "tie grouped different times"
+                    );
+                    assert!(a < b, "FIFO violated within an instant");
+                }
             }
         }
-    }
+    );
+}
 
-    /// The clock never runs backwards and `processed` counts every event.
-    #[test]
-    fn clock_is_monotone(times in prop::collection::vec(0u64..500, 1..32)) {
-        let mut engine = Engine::new();
-        for (i, &t) in times.iter().enumerate() {
-            engine.schedule(Nanos::from_nanos(t), i as u64);
+/// The clock never runs backwards and `processed` counts every event.
+#[test]
+fn clock_is_monotone() {
+    kscope_testkit::check!(
+        Config::cases(256),
+        |rng: &mut SimRng| gen::vec_of(rng, 1, 31, |r| gen::u64_in(r, 0, 499)),
+        |times: &Vec<u64>| {
+            let mut engine = Engine::new();
+            for (i, &t) in times.iter().enumerate() {
+                engine.schedule(Nanos::from_nanos(t), i as u64);
+            }
+            let mut rec = Recorder { seen: Vec::new() };
+            engine.run(&mut rec);
+            assert_eq!(engine.processed(), times.len() as u64);
+            assert_eq!(engine.now().as_nanos(), *times.iter().max().unwrap());
         }
-        let mut rec = Recorder { seen: Vec::new() };
-        engine.run(&mut rec);
-        prop_assert_eq!(engine.processed(), times.len() as u64);
-        prop_assert_eq!(engine.now().as_nanos(), *times.iter().max().unwrap());
-    }
+    );
+}
 
-    /// run_until never processes events beyond the deadline.
-    #[test]
-    fn run_until_respects_deadline(
-        times in prop::collection::vec(0u64..1_000, 1..48),
-        deadline in 0u64..1_000,
-    ) {
-        let mut engine = Engine::new();
-        for (i, &t) in times.iter().enumerate() {
-            engine.schedule(Nanos::from_nanos(t), i as u64);
+/// run_until never processes events beyond the deadline.
+#[test]
+fn run_until_respects_deadline() {
+    kscope_testkit::check!(
+        Config::cases(256),
+        |rng: &mut SimRng| {
+            (
+                gen::vec_of(rng, 1, 47, |r| gen::u64_in(r, 0, 999)),
+                gen::u64_in(rng, 0, 999),
+            )
+        },
+        |(times, deadline): &(Vec<u64>, u64)| {
+            let deadline = *deadline;
+            let mut engine = Engine::new();
+            for (i, &t) in times.iter().enumerate() {
+                engine.schedule(Nanos::from_nanos(t), i as u64);
+            }
+            let mut rec = Recorder { seen: Vec::new() };
+            engine.run_until(&mut rec, Nanos::from_nanos(deadline));
+            let expected = times.iter().filter(|&&t| t <= deadline).count();
+            assert_eq!(rec.seen.len(), expected);
+            assert!(rec.seen.iter().all(|(t, _)| t.as_nanos() <= deadline));
         }
-        let mut rec = Recorder { seen: Vec::new() };
-        engine.run_until(&mut rec, Nanos::from_nanos(deadline));
-        let expected = times.iter().filter(|&&t| t <= deadline).count();
-        prop_assert_eq!(rec.seen.len(), expected);
-        prop_assert!(rec.seen.iter().all(|(t, _)| t.as_nanos() <= deadline));
-    }
+    );
+}
 
-    /// Identical seeds give identical streams; draws stay in range.
-    #[test]
-    fn rng_determinism_and_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut a = SimRng::seed_from_u64(seed);
-        let mut b = SimRng::seed_from_u64(seed);
-        for _ in 0..32 {
-            let x = a.next_below(bound);
-            prop_assert_eq!(x, b.next_below(bound));
-            prop_assert!(x < bound);
+/// Identical seeds give identical streams; draws stay in range.
+#[test]
+fn rng_determinism_and_bounds() {
+    kscope_testkit::check!(
+        Config::cases(256),
+        |rng: &mut SimRng| (gen::u64_any(rng), gen::u64_in(rng, 1, 999_999)),
+        |&(seed, bound): &(u64, u64)| {
+            let mut a = SimRng::seed_from_u64(seed);
+            let mut b = SimRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                let x = a.next_below(bound);
+                assert_eq!(x, b.next_below(bound));
+                assert!(x < bound);
+            }
         }
-    }
+    );
+}
 
-    /// Every distribution sample is non-negative and finite.
-    #[test]
-    fn dist_samples_are_non_negative(seed in any::<u64>(), pick in 0u8..6) {
-        let dist = match pick {
-            0 => Dist::constant(5.0),
-            1 => Dist::uniform(1.0, 9.0),
-            2 => Dist::exponential(250.0),
-            3 => Dist::normal(10.0, 30.0),
-            4 => Dist::lognormal_mean_cv(100.0, 1.5),
-            _ => Dist::mix(0.3, Dist::constant(1.0), Dist::pareto(2.0, 1.5)),
-        };
-        let mut rng = SimRng::seed_from_u64(seed);
-        for _ in 0..64 {
-            let x = dist.sample(&mut rng);
-            prop_assert!(x.is_finite());
-            prop_assert!(x >= 0.0);
+/// Every distribution sample is non-negative and finite.
+#[test]
+fn dist_samples_are_non_negative() {
+    kscope_testkit::check!(
+        Config::cases(256),
+        |rng: &mut SimRng| (gen::u64_any(rng), gen::u64_in(rng, 0, 5) as u8),
+        |&(seed, pick): &(u64, u8)| {
+            let dist = match pick {
+                0 => Dist::constant(5.0),
+                1 => Dist::uniform(1.0, 9.0),
+                2 => Dist::exponential(250.0),
+                3 => Dist::normal(10.0, 30.0),
+                4 => Dist::lognormal_mean_cv(100.0, 1.5),
+                _ => Dist::mix(0.3, Dist::constant(1.0), Dist::pareto(2.0, 1.5)),
+            };
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                let x = dist.sample(&mut rng);
+                assert!(x.is_finite());
+                assert!(x >= 0.0);
+            }
         }
-    }
+    );
+}
 
-    /// lognormal_mean_cv hits its analytic mean for any parameters.
-    #[test]
-    fn lognormal_mean_is_exact(mean in 1.0f64..1e7, cv in 0.0f64..2.0) {
-        let dist = Dist::lognormal_mean_cv(mean, cv);
-        prop_assert!((dist.mean() - mean).abs() / mean < 1e-9);
-    }
+/// lognormal_mean_cv hits its analytic mean for any parameters.
+#[test]
+fn lognormal_mean_is_exact() {
+    kscope_testkit::check!(
+        Config::cases(256),
+        |rng: &mut SimRng| (gen::f64_in(rng, 1.0, 1e7), gen::f64_in(rng, 0.0, 2.0)),
+        |&(mean, cv): &(f64, f64)| {
+            let dist = Dist::lognormal_mean_cv(mean, cv);
+            assert!((dist.mean() - mean).abs() / mean < 1e-9);
+        }
+    );
+}
 
-    /// Nanos arithmetic: (a + b) - b == a and saturating_sub never
-    /// underflows.
-    #[test]
-    fn nanos_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
-        let na = Nanos::from_nanos(a);
-        let nb = Nanos::from_nanos(b);
-        prop_assert_eq!((na + nb) - nb, na);
-        prop_assert_eq!(na.saturating_sub(nb).as_nanos(), a.saturating_sub(b));
-    }
+/// Nanos arithmetic: (a + b) - b == a and saturating_sub never
+/// underflows.
+#[test]
+fn nanos_arithmetic() {
+    kscope_testkit::check!(
+        Config::cases(256),
+        |rng: &mut SimRng| {
+            (
+                gen::u64_in(rng, 0, u64::MAX / 4 - 1),
+                gen::u64_in(rng, 0, u64::MAX / 4 - 1),
+            )
+        },
+        |&(a, b): &(u64, u64)| {
+            let na = Nanos::from_nanos(a);
+            let nb = Nanos::from_nanos(b);
+            assert_eq!((na + nb) - nb, na);
+            assert_eq!(na.saturating_sub(nb).as_nanos(), a.saturating_sub(b));
+        }
+    );
 }

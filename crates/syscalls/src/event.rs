@@ -4,7 +4,6 @@
 use core::fmt;
 
 use kscope_simcore::Nanos;
-use serde::{Deserialize, Serialize};
 
 use crate::no::SyscallNo;
 
@@ -37,7 +36,7 @@ pub fn split_pid_tgid(packed: u64) -> (Pid, Tid) {
 
 /// A completed system call: the pairing of one `sys_enter` with its matching
 /// `sys_exit`, exactly what the paper's Listing 1 reconstructs inside eBPF.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SyscallEvent {
     /// Thread that issued the call.
     pub tid: Tid,
@@ -86,7 +85,7 @@ impl fmt::Display for SyscallEvent {
 }
 
 /// Which edge of the syscall a tracepoint callback is observing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TracePhase {
     /// `raw_syscalls:sys_enter`.
     Enter,
@@ -96,7 +95,7 @@ pub enum TracePhase {
 
 /// The context handed to a tracepoint probe — the fields an eBPF program
 /// attached to `raw_syscalls:sys_enter`/`sys_exit` can actually read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TracepointCtx {
     /// Which edge fired.
     pub phase: TracePhase,

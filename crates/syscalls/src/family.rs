@@ -9,13 +9,11 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::no::SyscallNo;
 
 /// The coarse role a syscall plays in a request-response server.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum SyscallFamily {
     /// Receives request bytes: `read`, `recvfrom`, `recvmsg`.

@@ -7,8 +7,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An x86-64 Linux system-call number.
 ///
 /// # Examples
@@ -21,9 +19,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(SyscallNo::from_name("sendto"), Some(SyscallNo::SENDTO));
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
-#[serde(transparent)]
 pub struct SyscallNo(u32);
 
 macro_rules! syscall_table {

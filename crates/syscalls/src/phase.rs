@@ -8,7 +8,6 @@
 //! analysis is locating it.
 
 use kscope_simcore::Nanos;
-use serde::{Deserialize, Serialize};
 
 use crate::family::SyscallFamily;
 use crate::no::SyscallNo;
@@ -16,7 +15,7 @@ use crate::profile::SyscallProfile;
 use crate::trace::Trace;
 
 /// The three lifecycle phases of a request-response server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Process start through the first request-oriented syscall.
     Setup,
@@ -27,7 +26,7 @@ pub enum Phase {
 }
 
 /// Result of splitting a trace into lifecycle phases.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseReport {
     /// Events before the first request-oriented syscall.
     pub setup: Trace,

@@ -11,12 +11,10 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::no::SyscallNo;
 
 /// The role a syscall plays in one application's request path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyscallRole {
     /// Carries incoming request bytes.
     Receive,
@@ -48,7 +46,7 @@ impl fmt::Display for SyscallRole {
 /// assert_eq!(tailbench.role_of(SyscallNo::SELECT), Some(SyscallRole::Poll));
 /// assert_eq!(tailbench.role_of(SyscallNo::FUTEX), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyscallProfile {
     receive: Vec<SyscallNo>,
     send: Vec<SyscallNo>,

@@ -10,7 +10,6 @@
 use std::collections::BTreeMap;
 
 use kscope_simcore::Nanos;
-use serde::{Deserialize, Serialize};
 
 use crate::event::{SyscallEvent, Tid};
 use crate::no::SyscallNo;
@@ -43,7 +42,7 @@ use crate::profile::{SyscallProfile, SyscallRole};
 /// assert_eq!(deltas.len(), 3);
 /// assert!(deltas.iter().all(|d| d.as_micros() == 10));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<SyscallEvent>,
 }

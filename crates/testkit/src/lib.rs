@@ -1,0 +1,52 @@
+//! # kscope-testkit
+//!
+//! A zero-dependency, fully deterministic verification toolkit for the
+//! kscope workspace. The paper's central claim — that syscall-stream
+//! estimators faithfully reconstruct request-level metrics — is only
+//! reproducible if the simulated kernel, the eBPF VM, and the estimators
+//! are themselves verified, and that verification must run in an offline
+//! build environment with no external crates. This crate provides the
+//! three layers that make it possible:
+//!
+//! 1. **Property testing** ([`prop`], [`shrink`], [`gen`]): a seeded
+//!    harness built on [`kscope_simcore::SimRng`]. Generators are plain
+//!    closures over the deterministic RNG; failures shrink to a minimal
+//!    counterexample and print a one-line environment-variable repro
+//!    command (`KSCOPE_TESTKIT_SEED=… cargo test …`).
+//! 2. **Differential fuzzing of the eBPF stack** ([`ebpf_gen`]):
+//!    generators for random instruction words, random whole programs, and
+//!    random *verifier-friendly* programs authored through
+//!    [`kscope_ebpf::asm::Asm`], plus an independent straight-line
+//!    reference evaluator the interpreter is compared against.
+//! 3. **Golden-trace regression** ([`golden`]): parsers for the committed
+//!    fixture syscall traces and their expected estimator outputs, with
+//!    explicit tolerances, so silent drift in the Eq. 1 / Eq. 2 /
+//!    poll-slack pipelines turns a test red.
+//!
+//! Everything is seed-addressed: the same seed always produces the same
+//! generated values, the same programs, and the same verdicts.
+//!
+//! # Examples
+//!
+//! ```
+//! use kscope_simcore::SimRng;
+//! use kscope_testkit::prop::Config;
+//!
+//! kscope_testkit::check!(Config::cases(64), |rng: &mut SimRng| {
+//!     (rng.next_below(100), rng.next_below(100))
+//! }, |&(a, b)| {
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ebpf_gen;
+pub mod gen;
+pub mod golden;
+pub mod prop;
+pub mod shrink;
+
+pub use prop::{Config, TestkitFailure};
+pub use shrink::Shrink;

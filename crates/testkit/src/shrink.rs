@@ -1,0 +1,257 @@
+//! Counterexample shrinking.
+//!
+//! [`Shrink::shrink`] proposes a list of strictly "smaller" candidate
+//! values. The property runner greedily walks this list: the first
+//! candidate that still fails the property becomes the new counterexample,
+//! until no candidate fails or the step budget runs out. Implementations
+//! must guarantee progress (candidates must be closer to a terminal value
+//! such as `0`, `false`, or the empty vector), otherwise shrinking could
+//! cycle; the runner additionally enforces a hard step limit.
+
+use kscope_simcore::Nanos;
+use kscope_syscalls::TracepointCtx;
+
+/// Types whose failing values can be reduced toward a minimal
+/// counterexample.
+///
+/// The default implementation proposes nothing, which is always sound:
+/// shrinking is an ergonomic improvement, not a correctness requirement.
+pub trait Shrink: Sized + Clone {
+    /// Candidate smaller values, in decreasing order of aggressiveness
+    /// (try the biggest simplification first).
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! shrink_unsigned {
+    ($($t:ty),+) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v == 0 {
+                    return out;
+                }
+                out.push(0);
+                if v / 2 != 0 {
+                    out.push(v / 2);
+                }
+                out.push(v - 1);
+                out.dedup();
+                out
+            }
+        }
+    )+};
+}
+
+shrink_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! shrink_signed {
+    ($($t:ty),+) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v == 0 {
+                    return out;
+                }
+                out.push(0);
+                // Negatives first try their positive mirror: a sign flip is
+                // usually the bigger simplification.
+                if v < 0 && v != <$t>::MIN {
+                    out.push(-v);
+                }
+                if v / 2 != 0 {
+                    out.push(v / 2);
+                }
+                out.push(v - v.signum());
+                out.dedup();
+                out
+            }
+        }
+    )+};
+}
+
+shrink_signed!(i8, i16, i32, i64, i128, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+macro_rules! shrink_float {
+    ($($t:ty),+) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0.0 || !v.is_finite() {
+                    return Vec::new();
+                }
+                let mut out = vec![0.0];
+                if v < 0.0 {
+                    out.push(-v);
+                }
+                out.push(v / 2.0);
+                let t = v.trunc();
+                if t != v {
+                    out.push(t);
+                }
+                out.retain(|c| c != &v);
+                out
+            }
+        }
+    )+};
+}
+
+shrink_float!(f32, f64);
+
+impl Shrink for Nanos {
+    fn shrink(&self) -> Vec<Self> {
+        self.as_nanos()
+            .shrink()
+            .into_iter()
+            .map(Nanos::from_nanos)
+            .collect()
+    }
+}
+
+impl Shrink for TracepointCtx {
+    /// Shrinks the timestamp toward zero; the categorical fields (phase,
+    /// syscall, pids) stay put — collection-level shrinking removes whole
+    /// events instead.
+    fn shrink(&self) -> Vec<Self> {
+        self.ktime
+            .shrink()
+            .into_iter()
+            .map(|ktime| TracepointCtx { ktime, ..*self })
+            .collect()
+    }
+}
+
+impl<T: Shrink> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<T: Shrink> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        out.push(Vec::new());
+        // Halves: drop the back, drop the front.
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n - n / 2..].to_vec());
+        }
+        // Remove single elements (bounded so huge vectors stay cheap).
+        for i in 0..n.min(16) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Shrink individual elements in place (bounded likewise).
+        for i in 0..n.min(8) {
+            for replacement in self[i].shrink().into_iter().take(2) {
+                let mut v = self.clone();
+                v[i] = replacement;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Shrink),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = candidate;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+shrink_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_terminal() {
+        assert!(0u64.shrink().is_empty());
+        assert!(0i32.shrink().is_empty());
+        assert!(!false.shrink().iter().any(|_| true));
+        assert!(0.0f64.shrink().is_empty());
+    }
+
+    #[test]
+    fn unsigned_candidates_are_smaller() {
+        for v in [1u64, 2, 7, 1000, u64::MAX] {
+            for c in v.shrink() {
+                assert!(c < v, "candidate {c} not smaller than {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_negatives_offer_sign_flip() {
+        assert!((-5i32).shrink().contains(&5));
+        assert!((-5i32).shrink().contains(&0));
+    }
+
+    #[test]
+    fn vec_shrink_offers_empty_and_removals() {
+        let v = vec![3u32, 9, 27];
+        let candidates = v.shrink();
+        assert!(candidates.contains(&Vec::new()));
+        assert!(candidates.contains(&vec![9, 27]));
+        assert!(candidates.iter().any(|c| c.len() < v.len()));
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let candidates = (4u8, true).shrink();
+        assert!(candidates.contains(&(0, true)));
+        assert!(candidates.contains(&(4, false)));
+    }
+
+    #[test]
+    fn float_shrink_never_proposes_itself() {
+        for v in [1.5f64, -3.25, 1e9] {
+            assert!(!v.shrink().contains(&v));
+        }
+    }
+}

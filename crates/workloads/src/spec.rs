@@ -12,10 +12,9 @@
 
 use kscope_simcore::{Dist, Nanos};
 use kscope_syscalls::SyscallProfile;
-use serde::{Deserialize, Serialize};
 
 /// Request-handling thread structure.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ThreadingModel {
     /// One thread owns every connection: epoll → recv → compute → send.
     SingleThreaded,
@@ -46,7 +45,7 @@ pub enum ThreadingModel {
 }
 
 /// Full description of one benchmark application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Display name (matches the paper's tables).
     pub name: String,
