@@ -18,7 +18,7 @@
 //! eBPF.
 
 use kscope_ebpf::asm::Asm;
-use kscope_ebpf::insn::{R0, R1, R2, R3, R4, R6, R7, R8, R9, R10, SZ_DW, SZ_W};
+use kscope_ebpf::insn::{OP_JLT, R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, SZ_DW, SZ_W};
 use kscope_ebpf::interp::{ExecEnv, Vm};
 use kscope_ebpf::maps::{MapDef, MapFd, MapRegistry};
 use kscope_ebpf::verifier::{Verifier, VerifierConfig};
@@ -34,6 +34,9 @@ pub const NS_PER_INSN: f64 = 5.0;
 
 /// Size of the context buffer the programs receive.
 pub const CTX_SIZE: usize = 16;
+
+/// Buckets in the in-probe log2 histogram of poll durations.
+pub const HIST_BUCKETS: usize = 64;
 
 /// Errors from building the bytecode probe.
 #[derive(Debug)]
@@ -83,6 +86,7 @@ pub struct BytecodeBackend {
     enter: Program,
     exit: Program,
     stats_fd: MapFd,
+    hist_fd: Option<MapFd>,
     shift: u32,
     tgids: Vec<Pid>,
     insns_executed: u64,
@@ -96,7 +100,26 @@ impl BytecodeBackend {
     /// Returns [`BuildError`] if assembly or verification fails — which
     /// would indicate a bug in the program generator, not bad input.
     pub fn new(tgid: Pid, profile: SyscallProfile, shift: u32) -> Result<BytecodeBackend, BuildError> {
-        BytecodeBackend::new_multi(vec![tgid], profile, shift)
+        BytecodeBackend::build(vec![tgid], profile, shift, false)
+    }
+
+    /// Like [`BytecodeBackend::new`], but the exit program additionally
+    /// maintains a [`HIST_BUCKETS`]-bucket log2 histogram of scaled poll
+    /// durations in its own array map. The bucket index is computed *in
+    /// the probe* with a branch-free-of-loops bit ladder and used as a
+    /// register offset into the map value — the access pattern the
+    /// value-tracking verifier exists to admit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on generator bugs, as for
+    /// [`BytecodeBackend::new`].
+    pub fn new_with_histogram(
+        tgid: Pid,
+        profile: SyscallProfile,
+        shift: u32,
+    ) -> Result<BytecodeBackend, BuildError> {
+        BytecodeBackend::build(vec![tgid], profile, shift, true)
     }
 
     /// Builds a probe observing several processes at once (multi-stage
@@ -116,17 +139,28 @@ impl BytecodeBackend {
         profile: SyscallProfile,
         shift: u32,
     ) -> Result<BytecodeBackend, BuildError> {
+        BytecodeBackend::build(tgids, profile, shift, false)
+    }
+
+    fn build(
+        tgids: Vec<Pid>,
+        profile: SyscallProfile,
+        shift: u32,
+        histogram: bool,
+    ) -> Result<BytecodeBackend, BuildError> {
         assert!(!tgids.is_empty(), "observe at least one process");
         let mut maps = MapRegistry::new();
         let start_fd = maps.create("start", MapDef::hash(8, 8, 4096));
         let stats_fd = maps.create("stats", MapDef::array(offsets::VALUE_SIZE as u32, 1));
+        let hist_fd = histogram
+            .then(|| maps.create("poll_hist", MapDef::array((HIST_BUCKETS * 8) as u32, 1)));
 
         let send_no = profile.primary(SyscallRole::Send).raw() as i32;
         let recv_no = profile.primary(SyscallRole::Receive).raw() as i32;
         let poll_no = profile.primary(SyscallRole::Poll).raw() as i32;
 
         let enter = build_enter(&tgids, poll_no, start_fd).map_err(BuildError::Asm)?;
-        let exit = build_exit(&tgids, send_no, recv_no, poll_no, shift, start_fd, stats_fd)
+        let exit = build_exit(&tgids, send_no, recv_no, poll_no, shift, start_fd, stats_fd, hist_fd)
             .map_err(BuildError::Asm)?;
 
         let verifier = Verifier::new(VerifierConfig {
@@ -142,6 +176,7 @@ impl BytecodeBackend {
             enter,
             exit,
             stats_fd,
+            hist_fd,
             shift,
             tgids,
             insns_executed: 0,
@@ -158,17 +193,57 @@ impl BytecodeBackend {
         self.insns_executed
     }
 
+    /// The assembled `sys_enter` and `sys_exit` programs, in that order
+    /// (for acceptance-corpus tests and tooling).
+    pub fn programs(&self) -> (&Program, &Program) {
+        (&self.enter, &self.exit)
+    }
+
+    /// The map registry backing the programs.
+    pub fn map_registry(&self) -> &MapRegistry {
+        &self.maps
+    }
+
     /// Disassembly of both programs (for documentation and debugging).
     pub fn disassembly(&self) -> String {
         format!("{}\n{}", self.enter.disassemble(), self.exit.disassemble())
     }
 
+    /// Array-map slot 0 of one of this backend's own maps. Both the
+    /// stats and histogram maps are 1-entry arrays created in `build`,
+    /// so the slot exists by construction.
+    fn slot0(maps: &MapRegistry, fd: MapFd) -> &[u8] {
+        match maps.lookup(fd, &0u32.to_le_bytes()) {
+            Ok(Some(value)) => value,
+            other => unreachable!("backend-owned array slot 0 missing: {other:?}"),
+        }
+    }
+
+    fn slot0_mut(maps: &mut MapRegistry, fd: MapFd) -> &mut [u8] {
+        match maps.lookup_mut(fd, &0u32.to_le_bytes()) {
+            Ok(Some(value)) => value,
+            other => unreachable!("backend-owned array slot 0 missing: {other:?}"),
+        }
+    }
+
     fn stats_value(&self) -> Vec<u8> {
-        self.maps
-            .lookup(self.stats_fd, &0u32.to_le_bytes())
-            .expect("stats map exists")
-            .expect("array slot 0 exists")
-            .to_vec()
+        Self::slot0(&self.maps, self.stats_fd).to_vec()
+    }
+
+    /// The in-probe log2 histogram of scaled poll durations, or `None`
+    /// when the backend was built without one. Bucket `i` counts polls
+    /// with `floor(log2(max(duration >> shift, 1))) == i`.
+    pub fn poll_histogram(&self) -> Option<[u64; HIST_BUCKETS]> {
+        let fd = self.hist_fd?;
+        let value = Self::slot0(&self.maps, fd);
+        let mut out = [0u64; HIST_BUCKETS];
+        for (i, chunk) in value.chunks_exact(8).enumerate() {
+            match chunk.try_into() {
+                Ok(bytes) => out[i] = u64::from_le_bytes(bytes),
+                Err(_) => unreachable!("chunks_exact(8) yields 8-byte chunks"),
+            }
+        }
+        Some(out)
     }
 }
 
@@ -186,10 +261,12 @@ impl MetricBackend for BytecodeBackend {
             TracePhase::Enter => &self.enter,
             TracePhase::Exit => &self.exit,
         };
-        let outcome = self
-            .vm
-            .execute(program, &buf, &mut self.maps, &mut env)
-            .expect("verified program cannot fault");
+        let outcome = match self.vm.execute(program, &buf, &mut self.maps, &mut env) {
+            Ok(outcome) => outcome,
+            // `build` only returns backends whose programs passed the
+            // verifier, and verified programs cannot fault.
+            Err(e) => unreachable!("verified program faulted: {e:?}"),
+        };
         self.insns_executed += outcome.insns_executed;
         Nanos::from_nanos((outcome.insns_executed as f64 * NS_PER_INSN).round() as u64)
     }
@@ -199,11 +276,7 @@ impl MetricBackend for BytecodeBackend {
     }
 
     fn reset_window(&mut self) {
-        let value = self
-            .maps
-            .lookup_mut(self.stats_fd, &0u32.to_le_bytes())
-            .expect("stats map exists")
-            .expect("array slot 0 exists");
+        let value = Self::slot0_mut(&mut self.maps, self.stats_fd);
         // Zero everything except the two last-timestamp cells, which chain
         // deltas across window boundaries.
         for off in [
@@ -220,10 +293,17 @@ impl MetricBackend for BytecodeBackend {
         ] {
             value[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
         }
+        if let Some(fd) = self.hist_fd {
+            Self::slot0_mut(&mut self.maps, fd).fill(0);
+        }
     }
 
     fn backend_name(&self) -> &'static str {
         "ebpf-bytecode"
+    }
+
+    fn poll_histogram(&self) -> Option<[u64; HIST_BUCKETS]> {
+        BytecodeBackend::poll_histogram(self)
     }
 }
 
@@ -264,7 +344,9 @@ fn build_enter(tgids: &[Pid], poll_no: i32, start_fd: MapFd) -> Result<Program, 
         .assemble()
 }
 
-/// Builds the `sys_exit` program: classify and update the stats cells.
+/// Builds the `sys_exit` program: classify and update the stats cells,
+/// plus the optional in-probe log2 histogram of poll durations.
+#[allow(clippy::too_many_arguments)]
 fn build_exit(
     tgids: &[Pid],
     send_no: i32,
@@ -273,6 +355,7 @@ fn build_exit(
     shift: u32,
     start_fd: MapFd,
     stats_fd: MapFd,
+    hist_fd: Option<MapFd>,
 ) -> Result<Program, kscope_ebpf::asm::AsmError> {
     let asm = Asm::new("kscope_sys_exit")
         .mov64_reg(R9, R1) // save ctx
@@ -403,9 +486,50 @@ fn build_exit(
         .mul64_reg(R4, R8)
         .load(SZ_DW, R1, R7, offsets::POLL_SUMSQ as i16)
         .add64_reg(R1, R4)
-        .store_reg(SZ_DW, R7, R1, offsets::POLL_SUMSQ as i16)
-        .mov64_imm(R0, 0)
-        .exit();
+        .store_reg(SZ_DW, R7, R1, offsets::POLL_SUMSQ as i16);
+
+    if let Some(hist_fd) = hist_fd {
+        // bucket = floor(log2(duration)) via a loop-free bit ladder: the
+        // duration is still in R8, the bucket accumulates in R6 (the
+        // pid_tgid it held is dead by now). Each rung tests one power of
+        // two with a forward jump, so the program stays a DAG.
+        asm = asm.mov64_imm(R6, 0).ld_dw(R5, 1u64 << 32).jlt_reg(
+            R8,
+            R5,
+            "hist_lt32",
+        );
+        asm = asm.add64_imm(R6, 32).rsh64_imm(R8, 32).label("hist_lt32");
+        for k in [16, 8, 4, 2] {
+            let skip = format!("hist_lt{k}");
+            asm = asm
+                .jmp_imm(OP_JLT, R8, 1i32 << k, skip.clone())
+                .add64_imm(R6, k)
+                .rsh64_imm(R8, k as i32)
+                .label(skip);
+        }
+        asm = asm
+            .jmp_imm(OP_JLT, R8, 2, "hist_lt1")
+            .add64_imm(R6, 1)
+            .label("hist_lt1")
+            // The ladder already bounds R6 to [0, 63]; the mask makes the
+            // proof local (AND pins the tnum) and guards future edits.
+            .and64_imm(R6, 63)
+            .lsh64_imm(R6, 3) // byte offset of the 8-byte bucket cell
+            // hist value pointer -> R0, then a *register-offset* increment.
+            .store_imm(SZ_W, R10, -4, 0)
+            .ld_map_fd(R1, hist_fd)
+            .mov64_reg(R2, R10)
+            .add64_imm(R2, -4)
+            .call(Helper::MapLookupElem)
+            .jeq_imm(R0, 0, "hist_done")
+            .add64_reg(R0, R6)
+            .load(SZ_DW, R1, R0, 0)
+            .add64_imm(R1, 1)
+            .store_reg(SZ_DW, R0, R1, 0)
+            .label("hist_done");
+    }
+
+    asm = asm.mov64_imm(R0, 0).exit();
 
     asm.assemble()
 }
@@ -483,6 +607,68 @@ mod tests {
         assert!(dis.contains("kscope_sys_exit"));
         assert!(dis.contains("call 14")); // bpf_get_current_pid_tgid
         assert!(dis.contains("call 5")); // bpf_ktime_get_ns
+    }
+
+    #[test]
+    fn histogram_probe_verifies_and_buckets_poll_durations() {
+        let mut p =
+            BytecodeBackend::new_with_histogram(1200, SyscallProfile::data_caching(), 0).unwrap();
+        // 350_000 ns: floor(log2) = 18 (2^18 = 262144 <= 350000 < 2^19).
+        p.on_event(&ctx(TracePhase::Enter, SyscallNo::EPOLL_WAIT, 1, 100));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::EPOLL_WAIT, 1, 450));
+        // 1_000 ns: floor(log2(1000)) = 9.
+        p.on_event(&ctx(TracePhase::Enter, SyscallNo::EPOLL_WAIT, 2, 500));
+        p.on_event(&TracepointCtx {
+            phase: TracePhase::Exit,
+            no: SyscallNo::EPOLL_WAIT,
+            pid_tgid: pid_tgid(1200, 2),
+            ktime: Nanos::from_nanos(501_000),
+            ret: 1,
+        });
+        let hist = p.poll_histogram().expect("histogram enabled");
+        assert_eq!(hist[18], 1, "350us poll lands in bucket 18: {hist:?}");
+        assert_eq!(hist[9], 1, "1us poll lands in bucket 9: {hist:?}");
+        assert_eq!(hist.iter().sum::<u64>(), 2);
+        // Scalar counters keep working alongside the histogram.
+        assert_eq!(p.counters().poll.count, 2);
+    }
+
+    #[test]
+    fn histogram_edge_buckets() {
+        let mut p =
+            BytecodeBackend::new_with_histogram(1200, SyscallProfile::data_caching(), 0).unwrap();
+        // Zero-length poll: bucket 0 (log2 clamped up from -inf).
+        p.on_event(&ctx(TracePhase::Enter, SyscallNo::EPOLL_WAIT, 1, 100));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::EPOLL_WAIT, 1, 100));
+        // 1 ns: also bucket 0.
+        p.on_event(&ctx(TracePhase::Enter, SyscallNo::EPOLL_WAIT, 2, 200));
+        p.on_event(&TracepointCtx {
+            phase: TracePhase::Exit,
+            no: SyscallNo::EPOLL_WAIT,
+            pid_tgid: pid_tgid(1200, 2),
+            ktime: Nanos::from_nanos(200_001),
+            ret: 1,
+        });
+        let hist = p.poll_histogram().expect("histogram enabled");
+        assert_eq!(hist[0], 2, "{hist:?}");
+    }
+
+    #[test]
+    fn histogram_absent_without_opt_in() {
+        let p = probe();
+        assert!(p.poll_histogram().is_none());
+        assert!(MetricBackend::poll_histogram(&p).is_none());
+    }
+
+    #[test]
+    fn histogram_resets_with_window() {
+        let mut p =
+            BytecodeBackend::new_with_histogram(1200, SyscallProfile::data_caching(), 0).unwrap();
+        p.on_event(&ctx(TracePhase::Enter, SyscallNo::EPOLL_WAIT, 1, 100));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::EPOLL_WAIT, 1, 450));
+        p.reset_window();
+        let hist = p.poll_histogram().expect("histogram enabled");
+        assert_eq!(hist.iter().sum::<u64>(), 0);
     }
 
     #[test]

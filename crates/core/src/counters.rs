@@ -77,7 +77,10 @@ impl RawCounters {
     /// Panics if `value` is shorter than [`offsets::VALUE_SIZE`].
     pub fn decode(shift: u32, value: &[u8]) -> RawCounters {
         let cell = |off: usize| -> u64 {
-            u64::from_le_bytes(value[off..off + 8].try_into().expect("8-byte cell"))
+            match value[off..off + 8].try_into() {
+                Ok(bytes) => u64::from_le_bytes(bytes),
+                Err(_) => unreachable!("an 8-byte slice converts to [u8; 8]"),
+            }
         };
         RawCounters {
             send: ScaledAcc::from_cells(

@@ -154,10 +154,12 @@ impl TracepointProbe for CustomProbe {
             pid_tgid: ctx.pid_tgid,
             ..ExecEnv::default()
         };
-        let outcome = self
-            .vm
-            .execute(program, &buf, &mut self.maps, &mut env)
-            .expect("verified program cannot fault");
+        let outcome = match self.vm.execute(program, &buf, &mut self.maps, &mut env) {
+            Ok(outcome) => outcome,
+            // Construction verified both programs; accepted programs
+            // cannot fault.
+            Err(e) => unreachable!("verified program faulted: {e:?}"),
+        };
         Nanos::from_nanos((outcome.insns_executed as f64 * NS_PER_INSN).round() as u64)
     }
 

@@ -69,7 +69,7 @@ pub mod streaming;
 pub mod timeline;
 
 pub use agent::{Agent, AgentReport};
-pub use bytecode::{BuildError, BytecodeBackend, CTX_SIZE, NS_PER_INSN};
+pub use bytecode::{BuildError, BytecodeBackend, CTX_SIZE, HIST_BUCKETS, NS_PER_INSN};
 pub use counters::{offsets, RawCounters, WindowMetrics};
 pub use estimators::{
     RpsEstimator, SaturationAssessment, SaturationDetector, SlackAssessment, SlackEstimator,

@@ -26,6 +26,14 @@ pub trait MetricBackend {
 
     /// Short backend label for diagnostics.
     fn backend_name(&self) -> &'static str;
+
+    /// The in-probe log2 histogram of scaled poll durations, when the
+    /// backend maintains one (bucket `i` counts polls whose scaled
+    /// duration has `floor(log2) == i`). Backends without in-kernel
+    /// aggregation return `None`, the default.
+    fn poll_histogram(&self) -> Option<[u64; 64]> {
+        None
+    }
 }
 
 /// Windowing wrapper: backend + agent behaviour, attachable to the kernel's

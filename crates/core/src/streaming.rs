@@ -121,18 +121,28 @@ impl StreamingProbe {
     /// Records dropped because the ring buffer was full — the reason the
     /// paper computes metrics in kernel space instead.
     pub fn dropped(&self) -> u64 {
-        self.maps.ring_dropped(self.ring_fd).expect("ring exists")
+        match self.maps.ring_dropped(self.ring_fd) {
+            Ok(dropped) => dropped,
+            // `ring_fd` was created in `new` and fds are never closed.
+            Err(e) => unreachable!("backend-owned ring buffer vanished: {e}"),
+        }
     }
 
     /// Drains all pending records (the userspace consumer).
     pub fn drain(&mut self) -> Vec<StreamedEvent> {
-        self.maps
-            .ring_drain(self.ring_fd)
-            .expect("ring exists")
+        let records = match self.maps.ring_drain(self.ring_fd) {
+            Ok(records) => records,
+            // `ring_fd` was created in `new` and fds are never closed.
+            Err(e) => unreachable!("backend-owned ring buffer vanished: {e}"),
+        };
+        records
             .into_iter()
             .map(|record| {
                 let cell = |i: usize| -> u64 {
-                    u64::from_le_bytes(record[i * 8..(i + 1) * 8].try_into().expect("32B record"))
+                    match record[i * 8..(i + 1) * 8].try_into() {
+                        Ok(bytes) => u64::from_le_bytes(bytes),
+                        Err(_) => unreachable!("an 8-byte slice converts to [u8; 8]"),
+                    }
                 };
                 StreamedEvent {
                     phase: if cell(0) == 0 {
@@ -201,10 +211,12 @@ impl TracepointProbe for StreamingProbe {
             pid_tgid: ctx.pid_tgid,
             ..ExecEnv::default()
         };
-        let outcome = self
-            .vm
-            .execute(&self.program, &buf, &mut self.maps, &mut env)
-            .expect("verified program cannot fault");
+        let outcome = match self.vm.execute(&self.program, &buf, &mut self.maps, &mut env) {
+            Ok(outcome) => outcome,
+            // Construction verified the program; accepted programs
+            // cannot fault.
+            Err(e) => unreachable!("verified program faulted: {e:?}"),
+        };
         Nanos::from_nanos((outcome.insns_executed as f64 * NS_PER_INSN).round() as u64)
     }
 

@@ -12,9 +12,13 @@
 //!
 //! * [`insn`] — the real x86-64 eBPF instruction encoding;
 //! * [`asm::Asm`] — a label-resolving builder (the "clang" of this stack);
+//! * [`tnum::Tnum`] — the known-bits (tristate number) abstract domain;
 //! * [`verifier::Verifier`] — bounded size, no back-edges, uninitialized
-//!   read detection, bounds-checked memory, null-check enforcement for map
-//!   values, helper signature checking;
+//!   read detection, value-tracking abstract interpretation (tnums +
+//!   signed/unsigned ranges) admitting register-offset memory accesses,
+//!   null-check enforcement for map values, helper signature checking,
+//!   and a [`verifier::VerifierReport`] collecting every error with
+//!   register dumps plus unreachable/dead-store warnings;
 //! * [`interp::Vm`] — the interpreter with tagged address regions;
 //! * [`maps::MapRegistry`] — hash/array/ringbuf maps shared with userspace;
 //! * [`helpers::Helper`] — Linux-numbered kernel helpers
@@ -55,6 +59,7 @@ pub mod interp;
 pub mod maps;
 pub mod program;
 pub mod text;
+pub mod tnum;
 pub mod verifier;
 
 pub use asm::Asm;
@@ -63,4 +68,7 @@ pub use interp::{ExecEnv, ExecError, ExecOutcome, Vm};
 pub use maps::{MapDef, MapError, MapFd, MapKind, MapRegistry};
 pub use program::Program;
 pub use text::parse_program;
-pub use verifier::{Verifier, VerifierConfig, VerifyError};
+pub use tnum::Tnum;
+pub use verifier::{
+    Diagnostic, Verifier, VerifierConfig, VerifierReport, VerifyError, VerifyWarning,
+};

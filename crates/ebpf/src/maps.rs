@@ -247,6 +247,15 @@ impl MapRegistry {
         Ok(())
     }
 
+    /// Decodes an array-map index from a key that `check_key` already
+    /// sized: array maps always declare 4-byte keys.
+    fn array_index(key: &[u8]) -> u32 {
+        match key.try_into() {
+            Ok(bytes) => u32::from_le_bytes(bytes),
+            Err(_) => unreachable!("check_key verified the 4-byte array key"),
+        }
+    }
+
     fn check_value(def: &MapDef, value: &[u8]) -> Result<(), MapError> {
         if value.len() != def.value_size as usize {
             return Err(MapError::ValueSize {
@@ -268,7 +277,7 @@ impl MapRegistry {
         match &entry.storage {
             MapStorage::Hash(map) => Ok(map.get(key).map(Vec::as_slice)),
             MapStorage::Array(values) => {
-                let index = u32::from_le_bytes(key.try_into().expect("key size checked"));
+                let index = Self::array_index(key);
                 if index >= entry.def.max_entries {
                     return Ok(None); // Matches kernel semantics: OOB lookup is NULL.
                 }
@@ -293,7 +302,7 @@ impl MapRegistry {
         match &mut entry.storage {
             MapStorage::Hash(map) => Ok(map.get_mut(key).map(Vec::as_mut_slice)),
             MapStorage::Array(values) => {
-                let index = u32::from_le_bytes(key.try_into().expect("key size checked"));
+                let index = Self::array_index(key);
                 if index >= max_entries {
                     return Ok(None);
                 }
@@ -323,7 +332,7 @@ impl MapRegistry {
                 Ok(())
             }
             MapStorage::Array(values) => {
-                let index = u32::from_le_bytes(key.try_into().expect("key size checked"));
+                let index = Self::array_index(key);
                 if index >= def.max_entries {
                     return Err(MapError::IndexOutOfBounds {
                         index,
@@ -447,7 +456,10 @@ impl MapRegistry {
                 got: value.len(),
             });
         }
-        Ok(u64::from_le_bytes(value[..8].try_into().expect("length checked")))
+        match value[..8].try_into() {
+            Ok(bytes) => Ok(u64::from_le_bytes(bytes)),
+            Err(_) => unreachable!("an 8-byte slice converts to [u8; 8]"),
+        }
     }
 
     /// Convenience: writes a `u64` into an array map slot.

@@ -15,7 +15,20 @@
 //!
 //! The analysis is a branch-sensitive abstract interpretation over the
 //! instruction DAG (acyclicity makes a single in-order pass with state
-//! joins sufficient).
+//! joins sufficient). Scalars carry a *value-tracking* domain — a tristate
+//! number ([`crate::tnum::Tnum`], known bits) plus unsigned and signed
+//! interval bounds `{umin, umax, smin, smax}` — propagated through every
+//! ALU op and refined along both directions of conditional jumps
+//! (including `JSET` and the signed compares). Pointers carry an offset
+//! *interval*, so a register-computed offset whose bounds provably fit the
+//! target region verifies, exactly like the kernel's tnum + range
+//! machinery admits per-CPU histogram bucketing.
+//!
+//! Beyond accept/reject, [`Verifier::verify_report`] returns a
+//! [`VerifierReport`]: every error found (not just the first), each with
+//! the abstract register file at the faulting instruction and a witness
+//! path from the entry, plus structured warnings for unreachable
+//! instructions and dead stack stores.
 
 use crate::helpers::{ArgClass, Helper, RetClass};
 use crate::insn::{
@@ -26,6 +39,7 @@ use crate::insn::{
 };
 use crate::maps::{MapFd, MapRegistry};
 use crate::program::Program;
+use crate::tnum::Tnum;
 
 /// Verifier configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +48,15 @@ pub struct VerifierConfig {
     pub ctx_size: usize,
     /// Maximum number of instruction slots.
     pub max_insns: usize,
+    /// Whether scalars carry value information (tnum + ranges) that can
+    /// justify register-offset pointer arithmetic and refine branches.
+    ///
+    /// `true` (the default) is the real verifier. `false` reproduces the
+    /// historical type-only lattice — register-form pointer arithmetic is
+    /// `PointerArith` and conditional jumps refine nothing — and exists so
+    /// differential tests can assert the value-tracking verifier accepts
+    /// a strict superset of what the old rules accepted.
+    pub value_tracking: bool,
 }
 
 impl Default for VerifierConfig {
@@ -41,6 +64,7 @@ impl Default for VerifierConfig {
         VerifierConfig {
             ctx_size: 64,
             max_insns: MAX_INSNS,
+            value_tracking: true,
         }
     }
 }
@@ -106,7 +130,8 @@ pub enum VerifyError {
         pc: usize,
         /// Which region was accessed.
         region: &'static str,
-        /// Byte offset of the access.
+        /// Byte offset of the access (lowest possible offset for
+        /// register-offset accesses).
         off: i64,
         /// Access size.
         size: usize,
@@ -237,24 +262,842 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Structured advisory findings: the program is safe to load, but parts
+/// of it do nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyWarning {
+    /// An instruction no execution path can reach.
+    UnreachableInsn {
+        /// The unreachable pc.
+        pc: usize,
+    },
+    /// A stack store whose bytes are never read on any path to `exit`.
+    DeadStore {
+        /// The storing instruction.
+        pc: usize,
+        /// Stack offset of the store (relative to `r10`).
+        off: i64,
+        /// Store size in bytes.
+        size: usize,
+    },
+}
+
+impl std::fmt::Display for VerifyWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyWarning::UnreachableInsn { pc } => {
+                write!(f, "pc {pc}: instruction is unreachable")
+            }
+            VerifyWarning::DeadStore { pc, off, size } => {
+                write!(f, "pc {pc}: dead store to stack at {off} (size {size})")
+            }
+        }
+    }
+}
+
+/// One verification error with the evidence that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The error itself.
+    pub error: VerifyError,
+    /// A witness path of pcs from the entry to the faulting instruction
+    /// (empty for structural errors found before abstract interpretation).
+    pub path: Vec<usize>,
+    /// Rendered abstract register file (`r0` … `r10`) at the faulting
+    /// instruction; empty for structural errors.
+    pub regs: Vec<String>,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.error)?;
+        if !self.path.is_empty() {
+            let shown: Vec<String> = self
+                .path
+                .iter()
+                .rev()
+                .take(8)
+                .rev()
+                .map(|pc| pc.to_string())
+                .collect();
+            let prefix = if self.path.len() > 8 { "… -> " } else { "" };
+            write!(f, "\n  path: {prefix}{}", shown.join(" -> "))?;
+        }
+        if !self.regs.is_empty() {
+            write!(f, "\n  regs:")?;
+            for (i, r) in self.regs.iter().enumerate() {
+                if r != "uninit" {
+                    write!(f, " r{i}={r}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything the verifier learned about a program: all errors (not just
+/// the first) and advisory warnings.
+///
+/// Produced by [`Verifier::verify_report`]; [`Verifier::verify`] is the
+/// thin first-error view over it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerifierReport {
+    /// Every error found, in program-counter order (structural errors
+    /// first). Empty iff the program verifies.
+    pub errors: Vec<Diagnostic>,
+    /// Advisory findings; only populated when the program has no errors.
+    pub warnings: Vec<VerifyWarning>,
+}
+
+impl VerifierReport {
+    /// Whether the program verified (no errors; warnings don't count).
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// The first error, if any — what [`Verifier::verify`] returns.
+    pub fn first_error(&self) -> Option<&VerifyError> {
+        self.errors.first().map(|d| &d.error)
+    }
+}
+
+impl std::fmt::Display for VerifierReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.errors.is_empty() {
+            write!(f, "verification passed")?;
+        } else {
+            write!(f, "verification failed: {} error(s)", self.errors.len())?;
+            for d in &self.errors {
+                write!(f, "\n{d}")?;
+            }
+        }
+        for w in &self.warnings {
+            write!(f, "\nwarning: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+const M32: u64 = 0xFFFF_FFFF;
+
+/// The scalar abstract value: a tnum plus unsigned and signed interval
+/// bounds, kept mutually consistent by [`Scalar::try_normalize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scalar {
+    tn: Tnum,
+    umin: u64,
+    umax: u64,
+    smin: i64,
+    smax: i64,
+}
+
+impl Scalar {
+    fn unknown() -> Scalar {
+        Scalar {
+            tn: Tnum::UNKNOWN,
+            umin: 0,
+            umax: u64::MAX,
+            smin: i64::MIN,
+            smax: i64::MAX,
+        }
+    }
+
+    fn constant(v: u64) -> Scalar {
+        Scalar {
+            tn: Tnum::constant(v),
+            umin: v,
+            umax: v,
+            smin: v as i64,
+            smax: v as i64,
+        }
+    }
+
+    /// Sound abstraction of the unsigned interval `[lo, hi]`.
+    fn from_urange(lo: u64, hi: u64) -> Scalar {
+        Scalar {
+            tn: Tnum::range(lo, hi),
+            umin: lo,
+            umax: hi,
+            smin: i64::MIN,
+            smax: i64::MAX,
+        }
+        .normalized()
+    }
+
+    fn top32() -> Scalar {
+        Scalar::from_urange(0, M32)
+    }
+
+    fn const_val(self) -> Option<u64> {
+        if self.umin == self.umax {
+            Some(self.umin)
+        } else {
+            self.tn.const_val()
+        }
+    }
+
+    /// Cross-derives each bound representation from the others; `None`
+    /// when the constraints are contradictory (the concretization is
+    /// empty).
+    fn try_normalize(mut self) -> Option<Scalar> {
+        for _ in 0..2 {
+            self.umin = self.umin.max(self.tn.min());
+            self.umax = self.umax.min(self.tn.max());
+            // Unsigned -> signed when the unsigned range stays on one
+            // side of the sign boundary.
+            if self.umax <= i64::MAX as u64 || self.umin > i64::MAX as u64 {
+                self.smin = self.smin.max(self.umin as i64);
+                self.smax = self.smax.min(self.umax as i64);
+            }
+            // Signed -> unsigned when the signed range doesn't cross zero
+            // (as u64 both halves are order-preserving).
+            if self.smin >= 0 || self.smax < 0 {
+                self.umin = self.umin.max(self.smin as u64);
+                self.umax = self.umax.min(self.smax as u64);
+            }
+            if self.umin > self.umax || self.smin > self.smax {
+                return None;
+            }
+            self.tn = self.tn.intersect(Tnum::range(self.umin, self.umax))?;
+        }
+        Some(self)
+    }
+
+    /// Normalize, widening to top on contradiction (transfer functions on
+    /// feasible inputs stay feasible; top is the sound fallback).
+    fn normalized(self) -> Scalar {
+        self.try_normalize().unwrap_or_else(Scalar::unknown)
+    }
+
+    /// Lattice join (union of concretizations, over-approximated).
+    fn join(a: Scalar, b: Scalar) -> Scalar {
+        Scalar {
+            tn: a.tn.union(b.tn),
+            umin: a.umin.min(b.umin),
+            umax: a.umax.max(b.umax),
+            smin: a.smin.min(b.smin),
+            smax: a.smax.max(b.smax),
+        }
+        .normalized()
+    }
+
+    /// Lattice meet (intersection); `None` when provably empty.
+    fn meet(a: Scalar, b: Scalar) -> Option<Scalar> {
+        Scalar {
+            tn: a.tn.intersect(b.tn)?,
+            umin: a.umin.max(b.umin),
+            umax: a.umax.min(b.umax),
+            smin: a.smin.max(b.smin),
+            smax: a.smax.min(b.smax),
+        }
+        .try_normalize()
+    }
+}
+
+impl std::fmt::Display for Scalar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(v) = self.const_val() {
+            write!(f, "scalar({v:#x})")
+        } else {
+            write!(
+                f,
+                "scalar(u=[{},{}] s=[{},{}] tnum={})",
+                self.umin, self.umax, self.smin, self.smax, self.tn
+            )
+        }
+    }
+}
+
+/// Exact 64-bit ALU semantics, mirroring `interp.rs` (div by zero yields
+/// 0, mod by zero leaves dst unchanged, shifts mask the count).
+fn exact64(op: u8, a: u64, b: u64) -> Option<u64> {
+    Some(match op {
+        OP_ADD => a.wrapping_add(b),
+        OP_SUB => a.wrapping_sub(b),
+        OP_MUL => a.wrapping_mul(b),
+        OP_DIV => a.checked_div(b).unwrap_or(0),
+        OP_MOD => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        OP_OR => a | b,
+        OP_AND => a & b,
+        OP_XOR => a ^ b,
+        OP_LSH => a.wrapping_shl(b as u32 & 63),
+        OP_RSH => a.wrapping_shr(b as u32 & 63),
+        OP_ARSH => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+        OP_NEG => (a as i64).wrapping_neg() as u64,
+        _ => return None,
+    })
+}
+
+/// Exact 32-bit ALU semantics (results zero-extend).
+fn exact32(op: u8, a: u64, b: u64) -> Option<u64> {
+    let a = a as u32;
+    let b = b as u32;
+    let v32 = match op {
+        OP_ADD => a.wrapping_add(b),
+        OP_SUB => a.wrapping_sub(b),
+        OP_MUL => a.wrapping_mul(b),
+        OP_DIV => a.checked_div(b).unwrap_or(0),
+        OP_MOD => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        OP_OR => a | b,
+        OP_AND => a & b,
+        OP_XOR => a ^ b,
+        OP_LSH => a.wrapping_shl(b & 31),
+        OP_RSH => a.wrapping_shr(b & 31),
+        OP_ARSH => ((a as i32).wrapping_shr(b & 31)) as u32,
+        OP_NEG => (a as i32).wrapping_neg() as u32,
+        _ => return None,
+    };
+    Some(v32 as u64)
+}
+
+/// Smallest all-ones value >= x (upper bound for OR/XOR results).
+fn all_ones_ceil(x: u64) -> u64 {
+    if x == 0 {
+        0
+    } else {
+        u64::MAX >> x.leading_zeros()
+    }
+}
+
+/// 64-bit ALU transfer function on scalars.
+fn alu64_transfer(op: u8, a: Scalar, b: Scalar) -> Scalar {
+    if let (Some(x), Some(y)) = (a.const_val(), b.const_val()) {
+        if let Some(v) = exact64(op, x, y) {
+            return Scalar::constant(v);
+        }
+    }
+    let r = match op {
+        OP_ADD => {
+            let (umin, umax) = match (a.umin.checked_add(b.umin), a.umax.checked_add(b.umax)) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => (0, u64::MAX),
+            };
+            let (smin, smax) = match (a.smin.checked_add(b.smin), a.smax.checked_add(b.smax)) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => (i64::MIN, i64::MAX),
+            };
+            Scalar {
+                tn: a.tn.add(b.tn),
+                umin,
+                umax,
+                smin,
+                smax,
+            }
+        }
+        OP_SUB => {
+            let (umin, umax) = match (a.umin.checked_sub(b.umax), a.umax.checked_sub(b.umin)) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => (0, u64::MAX),
+            };
+            let (smin, smax) = match (a.smin.checked_sub(b.smax), a.smax.checked_sub(b.smin)) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => (i64::MIN, i64::MAX),
+            };
+            Scalar {
+                tn: a.tn.sub(b.tn),
+                umin,
+                umax,
+                smin,
+                smax,
+            }
+        }
+        OP_MUL => {
+            if a.umax <= M32 && b.umax <= M32 {
+                // The product can't wrap 64 bits.
+                Scalar {
+                    tn: a.tn.mul(b.tn),
+                    umin: a.umin * b.umin,
+                    umax: a.umax * b.umax,
+                    smin: i64::MIN,
+                    smax: i64::MAX,
+                }
+            } else {
+                Scalar {
+                    tn: a.tn.mul(b.tn),
+                    ..Scalar::unknown()
+                }
+            }
+        }
+        OP_DIV => {
+            if let Some(c) = b.const_val() {
+                if c == 0 {
+                    Scalar::constant(0)
+                } else {
+                    Scalar::from_urange(a.umin / c, a.umax / c)
+                }
+            } else if b.umin > 0 {
+                // Divisor provably nonzero: proper interval division.
+                Scalar::from_urange(a.umin / b.umax, a.umax / b.umin)
+            } else {
+                // Divisor may be zero (result 0); quotient never exceeds
+                // the dividend.
+                Scalar::from_urange(0, a.umax)
+            }
+        }
+        OP_MOD => {
+            if let Some(c) = b.const_val() {
+                if c == 0 {
+                    a // BPF: mod by zero leaves dst unchanged
+                } else {
+                    Scalar::from_urange(0, a.umax.min(c - 1))
+                }
+            } else if b.umin > 0 {
+                Scalar::from_urange(0, a.umax.min(b.umax - 1))
+            } else {
+                // Zero divisor passes the dividend through.
+                Scalar::from_urange(0, a.umax.max(b.umax.saturating_sub(1)))
+            }
+        }
+        OP_AND => Scalar {
+            tn: a.tn.and(b.tn),
+            umin: 0,
+            umax: a.umax.min(b.umax),
+            smin: i64::MIN,
+            smax: i64::MAX,
+        },
+        OP_OR => Scalar {
+            tn: a.tn.or(b.tn),
+            umin: a.umin.max(b.umin),
+            umax: all_ones_ceil(a.umax.max(b.umax)),
+            smin: i64::MIN,
+            smax: i64::MAX,
+        },
+        OP_XOR => Scalar {
+            tn: a.tn.xor(b.tn),
+            umin: 0,
+            umax: all_ones_ceil(a.umax.max(b.umax)),
+            smin: i64::MIN,
+            smax: i64::MAX,
+        },
+        OP_LSH => {
+            if let Some(s) = b.const_val() {
+                let s = (s & 63) as u32;
+                let bounded = a.umax.leading_zeros() >= s;
+                Scalar {
+                    tn: a.tn.lshift(s),
+                    umin: if bounded { a.umin << s } else { 0 },
+                    umax: if bounded { a.umax << s } else { u64::MAX },
+                    smin: i64::MIN,
+                    smax: i64::MAX,
+                }
+            } else {
+                Scalar::unknown()
+            }
+        }
+        OP_RSH => {
+            if let Some(s) = b.const_val() {
+                let s = (s & 63) as u32;
+                Scalar {
+                    tn: a.tn.rshift(s),
+                    umin: a.umin >> s,
+                    umax: a.umax >> s,
+                    smin: i64::MIN,
+                    smax: i64::MAX,
+                }
+            } else {
+                // A logical right shift never increases the value.
+                Scalar::from_urange(0, a.umax)
+            }
+        }
+        OP_ARSH => {
+            if let Some(s) = b.const_val() {
+                let s = (s & 63) as u32;
+                Scalar {
+                    tn: a.tn.arshift(s),
+                    umin: 0,
+                    umax: u64::MAX,
+                    smin: a.smin >> s,
+                    smax: a.smax >> s,
+                }
+            } else if a.smin >= 0 {
+                // Shifting a non-negative value right keeps it in [0, smax].
+                Scalar {
+                    tn: Tnum::UNKNOWN,
+                    umin: 0,
+                    umax: a.umax,
+                    smin: 0,
+                    smax: a.smax,
+                }
+            } else {
+                Scalar::unknown()
+            }
+        }
+        OP_NEG => {
+            if a.smin != i64::MIN {
+                Scalar {
+                    tn: Tnum::constant(0).sub(a.tn),
+                    umin: 0,
+                    umax: u64::MAX,
+                    smin: -a.smax,
+                    smax: -a.smin,
+                }
+            } else {
+                Scalar::unknown()
+            }
+        }
+        _ => Scalar::unknown(),
+    };
+    r.normalized()
+}
+
+/// 32-bit ALU transfer function: exact on constants, tnum/range-based
+/// where cheap and sound, `[0, u32::MAX]` otherwise. Results zero-extend.
+fn alu32_transfer(op: u8, a: Scalar, b: Scalar) -> Scalar {
+    if op == OP_MOV {
+        return match b.const_val() {
+            Some(v) => Scalar::constant(v & M32),
+            None if b.umax <= M32 => b,
+            None => Scalar {
+                tn: b.tn.cast32(),
+                ..Scalar::top32()
+            }
+            .normalized(),
+        };
+    }
+    if let (Some(x), Some(y)) = (a.const_val(), b.const_val()) {
+        if let Some(v) = exact32(op, x, y) {
+            return Scalar::constant(v);
+        }
+    }
+    // Inputs truncated to their low 32 bits.
+    let a32 = if a.umax <= M32 {
+        a
+    } else {
+        Scalar {
+            tn: a.tn.cast32(),
+            ..Scalar::top32()
+        }
+        .normalized()
+    };
+    let b32 = if matches!(op, OP_LSH | OP_RSH) {
+        // 32-bit shifts mask the count with 31; the 64-bit transfer we
+        // delegate to masks with 63, so pre-mask a known count here and
+        // give up on an unknown one (the 64-bit non-const shift paths
+        // are sound for any count, but a count in [32, 63] would shift
+        // a known tnum too far).
+        match b.const_val() {
+            Some(c) => Scalar::constant(c & 31),
+            None => Scalar::unknown(),
+        }
+    } else if b.umax <= M32 {
+        b
+    } else {
+        Scalar {
+            tn: b.tn.cast32(),
+            ..Scalar::top32()
+        }
+        .normalized()
+    };
+    match op {
+        OP_AND | OP_OR | OP_XOR | OP_DIV | OP_MOD | OP_RSH => {
+            // These cannot produce bits above 31 from 32-bit inputs, and
+            // the 64-bit transfer is exact for them on such inputs (the
+            // shift count was pre-masked to [0, 31] above; an unknown
+            // count degrades to a sound range anyway).
+            let r = alu64_transfer(op, a32, b32);
+            if r.umax <= M32 {
+                r
+            } else {
+                Scalar {
+                    tn: r.tn.cast32(),
+                    ..Scalar::top32()
+                }
+                .normalized()
+            }
+        }
+        OP_ADD | OP_SUB | OP_MUL | OP_LSH => {
+            // May carry past bit 31: keep the result only if it provably
+            // didn't wrap.
+            let r = alu64_transfer(op, a32, b32);
+            if r.umax <= M32 {
+                r
+            } else {
+                Scalar {
+                    tn: r.tn.cast32(),
+                    ..Scalar::top32()
+                }
+                .normalized()
+            }
+        }
+        _ => Scalar::top32(),
+    }
+}
+
+/// Negation of a conditional-jump op: the condition that holds on the
+/// fall-through edge.
+fn negate_cmp(op: u8) -> u8 {
+    match op {
+        OP_JEQ => OP_JNE,
+        OP_JNE => OP_JEQ,
+        OP_JGT => OP_JLE,
+        OP_JGE => OP_JLT,
+        OP_JLT => OP_JGE,
+        OP_JLE => OP_JGT,
+        OP_JSGT => OP_JSLE,
+        OP_JSGE => OP_JSLT,
+        OP_JSLT => OP_JSGE,
+        OP_JSLE => OP_JSGT,
+        other => other, // JSET is handled out of band
+    }
+}
+
+/// Removes the single point `c` from a scalar's range when it sits on an
+/// interval endpoint. `None` when the scalar *is* exactly `c` (the branch
+/// is infeasible).
+fn exclude_point(mut s: Scalar, c: u64) -> Option<Scalar> {
+    if s.const_val() == Some(c) {
+        return None;
+    }
+    if s.umin == c {
+        s.umin = s.umin.checked_add(1)?;
+    }
+    if s.umax == c {
+        s.umax = s.umax.checked_sub(1)?;
+    }
+    let sc = c as i64;
+    if s.smin == sc {
+        s.smin = s.smin.checked_add(1)?;
+    }
+    if s.smax == sc {
+        s.smax = s.smax.checked_sub(1)?;
+    }
+    s.try_normalize()
+}
+
+/// Refines `(d, s)` under the assumption that the 64-bit comparison
+/// `d <op> s` *holds*. Returns `None` when the assumption is infeasible
+/// (the corresponding branch edge is dead).
+fn refine_cmp64(op: u8, d: Scalar, s: Scalar) -> Option<(Scalar, Scalar)> {
+    match op {
+        OP_JEQ => {
+            let m = Scalar::meet(d, s)?;
+            Some((m, m))
+        }
+        OP_JNE => {
+            let mut d2 = d;
+            let mut s2 = s;
+            if let Some(c) = s.const_val() {
+                d2 = exclude_point(d2, c)?;
+            }
+            if let Some(c) = d.const_val() {
+                s2 = exclude_point(s2, c)?;
+            }
+            Some((d2, s2))
+        }
+        OP_JGT => {
+            let mut d2 = d;
+            let mut s2 = s;
+            d2.umin = d2.umin.max(s.umin.checked_add(1)?);
+            s2.umax = s2.umax.min(d.umax.checked_sub(1)?);
+            Some((d2.try_normalize()?, s2.try_normalize()?))
+        }
+        OP_JGE => {
+            let mut d2 = d;
+            let mut s2 = s;
+            d2.umin = d2.umin.max(s.umin);
+            s2.umax = s2.umax.min(d.umax);
+            Some((d2.try_normalize()?, s2.try_normalize()?))
+        }
+        OP_JLT => {
+            let mut d2 = d;
+            let mut s2 = s;
+            d2.umax = d2.umax.min(s.umax.checked_sub(1)?);
+            s2.umin = s2.umin.max(d.umin.checked_add(1)?);
+            Some((d2.try_normalize()?, s2.try_normalize()?))
+        }
+        OP_JLE => {
+            let mut d2 = d;
+            let mut s2 = s;
+            d2.umax = d2.umax.min(s.umax);
+            s2.umin = s2.umin.max(d.umin);
+            Some((d2.try_normalize()?, s2.try_normalize()?))
+        }
+        OP_JSGT => {
+            let mut d2 = d;
+            let mut s2 = s;
+            d2.smin = d2.smin.max(s.smin.checked_add(1)?);
+            s2.smax = s2.smax.min(d.smax.checked_sub(1)?);
+            Some((d2.try_normalize()?, s2.try_normalize()?))
+        }
+        OP_JSGE => {
+            let mut d2 = d;
+            let mut s2 = s;
+            d2.smin = d2.smin.max(s.smin);
+            s2.smax = s2.smax.min(d.smax);
+            Some((d2.try_normalize()?, s2.try_normalize()?))
+        }
+        OP_JSLT => {
+            let mut d2 = d;
+            let mut s2 = s;
+            d2.smax = d2.smax.min(s.smax.checked_sub(1)?);
+            s2.smin = s2.smin.max(d.smin.checked_add(1)?);
+            Some((d2.try_normalize()?, s2.try_normalize()?))
+        }
+        OP_JSLE => {
+            let mut d2 = d;
+            let mut s2 = s;
+            d2.smax = d2.smax.min(s.smax);
+            s2.smin = s2.smin.max(d.smin);
+            Some((d2.try_normalize()?, s2.try_normalize()?))
+        }
+        _ => Some((d, s)),
+    }
+}
+
+/// Refines under `d & s != 0` (JSET taken).
+fn refine_jset_taken(d: Scalar, s: Scalar) -> Option<(Scalar, Scalar)> {
+    let mut d2 = d;
+    let mut s2 = s;
+    // Both operands must be nonzero for the AND to be nonzero.
+    d2.umin = d2.umin.max(1);
+    s2.umin = s2.umin.max(1);
+    if let Some(c) = s.const_val() {
+        // No possibly-set bit of d overlaps c: infeasible.
+        if d.tn.max() & c == 0 {
+            return None;
+        }
+        // A single-bit constant pins that bit of d to 1.
+        if c.count_ones() == 1 {
+            d2.tn = d2.tn.intersect(Tnum {
+                value: c,
+                mask: !c,
+            })?;
+        }
+    }
+    if let Some(c) = d.const_val() {
+        if s.tn.max() & c == 0 {
+            return None;
+        }
+        if c.count_ones() == 1 {
+            s2.tn = s2.tn.intersect(Tnum {
+                value: c,
+                mask: !c,
+            })?;
+        }
+    }
+    Some((d2.try_normalize()?, s2.try_normalize()?))
+}
+
+/// Refines under `d & s == 0` (JSET not taken).
+fn refine_jset_fall(d: Scalar, s: Scalar) -> Option<(Scalar, Scalar)> {
+    let mut d2 = d;
+    let mut s2 = s;
+    if let Some(c) = s.const_val() {
+        // A known-set bit of d overlapping c makes the AND nonzero.
+        if d.tn.value & c != 0 {
+            return None;
+        }
+        // Every bit of c is now known-0 in d.
+        d2.tn = Tnum {
+            value: d2.tn.value,
+            mask: d2.tn.mask & !c,
+        };
+    }
+    if let Some(c) = d.const_val() {
+        if s.tn.value & c != 0 {
+            return None;
+        }
+        s2.tn = Tnum {
+            value: s2.tn.value,
+            mask: s2.tn.mask & !c,
+        };
+    }
+    Some((d2.try_normalize()?, s2.try_normalize()?))
+}
+
+/// Branch refinement entry point: refines `(d, s)` for one edge of a
+/// conditional jump. `taken` selects the edge; `is32` marks a JMP32
+/// compare (which only observes the low halves — refinement is applied
+/// only where that is sound). `None` means the edge is provably dead.
+fn refine_branch(
+    op: u8,
+    taken: bool,
+    is32: bool,
+    d: Scalar,
+    s: Scalar,
+) -> Option<(Scalar, Scalar)> {
+    if is32 {
+        // Exact evaluation when both low halves are known.
+        if let (Some(x), Some(y)) = (d.const_val(), s.const_val()) {
+            let holds = eval_cmp32(op, x, y);
+            return if holds == taken { Some((d, s)) } else { None };
+        }
+        // Unsigned 32-bit compares agree with the 64-bit compare when
+        // both operands provably fit in 32 bits.
+        let unsigned = matches!(op, OP_JEQ | OP_JNE | OP_JGT | OP_JGE | OP_JLT | OP_JLE | OP_JSET);
+        if !(unsigned && d.umax <= M32 && s.umax <= M32) {
+            return Some((d, s));
+        }
+    }
+    if op == OP_JSET {
+        return if taken {
+            refine_jset_taken(d, s)
+        } else {
+            refine_jset_fall(d, s)
+        };
+    }
+    let effective = if taken { op } else { negate_cmp(op) };
+    refine_cmp64(effective, d, s)
+}
+
+/// Concrete 32-bit comparison (low halves, signed ops on i32).
+fn eval_cmp32(op: u8, x: u64, y: u64) -> bool {
+    let (a, b) = (x as u32, y as u32);
+    let (sa, sb) = (a as i32, b as i32);
+    match op {
+        OP_JEQ => a == b,
+        OP_JNE => a != b,
+        OP_JGT => a > b,
+        OP_JGE => a >= b,
+        OP_JLT => a < b,
+        OP_JLE => a <= b,
+        OP_JSET => a & b != 0,
+        OP_JSGT => sa > sb,
+        OP_JSGE => sa >= sb,
+        OP_JSLT => sa < sb,
+        OP_JSLE => sa <= sb,
+        _ => true,
+    }
+}
+
 /// Abstract register contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RegType {
     Uninit,
-    Scalar { known: Option<u64> },
-    PtrCtx { off: i64 },
-    PtrStack { off: i64 },
-    PtrMapValue { off: i64, value_size: u32, nullable: bool },
+    Scalar(Scalar),
+    /// Context pointer with a total-offset interval `[lo, hi]`.
+    PtrCtx { lo: i64, hi: i64 },
+    /// Stack pointer (relative to `r10`) with offset interval `[lo, hi]`.
+    PtrStack { lo: i64, hi: i64 },
+    /// Map-value pointer with offset interval `[lo, hi]`.
+    PtrMapValue {
+        lo: i64,
+        hi: i64,
+        value_size: u32,
+        nullable: bool,
+    },
     MapHandle { fd: MapFd },
 }
 
 impl RegType {
     fn scalar() -> RegType {
-        RegType::Scalar { known: None }
+        RegType::Scalar(Scalar::unknown())
     }
 
     fn known(v: u64) -> RegType {
-        RegType::Scalar { known: Some(v) }
+        RegType::Scalar(Scalar::constant(v))
     }
 
     fn is_init(self) -> bool {
@@ -265,26 +1108,62 @@ impl RegType {
         use RegType::*;
         match (a, b) {
             (x, y) if x == y => x,
-            (Scalar { known: ka }, Scalar { known: kb }) => Scalar {
-                known: if ka == kb { ka } else { None },
+            (Scalar(sa), Scalar(sb)) => Scalar(self::Scalar::join(sa, sb)),
+            (PtrCtx { lo: la, hi: ha }, PtrCtx { lo: lb, hi: hb }) => PtrCtx {
+                lo: la.min(lb),
+                hi: ha.max(hb),
+            },
+            (PtrStack { lo: la, hi: ha }, PtrStack { lo: lb, hi: hb }) => PtrStack {
+                lo: la.min(lb),
+                hi: ha.max(hb),
             },
             (
                 PtrMapValue {
-                    off: oa,
+                    lo: la,
+                    hi: ha,
                     value_size: sa,
                     nullable: na,
                 },
                 PtrMapValue {
-                    off: ob,
+                    lo: lb,
+                    hi: hb,
                     value_size: sb,
                     nullable: nb,
                 },
-            ) if oa == ob && sa == sb => PtrMapValue {
-                off: oa,
+            ) if sa == sb => PtrMapValue {
+                lo: la.min(lb),
+                hi: ha.max(hb),
                 value_size: sa,
                 nullable: na || nb,
             },
             _ => Uninit,
+        }
+    }
+
+    fn render(self) -> String {
+        fn span(lo: i64, hi: i64) -> String {
+            if lo == hi {
+                format!("{lo:+}")
+            } else {
+                format!("+[{lo},{hi}]")
+            }
+        }
+        match self {
+            RegType::Uninit => "uninit".to_string(),
+            RegType::Scalar(s) => s.to_string(),
+            RegType::PtrCtx { lo, hi } => format!("ctx{}", span(lo, hi)),
+            RegType::PtrStack { lo, hi } => format!("fp{}", span(lo, hi)),
+            RegType::PtrMapValue {
+                lo,
+                hi,
+                value_size,
+                nullable,
+            } => format!(
+                "map_value{}{}(size {value_size})",
+                span(lo, hi),
+                if nullable { "_or_null" } else { "" }
+            ),
+            RegType::MapHandle { fd } => format!("map_fd({})", fd.0),
         }
     }
 }
@@ -337,8 +1216,8 @@ struct State {
 impl State {
     fn entry() -> State {
         let mut regs = [RegType::Uninit; REG_COUNT];
-        regs[1] = RegType::PtrCtx { off: 0 };
-        regs[10] = RegType::PtrStack { off: 0 };
+        regs[1] = RegType::PtrCtx { lo: 0, hi: 0 };
+        regs[10] = RegType::PtrStack { lo: 0, hi: 0 };
         State {
             regs,
             stack: [SlotType::UNINIT; SLOT_COUNT],
@@ -362,6 +1241,51 @@ impl State {
             }
         }
         changed
+    }
+
+    fn render_regs(&self) -> Vec<String> {
+        self.regs.iter().map(|r| r.render()).collect()
+    }
+}
+
+/// Per-pc record of resolved stack traffic, collected during abstract
+/// interpretation and consumed by the dead-store analysis.
+#[derive(Debug, Clone, Default)]
+struct AccessLog {
+    /// Byte windows read from the stack: `(abs_start, len)` with
+    /// `abs = r10_offset + STACK_SIZE` (register-offset reads log their
+    /// whole window, which only widens liveness — sound for warnings).
+    reads: Vec<(usize, usize)>,
+    /// An exact-offset stack store: `(abs_start, size)`. Register-offset
+    /// stores are not candidates (they may write anywhere in a window).
+    store: Option<(usize, usize)>,
+}
+
+/// A 512-bit set of live stack bytes.
+#[derive(Debug, Clone, Copy, Default)]
+struct ByteSet([u64; 8]);
+
+impl ByteSet {
+    fn or(&mut self, other: &ByteSet) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+
+    fn set_range(&mut self, start: usize, len: usize) {
+        for byte in start..(start + len).min(STACK_SIZE) {
+            self.0[byte / 64] |= 1 << (byte % 64);
+        }
+    }
+
+    fn clear_range(&mut self, start: usize, len: usize) {
+        for byte in start..(start + len).min(STACK_SIZE) {
+            self.0[byte / 64] &= !(1 << (byte % 64));
+        }
+    }
+
+    fn intersects_range(&self, start: usize, len: usize) -> bool {
+        (start..(start + len).min(STACK_SIZE)).any(|byte| self.0[byte / 64] & (1 << (byte % 64)) != 0)
     }
 }
 
@@ -399,27 +1323,57 @@ impl Verifier {
     /// # Errors
     ///
     /// Returns the first [`VerifyError`] encountered; a verified program is
-    /// guaranteed not to fault in the interpreter.
+    /// guaranteed not to fault in the interpreter. This is the first-error
+    /// view over [`Verifier::verify_report`].
     pub fn verify(&self, program: &Program, maps: &MapRegistry) -> Result<(), VerifyError> {
+        match self.verify_report(program, maps).errors.into_iter().next() {
+            None => Ok(()),
+            Some(d) => Err(d.error),
+        }
+    }
+
+    /// Verifies `program`, collecting *every* error (with per-error
+    /// register dumps and witness paths) and advisory warnings
+    /// (unreachable instructions, dead stack stores).
+    pub fn verify_report(&self, program: &Program, maps: &MapRegistry) -> VerifierReport {
+        let mut report = VerifierReport::default();
         let insns = program.insns();
         if insns.is_empty() {
-            return Err(VerifyError::Empty);
+            report.errors.push(Diagnostic {
+                error: VerifyError::Empty,
+                path: Vec::new(),
+                regs: Vec::new(),
+            });
+            return report;
         }
         if insns.len() > self.config.max_insns {
-            return Err(VerifyError::TooLarge {
-                len: insns.len(),
-                max: self.config.max_insns,
+            report.errors.push(Diagnostic {
+                error: VerifyError::TooLarge {
+                    len: insns.len(),
+                    max: self.config.max_insns,
+                },
+                path: Vec::new(),
+                regs: Vec::new(),
             });
+            return report;
         }
 
-        // Structural pass: ld_dw pairing and jump-target validation.
+        // Structural pass: ld_dw pairing and jump-target validation. A
+        // structurally broken program has no meaningful CFG, so these
+        // errors short-circuit the value analysis.
+        let structural = |error: VerifyError| Diagnostic {
+            error,
+            path: Vec::new(),
+            regs: Vec::new(),
+        };
         let mut is_ld_dw_hi = vec![false; insns.len()];
         let mut pc = 0;
         while pc < insns.len() {
             let insn = insns[pc];
             if insn.is_ld_dw() {
                 if pc + 1 >= insns.len() || insns[pc + 1].code != 0 {
-                    return Err(VerifyError::MalformedLdDw { pc });
+                    report.errors.push(structural(VerifyError::MalformedLdDw { pc }));
+                    return report;
                 }
                 is_ld_dw_hi[pc + 1] = true;
                 pc += 2;
@@ -437,32 +1391,54 @@ impl Verifier {
             }
             let target = pc as i64 + 1 + insn.off as i64;
             if target < 0 || target as usize >= insns.len() || is_ld_dw_hi[target as usize] {
-                return Err(VerifyError::BadJumpTarget {
+                report.errors.push(structural(VerifyError::BadJumpTarget {
                     from: pc,
                     to: target,
-                });
-            }
-            if target as usize <= pc {
-                return Err(VerifyError::BackEdge {
+                }));
+            } else if target as usize <= pc {
+                report.errors.push(structural(VerifyError::BackEdge {
                     from: pc,
                     to: target as usize,
-                });
+                }));
             }
         }
+        if !report.errors.is_empty() {
+            return report;
+        }
 
-        // Abstract interpretation in pc order (valid because the CFG is a DAG
-        // with edges only going forward).
+        // Abstract interpretation in pc order (valid because the CFG is a
+        // DAG with edges only going forward). `pred` records the first
+        // predecessor that reached each pc, giving a witness path for
+        // diagnostics.
         let mut states: Vec<Option<State>> = vec![None; insns.len()];
+        let mut pred: Vec<Option<usize>> = vec![None; insns.len()];
         states[0] = Some(State::entry());
-        let merge =
-            |states: &mut Vec<Option<State>>, target: usize, state: &State| match &mut states
-                [target]
-            {
+        let mut logs: Vec<AccessLog> = vec![AccessLog::default(); insns.len()];
+        let merge = |states: &mut Vec<Option<State>>,
+                     pred: &mut Vec<Option<usize>>,
+                     target: usize,
+                     state: &State,
+                     from: usize| {
+            match &mut states[target] {
                 Some(existing) => {
                     existing.join_into(state);
                 }
-                slot @ None => *slot = Some(state.clone()),
-            };
+                slot @ None => {
+                    *slot = Some(state.clone());
+                    pred[target] = Some(from);
+                }
+            }
+        };
+        let witness = |pred: &[Option<usize>], pc: usize| -> Vec<usize> {
+            let mut path = vec![pc];
+            let mut cur = pc;
+            while let Some(p) = pred[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            path
+        };
 
         let mut pc = 0;
         while pc < insns.len() {
@@ -475,31 +1451,69 @@ impl Verifier {
                 continue; // unreachable instruction
             };
             let insn = insns[pc];
-            match self.step(pc, insn, state, insns, maps)? {
-                Flow::Next(state) => {
+            match self.step(pc, insn, state.clone(), insns, maps, &mut logs[pc]) {
+                Err(error) => {
+                    // Record and stop propagating this path; other paths
+                    // keep verifying so the report covers every error.
+                    report.errors.push(Diagnostic {
+                        error,
+                        path: witness(&pred, pc),
+                        regs: state.render_regs(),
+                    });
+                }
+                Ok(Flow::Next(state)) => {
                     let next = if insn.is_ld_dw() { pc + 2 } else { pc + 1 };
                     if next >= insns.len() {
-                        return Err(VerifyError::FallOffEnd { pc });
+                        report.errors.push(Diagnostic {
+                            error: VerifyError::FallOffEnd { pc },
+                            path: witness(&pred, pc),
+                            regs: state.render_regs(),
+                        });
+                    } else {
+                        merge(&mut states, &mut pred, next, &state, pc);
                     }
-                    merge(&mut states, next, &state);
                 }
-                Flow::Jump { target, state } => merge(&mut states, target, &state),
-                Flow::Branch {
+                Ok(Flow::Jump { target, state }) => {
+                    merge(&mut states, &mut pred, target, &state, pc)
+                }
+                Ok(Flow::Branch {
                     taken,
                     taken_state,
                     fall_state,
-                } => {
-                    merge(&mut states, taken, &taken_state);
-                    if pc + 1 >= insns.len() {
-                        return Err(VerifyError::FallOffEnd { pc });
+                }) => {
+                    if let Some(ts) = taken_state {
+                        merge(&mut states, &mut pred, taken, &ts, pc);
                     }
-                    merge(&mut states, pc + 1, &fall_state);
+                    if let Some(fs) = fall_state {
+                        if pc + 1 >= insns.len() {
+                            report.errors.push(Diagnostic {
+                                error: VerifyError::FallOffEnd { pc },
+                                path: witness(&pred, pc),
+                                regs: state.render_regs(),
+                            });
+                        } else {
+                            merge(&mut states, &mut pred, pc + 1, &fs, pc);
+                        }
+                    }
                 }
-                Flow::Exit => {}
+                Ok(Flow::Exit) => {}
             }
             pc += 1;
         }
-        Ok(())
+
+        // Advisory warnings, only meaningful for accepted programs.
+        if report.errors.is_empty() {
+            for pc in 0..insns.len() {
+                if !is_ld_dw_hi[pc] && states[pc].is_none() {
+                    report.warnings.push(VerifyWarning::UnreachableInsn { pc });
+                }
+            }
+            let reachable: Vec<bool> = states.iter().map(|s| s.is_some()).collect();
+            report
+                .warnings
+                .extend(dead_store_warnings(insns, &is_ld_dw_hi, &reachable, &logs));
+        }
+        report
     }
 
     fn step(
@@ -507,8 +1521,9 @@ impl Verifier {
         pc: usize,
         insn: Insn,
         mut state: State,
-        _insns: &[Insn],
+        insns: &[Insn],
         maps: &MapRegistry,
+        log: &mut AccessLog,
     ) -> Result<Flow, VerifyError> {
         let read = |state: &State, reg: u8| -> Result<RegType, VerifyError> {
             let t = state.regs[reg as usize];
@@ -538,15 +1553,17 @@ impl Verifier {
                     }
                     write(&mut state, insn.dst, RegType::MapHandle { fd })?;
                 } else {
-                    // Value itself is known (both halves are constants).
-                    write(&mut state, insn.dst, RegType::scalar())?;
+                    // Both halves are constants: the 64-bit value is known.
+                    let lo = insn.imm as u32 as u64;
+                    let hi = insns.get(pc + 1).map_or(0, |i| i.imm as u32 as u64);
+                    write(&mut state, insn.dst, RegType::known(lo | (hi << 32)))?;
                 }
                 Ok(Flow::Next(state))
             }
             CLS_LDX => {
                 let base = read(&state, insn.src)?;
                 let size = insn.size_bytes();
-                let loaded = self.check_load(pc, &state, base, insn.off as i64, size)?;
+                let loaded = self.check_load(pc, &state, base, insn.off as i64, size, log)?;
                 write(&mut state, insn.dst, loaded)?;
                 Ok(Flow::Next(state))
             }
@@ -558,7 +1575,7 @@ impl Verifier {
                 } else {
                     RegType::known(insn.imm as i64 as u64)
                 };
-                self.check_store(pc, &mut state, base, insn.off as i64, size, src_type)?;
+                self.check_store(pc, &mut state, base, insn.off as i64, size, src_type, log)?;
                 Ok(Flow::Next(state))
             }
             CLS_ALU64 => {
@@ -569,8 +1586,8 @@ impl Verifier {
                 self.alu(pc, insn, &mut state, false)?;
                 Ok(Flow::Next(state))
             }
-            CLS_JMP => self.jump(pc, insn, state, maps, false),
-            CLS_JMP32 => self.jump(pc, insn, state, maps, true),
+            CLS_JMP => self.jump(pc, insn, state, maps, false, log),
+            CLS_JMP32 => self.jump(pc, insn, state, maps, true, log),
             _ => Err(VerifyError::BadOpcode { pc, code: insn.code }),
         }
     }
@@ -582,53 +1599,66 @@ impl Verifier {
         base: RegType,
         insn_off: i64,
         size: usize,
+        log: &mut AccessLog,
     ) -> Result<RegType, VerifyError> {
         match base {
-            RegType::PtrCtx { off } => {
-                let start = off + insn_off;
-                if start < 0 || (start + size as i64) as usize > self.config.ctx_size || start as usize >= self.config.ctx_size {
+            RegType::PtrCtx { lo, hi } => {
+                let start_lo = lo.saturating_add(insn_off);
+                let start_hi = hi.saturating_add(insn_off);
+                if start_lo < 0
+                    || start_hi.saturating_add(size as i64) > self.config.ctx_size as i64
+                {
                     return Err(VerifyError::OutOfBounds {
                         pc,
                         region: "context",
-                        off: start,
+                        off: start_lo,
                         size,
                     });
                 }
                 Ok(RegType::scalar())
             }
-            RegType::PtrStack { off } => {
-                let start = off + insn_off;
-                check_stack_range(pc, start, size)?;
-                let abs = (start + STACK_SIZE as i64) as usize;
-                // Aligned 8-byte fill of a spilled register restores its type.
-                if size == 8 && abs.is_multiple_of(8) {
-                    if let SlotType::Spill(t) = state.stack[abs / 8] {
-                        return Ok(t);
+            RegType::PtrStack { lo, hi } => {
+                let start_lo = lo.saturating_add(insn_off);
+                let start_hi = hi.saturating_add(insn_off);
+                check_stack_window(pc, start_lo, start_hi, size)?;
+                let abs_lo = (start_lo + STACK_SIZE as i64) as usize;
+                let abs_hi = (start_hi + STACK_SIZE as i64) as usize;
+                log.reads.push((abs_lo, abs_hi - abs_lo + size));
+                if start_lo == start_hi {
+                    // Aligned 8-byte fill of a spilled register restores
+                    // its type.
+                    if size == 8 && abs_lo.is_multiple_of(8) {
+                        if let SlotType::Spill(t) = state.stack[abs_lo / 8] {
+                            return Ok(t);
+                        }
                     }
                 }
-                // Otherwise every accessed byte must be initialized.
-                for byte in abs..abs + size {
+                // Every byte the access window can touch must be
+                // initialized (for a register offset: the whole window).
+                for byte in abs_lo..abs_hi + size {
                     let mask = state.stack[byte / 8].init_mask();
                     if mask & (1 << (byte % 8)) == 0 {
-                        return Err(VerifyError::UninitStackRead { pc, off: start });
+                        return Err(VerifyError::UninitStackRead { pc, off: start_lo });
                     }
                 }
                 Ok(RegType::scalar())
             }
             RegType::PtrMapValue {
-                off,
+                lo,
+                hi,
                 value_size,
                 nullable,
             } => {
                 if nullable {
                     return Err(VerifyError::MaybeNullDeref { pc });
                 }
-                let start = off + insn_off;
-                if start < 0 || (start + size as i64) > value_size as i64 {
+                let start_lo = lo.saturating_add(insn_off);
+                let start_hi = hi.saturating_add(insn_off);
+                if start_lo < 0 || start_hi.saturating_add(size as i64) > value_size as i64 {
                     return Err(VerifyError::OutOfBounds {
                         pc,
                         region: "map value",
-                        off: start,
+                        off: start_lo,
                         size,
                     });
                 }
@@ -638,6 +1668,7 @@ impl Verifier {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors check_load plus the stored type
     fn check_store(
         &self,
         pc: usize,
@@ -646,52 +1677,70 @@ impl Verifier {
         insn_off: i64,
         size: usize,
         src_type: RegType,
+        log: &mut AccessLog,
     ) -> Result<(), VerifyError> {
         match base {
             RegType::PtrCtx { .. } => Err(VerifyError::WriteToCtx { pc }),
-            RegType::PtrStack { off } => {
-                let start = off + insn_off;
-                check_stack_range(pc, start, size)?;
-                let abs = (start + STACK_SIZE as i64) as usize;
-                if size == 8 && abs.is_multiple_of(8) {
-                    state.stack[abs / 8] = SlotType::Spill(src_type);
+            RegType::PtrStack { lo, hi } => {
+                let start_lo = lo.saturating_add(insn_off);
+                let start_hi = hi.saturating_add(insn_off);
+                check_stack_window(pc, start_lo, start_hi, size)?;
+                let abs_lo = (start_lo + STACK_SIZE as i64) as usize;
+                let abs_hi = (start_hi + STACK_SIZE as i64) as usize;
+                if start_lo == start_hi {
+                    log.store = Some((abs_lo, size));
+                    if size == 8 && abs_lo.is_multiple_of(8) {
+                        state.stack[abs_lo / 8] = SlotType::Spill(src_type);
+                    } else {
+                        for byte in abs_lo..abs_lo + size {
+                            let slot = &mut state.stack[byte / 8];
+                            let mask = slot.init_mask();
+                            // A partial overwrite of a spilled pointer
+                            // degrades the whole slot to scalar bytes.
+                            let base_mask = if matches!(slot, SlotType::Spill(_)) {
+                                0xff
+                            } else {
+                                mask
+                            };
+                            *slot = SlotType::Bytes {
+                                mask: base_mask | (1 << (byte % 8)),
+                            };
+                        }
+                    }
                 } else {
-                    for byte in abs..abs + size {
-                        let slot = &mut state.stack[byte / 8];
-                        let mask = slot.init_mask();
-                        // A partial overwrite of a spilled pointer degrades
-                        // the whole slot to scalar bytes.
-                        let base_mask = if matches!(slot, SlotType::Spill(_)) {
-                            0xff
-                        } else {
-                            mask
-                        };
-                        *slot = SlotType::Bytes {
-                            mask: base_mask | (1 << (byte % 8)),
-                        };
+                    // Register-offset store: it lands *somewhere* in the
+                    // window. No byte becomes provably initialized, and
+                    // any spill the window overlaps may have been
+                    // clobbered — degrade those slots to raw bytes.
+                    for slot_idx in (abs_lo / 8)..=((abs_hi + size - 1) / 8).min(SLOT_COUNT - 1) {
+                        if matches!(state.stack[slot_idx], SlotType::Spill(_)) {
+                            state.stack[slot_idx] = SlotType::Bytes { mask: 0xff };
+                        }
                     }
                 }
                 Ok(())
             }
             RegType::PtrMapValue {
-                off,
+                lo,
+                hi,
                 value_size,
                 nullable,
             } => {
                 if nullable {
                     return Err(VerifyError::MaybeNullDeref { pc });
                 }
-                let start = off + insn_off;
-                if start < 0 || (start + size as i64) > value_size as i64 {
+                let start_lo = lo.saturating_add(insn_off);
+                let start_hi = hi.saturating_add(insn_off);
+                if start_lo < 0 || start_hi.saturating_add(size as i64) > value_size as i64 {
                     return Err(VerifyError::OutOfBounds {
                         pc,
                         region: "map value",
-                        off: start,
+                        off: start_lo,
                         size,
                     });
                 }
                 // Storing pointers into maps would leak kernel addresses.
-                if !matches!(src_type, RegType::Scalar { .. }) {
+                if !matches!(src_type, RegType::Scalar(_)) {
                     return Err(VerifyError::PointerArith { pc });
                 }
                 Ok(())
@@ -739,56 +1788,52 @@ impl Verifier {
         if !is64 {
             // 32-bit ALU only operates on scalars (pointer truncation is
             // forbidden).
-            if op != OP_MOV && !matches!(dst_t, RegType::Scalar { .. }) {
+            if op != OP_MOV && !matches!(dst_t, RegType::Scalar(_)) {
                 return Err(VerifyError::PointerArith { pc });
             }
-            if insn.is_src_reg() && !matches!(rhs, RegType::Scalar { .. }) {
+            let RegType::Scalar(rhs_s) = rhs else {
                 return Err(VerifyError::PointerArith { pc });
-            }
-            let known = eval_known(op, dst_t, rhs, false);
-            state.regs[insn.dst as usize] = RegType::Scalar { known };
+            };
+            let dst_s = match dst_t {
+                RegType::Scalar(s) => s,
+                _ => Scalar::unknown(), // only reachable for MOV
+            };
+            state.regs[insn.dst as usize] = RegType::Scalar(alu32_transfer(op, dst_s, rhs_s));
             return Ok(());
         }
 
         let result = match op {
             OP_MOV => rhs,
             OP_ADD | OP_SUB => match (dst_t, rhs) {
-                (RegType::Scalar { .. }, RegType::Scalar { .. }) => RegType::Scalar {
-                    known: eval_known(op, dst_t, rhs, true),
-                },
-                (ptr, RegType::Scalar { known: Some(k) }) if is_ptr(ptr) => {
-                    // Wrapping: `k = i64::MIN as u64` must not panic the
-                    // verifier in debug builds; any huge delta simply
-                    // produces an out-of-bounds offset rejected at access.
-                    let delta = if op == OP_ADD {
-                        k as i64
-                    } else {
-                        (k as i64).wrapping_neg()
-                    };
-                    adjust_ptr(ptr, delta)
+                (RegType::Scalar(a), RegType::Scalar(b)) => {
+                    RegType::Scalar(alu64_transfer(op, a, b))
                 }
-                (ptr, RegType::Scalar { known: None }) if is_ptr(ptr) => {
-                    return Err(VerifyError::PointerArith { pc });
+                (ptr, RegType::Scalar(s)) if is_ptr(ptr) => {
+                    if insn.is_src_reg() && !self.config.value_tracking {
+                        // Type-only mode: a register offset has no known
+                        // bounds, so pointer arithmetic with it is opaque.
+                        return Err(VerifyError::PointerArith { pc });
+                    }
+                    // A bounded unknown scalar is fine: the pointer keeps
+                    // an offset interval and every later access is checked
+                    // against it. Saturating endpoints never panic; a
+                    // saturated offset is simply out of bounds at access
+                    // time.
+                    adjust_ptr_range(ptr, op, s)
                 }
                 _ => return Err(VerifyError::PointerArith { pc }),
             },
             OP_NEG => {
-                if !matches!(dst_t, RegType::Scalar { .. }) {
+                let RegType::Scalar(a) = dst_t else {
                     return Err(VerifyError::PointerArith { pc });
-                }
-                RegType::Scalar {
-                    known: eval_known(op, dst_t, dst_t, true),
-                }
+                };
+                RegType::Scalar(alu64_transfer(OP_NEG, a, a))
             }
             OP_MUL | OP_DIV | OP_OR | OP_AND | OP_LSH | OP_RSH | OP_MOD | OP_XOR | OP_ARSH => {
-                if !matches!(dst_t, RegType::Scalar { .. })
-                    || !matches!(rhs, RegType::Scalar { .. })
-                {
+                let (RegType::Scalar(a), RegType::Scalar(b)) = (dst_t, rhs) else {
                     return Err(VerifyError::PointerArith { pc });
-                }
-                RegType::Scalar {
-                    known: eval_known(op, dst_t, rhs, true),
-                }
+                };
+                RegType::Scalar(alu64_transfer(op, a, b))
             }
             _ => return Err(VerifyError::BadOpcode { pc, code: insn.code }),
         };
@@ -803,6 +1848,7 @@ impl Verifier {
         mut state: State,
         maps: &MapRegistry,
         is32: bool,
+        log: &mut AccessLog,
     ) -> Result<Flow, VerifyError> {
         let op = insn.op();
         if is32 && matches!(op, OP_EXIT | OP_CALL | OP_JA) {
@@ -810,7 +1856,7 @@ impl Verifier {
         }
         match op {
             OP_EXIT => {
-                if !matches!(state.regs[0], RegType::Scalar { .. }) {
+                if !matches!(state.regs[0], RegType::Scalar(_)) {
                     return Err(VerifyError::ExitWithoutR0 { pc });
                 }
                 Ok(Flow::Exit)
@@ -818,7 +1864,7 @@ impl Verifier {
             OP_CALL => {
                 let helper = Helper::from_id(insn.imm)
                     .ok_or(VerifyError::UnknownHelper { pc, id: insn.imm })?;
-                self.check_call(pc, helper, &mut state, maps)?;
+                self.check_call(pc, helper, &mut state, maps, log)?;
                 Ok(Flow::Next(state))
             }
             OP_JA => Ok(Flow::Jump {
@@ -831,24 +1877,26 @@ impl Verifier {
                 if !dst_t.is_init() {
                     return Err(VerifyError::UninitRead { pc, reg: insn.dst });
                 }
-                if is32 && !matches!(dst_t, RegType::Scalar { .. }) {
+                if is32 && !matches!(dst_t, RegType::Scalar(_)) {
                     // Comparing the lower half of a pointer is meaningless.
                     return Err(VerifyError::PointerArith { pc });
                 }
                 let rhs_is_zero_imm = !is32 && !insn.is_src_reg() && insn.imm == 0;
+                let mut src_t = None;
                 if insn.is_src_reg() {
-                    let src_t = state.regs[insn.src as usize];
-                    if !src_t.is_init() {
+                    let t = state.regs[insn.src as usize];
+                    if !t.is_init() {
                         return Err(VerifyError::UninitRead { pc, reg: insn.src });
                     }
                     // Register comparisons must involve scalars or pointers
                     // of the same region; comparing a map handle is
                     // meaningless.
                     if matches!(dst_t, RegType::MapHandle { .. })
-                        || matches!(src_t, RegType::MapHandle { .. })
+                        || matches!(t, RegType::MapHandle { .. })
                     {
                         return Err(VerifyError::PointerArith { pc });
                     }
+                    src_t = Some(t);
                 } else if matches!(dst_t, RegType::MapHandle { .. }) {
                     return Err(VerifyError::PointerArith { pc });
                 } else if is_ptr(dst_t)
@@ -860,39 +1908,86 @@ impl Verifier {
                 }
 
                 let target = (pc as i64 + 1 + insn.off as i64) as usize;
-                let mut taken_state = state.clone();
-                // NULL-check refinement.
+                let mut taken_state = Some(state.clone());
+                let mut fall_state = Some(state.clone());
+
+                // NULL-check refinement on map-value pointers.
                 if let RegType::PtrMapValue {
-                    off, value_size, ..
+                    lo,
+                    hi,
+                    value_size,
+                    ..
                 } = dst_t
                 {
                     if rhs_is_zero_imm {
+                        let non_null = RegType::PtrMapValue {
+                            lo,
+                            hi,
+                            value_size,
+                            nullable: false,
+                        };
                         match op {
                             OP_JEQ => {
                                 // taken: pointer is NULL; treat as scalar 0.
-                                taken_state.regs[insn.dst as usize] = RegType::known(0);
-                                state.regs[insn.dst as usize] = RegType::PtrMapValue {
-                                    off,
-                                    value_size,
-                                    nullable: false,
-                                };
+                                if let Some(s) = &mut taken_state {
+                                    s.regs[insn.dst as usize] = RegType::known(0);
+                                }
+                                if let Some(s) = &mut fall_state {
+                                    s.regs[insn.dst as usize] = non_null;
+                                }
                             }
                             OP_JNE => {
-                                taken_state.regs[insn.dst as usize] = RegType::PtrMapValue {
-                                    off,
-                                    value_size,
-                                    nullable: false,
-                                };
-                                state.regs[insn.dst as usize] = RegType::known(0);
+                                if let Some(s) = &mut taken_state {
+                                    s.regs[insn.dst as usize] = non_null;
+                                }
+                                if let Some(s) = &mut fall_state {
+                                    s.regs[insn.dst as usize] = RegType::known(0);
+                                }
                             }
                             _ => {}
                         }
                     }
                 }
+
+                // Scalar-vs-scalar refinement along both edges, with
+                // dead-edge pruning.
+                let rhs_scalar = match src_t {
+                    Some(RegType::Scalar(s)) => Some(s),
+                    Some(_) => None,
+                    None => Some(Scalar::constant(insn.imm as i64 as u64)),
+                };
+                if let (RegType::Scalar(d), Some(s)) = (dst_t, rhs_scalar) {
+                    if !self.config.value_tracking {
+                        // Type-only mode: both edges stay live, unrefined.
+                        let _ = (d, s);
+                        return Ok(Flow::Branch {
+                            taken: target,
+                            taken_state,
+                            fall_state,
+                        });
+                    }
+                    let apply = |edge: &mut Option<State>, refined: Option<(Scalar, Scalar)>| {
+                        match refined {
+                            None => *edge = None,
+                            Some((d2, s2)) => {
+                                if let Some(st) = edge {
+                                    st.regs[insn.dst as usize] = RegType::Scalar(d2);
+                                    if insn.is_src_reg() {
+                                        st.regs[insn.src as usize] = RegType::Scalar(s2);
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    apply(&mut taken_state, refine_branch(op, true, is32, d, s));
+                    apply(&mut fall_state, refine_branch(op, false, is32, d, s));
+                }
+
+                let _ = log; // conditional jumps touch no stack bytes
                 Ok(Flow::Branch {
                     taken: target,
                     taken_state,
-                    fall_state: state,
+                    fall_state,
                 })
             }
             _ => Err(VerifyError::BadOpcode { pc, code: insn.code }),
@@ -905,6 +2000,7 @@ impl Verifier {
         helper: Helper,
         state: &mut State,
         maps: &MapRegistry,
+        log: &mut AccessLog,
     ) -> Result<(), VerifyError> {
         let signature = helper.signature();
         let mut map_fd: Option<MapFd> = None;
@@ -940,7 +2036,7 @@ impl Verifier {
                     } else {
                         def.value_size
                     } as usize;
-                    self.check_readable(pc, state, t, needed).map_err(|_| {
+                    self.check_readable(pc, state, t, needed, log).map_err(|_| {
                         VerifyError::BadHelperArg {
                             pc,
                             helper,
@@ -953,18 +2049,18 @@ impl Verifier {
                     mem_ptr_pending = Some((reg, t));
                 }
                 ArgClass::Scalar => {
-                    if !matches!(t, RegType::Scalar { .. }) {
+                    let RegType::Scalar(s) = t else {
                         return Err(VerifyError::BadHelperArg {
                             pc,
                             helper,
                             arg: reg,
                             expected: "a scalar",
                         });
-                    }
+                    };
                     // If the previous arg was a MemPtr, this scalar is its
                     // length and must be a known constant for bounds checks.
                     if let Some((mem_reg, mem_t)) = mem_ptr_pending.take() {
-                        let RegType::Scalar { known: Some(len) } = t else {
+                        let Some(len) = s.const_val() else {
                             return Err(VerifyError::BadHelperArg {
                                 pc,
                                 helper,
@@ -972,7 +2068,7 @@ impl Verifier {
                                 expected: "a known-constant length",
                             });
                         };
-                        self.check_readable(pc, state, mem_t, len as usize)
+                        self.check_readable(pc, state, mem_t, len as usize, log)
                             .map_err(|_| VerifyError::BadHelperArg {
                                 pc,
                                 helper,
@@ -991,10 +2087,20 @@ impl Verifier {
         state.regs[0] = match helper.return_class() {
             RetClass::Scalar => RegType::scalar(),
             RetClass::MapValueOrNull => {
-                let fd = map_fd.expect("map helpers always have a Map arg");
+                // Helpers returning a map value always take a Map arg; a
+                // signature without one is unsatisfiable here.
+                let Some(fd) = map_fd else {
+                    return Err(VerifyError::BadHelperArg {
+                        pc,
+                        helper,
+                        arg: 1,
+                        expected: "a map handle (ld_map_fd)",
+                    });
+                };
                 let def = maps.def(fd).map_err(|_| VerifyError::BadMapFd { pc, fd: fd.0 })?;
                 RegType::PtrMapValue {
-                    off: 0,
+                    lo: 0,
+                    hi: 0,
                     value_size: def.value_size,
                     nullable: true,
                 }
@@ -1010,45 +2116,49 @@ impl Verifier {
         state: &State,
         ptr: RegType,
         len: usize,
+        log: &mut AccessLog,
     ) -> Result<(), VerifyError> {
         if len == 0 {
             return Ok(());
         }
         match ptr {
-            RegType::PtrStack { off } => {
-                check_stack_range(pc, off, len)?;
-                let abs = (off + STACK_SIZE as i64) as usize;
-                for byte in abs..abs + len {
+            RegType::PtrStack { lo, hi } => {
+                check_stack_window(pc, lo, hi, len)?;
+                let abs_lo = (lo + STACK_SIZE as i64) as usize;
+                let abs_hi = (hi + STACK_SIZE as i64) as usize;
+                log.reads.push((abs_lo, abs_hi - abs_lo + len));
+                for byte in abs_lo..abs_hi + len {
                     if state.stack[byte / 8].init_mask() & (1 << (byte % 8)) == 0 {
-                        return Err(VerifyError::UninitStackRead { pc, off });
+                        return Err(VerifyError::UninitStackRead { pc, off: lo });
                     }
                 }
                 Ok(())
             }
             RegType::PtrMapValue {
-                off,
+                lo,
+                hi,
                 value_size,
                 nullable,
             } => {
                 if nullable {
                     return Err(VerifyError::MaybeNullDeref { pc });
                 }
-                if off < 0 || off + len as i64 > value_size as i64 {
+                if lo < 0 || hi.saturating_add(len as i64) > value_size as i64 {
                     return Err(VerifyError::OutOfBounds {
                         pc,
                         region: "map value",
-                        off,
+                        off: lo,
                         size: len,
                     });
                 }
                 Ok(())
             }
-            RegType::PtrCtx { off } => {
-                if off < 0 || (off + len as i64) as usize > self.config.ctx_size {
+            RegType::PtrCtx { lo, hi } => {
+                if lo < 0 || hi.saturating_add(len as i64) > self.config.ctx_size as i64 {
                     return Err(VerifyError::OutOfBounds {
                         pc,
                         region: "context",
-                        off,
+                        off: lo,
                         size: len,
                     });
                 }
@@ -1059,12 +2169,14 @@ impl Verifier {
     }
 }
 
-fn check_stack_range(pc: usize, off: i64, size: usize) -> Result<(), VerifyError> {
-    if off < -(STACK_SIZE as i64) || off + size as i64 > 0 {
+/// Bounds-checks a stack access window `[lo, hi] + size` (offsets
+/// relative to `r10`).
+fn check_stack_window(pc: usize, lo: i64, hi: i64, size: usize) -> Result<(), VerifyError> {
+    if lo < -(STACK_SIZE as i64) || hi.saturating_add(size as i64) > 0 || lo > hi {
         Err(VerifyError::OutOfBounds {
             pc,
             region: "stack",
-            off,
+            off: lo,
             size,
         })
     } else {
@@ -1079,102 +2191,337 @@ fn is_ptr(t: RegType) -> bool {
     )
 }
 
-fn adjust_ptr(ptr: RegType, delta: i64) -> RegType {
-    // Saturating: repeated huge adjustments must not overflow-panic the
-    // verifier; a saturated offset is simply out of bounds at access time.
+/// Pointer ± scalar: shifts the offset interval by the scalar's signed
+/// range. Saturating endpoints never panic; any overflowed interval is
+/// rejected at the next access check.
+fn adjust_ptr_range(ptr: RegType, op: u8, s: Scalar) -> RegType {
+    let (dmin, dmax) = if op == OP_ADD {
+        (s.smin, s.smax)
+    } else {
+        (s.smax.saturating_neg(), s.smin.saturating_neg())
+    };
+    let shift = |lo: i64, hi: i64| (lo.saturating_add(dmin), hi.saturating_add(dmax));
     match ptr {
-        RegType::PtrCtx { off } => RegType::PtrCtx {
-            off: off.saturating_add(delta),
-        },
-        RegType::PtrStack { off } => RegType::PtrStack {
-            off: off.saturating_add(delta),
-        },
+        RegType::PtrCtx { lo, hi } => {
+            let (lo, hi) = shift(lo, hi);
+            RegType::PtrCtx { lo, hi }
+        }
+        RegType::PtrStack { lo, hi } => {
+            let (lo, hi) = shift(lo, hi);
+            RegType::PtrStack { lo, hi }
+        }
         RegType::PtrMapValue {
-            off,
+            lo,
+            hi,
             value_size,
             nullable,
-        } => RegType::PtrMapValue {
-            off: off.saturating_add(delta),
-            value_size,
-            nullable,
-        },
+        } => {
+            let (lo, hi) = shift(lo, hi);
+            RegType::PtrMapValue {
+                lo,
+                hi,
+                value_size,
+                nullable,
+            }
+        }
         other => other,
     }
 }
 
-/// Constant folding for scalar ALU ops (used to track known values).
-fn eval_known(op: u8, dst: RegType, rhs: RegType, is64: bool) -> Option<u64> {
-    let (RegType::Scalar { known: da }, RegType::Scalar { known: db }) = (dst, rhs) else {
-        return None;
-    };
-    let b = db?;
-    if op == OP_MOV {
-        return Some(if is64 { b } else { b as u32 as u64 });
-    }
-    let a = da?;
-    let v = if is64 {
-        match op {
-            OP_ADD => a.wrapping_add(b),
-            OP_SUB => a.wrapping_sub(b),
-            OP_MUL => a.wrapping_mul(b),
-            OP_DIV => a.checked_div(b).unwrap_or(0),
-            OP_MOD => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
-            OP_OR => a | b,
-            OP_AND => a & b,
-            OP_XOR => a ^ b,
-            OP_LSH => a.wrapping_shl(b as u32 & 63),
-            OP_RSH => a.wrapping_shr(b as u32 & 63),
-            OP_ARSH => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
-            OP_NEG => (a as i64).wrapping_neg() as u64,
-            _ => return None,
+/// Forward successors of a reachable instruction (the CFG is a DAG, so a
+/// single reverse sweep computes liveness).
+fn successors(pc: usize, insn: Insn, len: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let cls = insn.class();
+    if cls == CLS_JMP || cls == CLS_JMP32 {
+        let op = insn.op();
+        if cls == CLS_JMP && op == OP_EXIT {
+            return;
         }
-    } else {
-        let a = a as u32;
-        let b = b as u32;
-        let v32 = match op {
-            OP_ADD => a.wrapping_add(b),
-            OP_SUB => a.wrapping_sub(b),
-            OP_MUL => a.wrapping_mul(b),
-            OP_DIV => a.checked_div(b).unwrap_or(0),
-            OP_MOD => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
+        if cls == CLS_JMP && op == OP_CALL {
+            if pc + 1 < len {
+                out.push(pc + 1);
             }
-            OP_OR => a | b,
-            OP_AND => a & b,
-            OP_XOR => a ^ b,
-            OP_LSH => a.wrapping_shl(b & 31),
-            OP_RSH => a.wrapping_shr(b & 31),
-            OP_ARSH => ((a as i32).wrapping_shr(b & 31)) as u32,
-            OP_NEG => (a as i32).wrapping_neg() as u32,
-            _ => return None,
-        };
-        v32 as u64
-    };
-    Some(v)
+            return;
+        }
+        let target = (pc as i64 + 1 + insn.off as i64) as usize;
+        if cls == CLS_JMP && op == OP_JA {
+            out.push(target);
+            return;
+        }
+        out.push(target);
+        if pc + 1 < len {
+            out.push(pc + 1);
+        }
+        return;
+    }
+    let next = if insn.is_ld_dw() { pc + 2 } else { pc + 1 };
+    if next < len {
+        out.push(next);
+    }
+}
+
+/// Reverse byte-granular liveness over the stack: an exact store whose
+/// bytes are never read on any path to `exit` is a dead store.
+fn dead_store_warnings(
+    insns: &[Insn],
+    is_ld_dw_hi: &[bool],
+    reachable: &[bool],
+    logs: &[AccessLog],
+) -> Vec<VerifyWarning> {
+    let len = insns.len();
+    let mut live: Vec<ByteSet> = vec![ByteSet::default(); len];
+    let mut warnings = Vec::new();
+    let mut succ = Vec::new();
+    for pc in (0..len).rev() {
+        if is_ld_dw_hi[pc] || !reachable[pc] {
+            continue;
+        }
+        successors(pc, insns[pc], len, &mut succ);
+        let mut cur = ByteSet::default();
+        for &s in &succ {
+            if s < len {
+                let other = live[s];
+                cur.or(&other);
+            }
+        }
+        let log = &logs[pc];
+        if let Some((start, size)) = log.store {
+            if !cur.intersects_range(start, size) {
+                warnings.push(VerifyWarning::DeadStore {
+                    pc,
+                    off: start as i64 - STACK_SIZE as i64,
+                    size,
+                });
+            }
+            cur.clear_range(start, size);
+        }
+        for &(start, size) in &log.reads {
+            cur.set_range(start, size);
+        }
+        live[pc] = cur;
+    }
+    warnings.reverse(); // report in pc order
+    warnings
 }
 
 #[derive(Debug)]
 #[allow(clippy::large_enum_variant)] // transient per-instruction value
 enum Flow {
     Next(State),
-    Jump { target: usize, state: State },
+    Jump {
+        target: usize,
+        state: State,
+    },
+    /// Conditional jump; a `None` edge is proven dead and not merged.
     Branch {
         taken: usize,
-        taken_state: State,
-        fall_state: State,
+        taken_state: Option<State>,
+        fall_state: Option<State>,
     },
     Exit,
 }
 
 /// Convenience alias for verifier results.
 pub type VerifyResult = Result<(), VerifyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* for in-module soundness fuzzing.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+        /// A scalar abstraction together with a concrete member value.
+        fn scalar_and_member(&mut self) -> (Scalar, u64) {
+            let v = match self.next() % 4 {
+                0 => self.next() % 256,
+                1 => self.next(),
+                2 => (self.next() % 64) as u64,
+                _ => u64::MAX - self.next() % 16,
+            };
+            let s = match self.next() % 4 {
+                0 => Scalar::constant(v),
+                1 => Scalar::unknown(),
+                2 => {
+                    let slack = self.next() % 1024;
+                    Scalar::from_urange(v.saturating_sub(slack), v.saturating_add(slack))
+                }
+                _ => {
+                    // Known high bits via tnum.
+                    let mask = (1u64 << (self.next() % 17)) - 1;
+                    Scalar {
+                        tn: Tnum {
+                            value: v & !mask,
+                            mask,
+                        },
+                        umin: 0,
+                        umax: u64::MAX,
+                        smin: i64::MIN,
+                        smax: i64::MAX,
+                    }
+                    .normalized()
+                }
+            };
+            (s, v)
+        }
+    }
+
+    fn contains(s: Scalar, v: u64) -> bool {
+        s.tn.contains(v) && v >= s.umin && v <= s.umax && (v as i64) >= s.smin && (v as i64) <= s.smax
+    }
+
+    const OPS: &[u8] = &[
+        OP_ADD, OP_SUB, OP_MUL, OP_DIV, OP_MOD, OP_AND, OP_OR, OP_XOR, OP_LSH, OP_RSH, OP_ARSH,
+        OP_NEG,
+    ];
+
+    /// Headline transfer-function soundness: the abstract result always
+    /// contains the concrete result, for every op, 64- and 32-bit.
+    #[test]
+    fn alu_transfer_is_sound() {
+        let mut rng = Rng(0x5EED_0001);
+        for _ in 0..20_000 {
+            let (a, x) = rng.scalar_and_member();
+            let (b, y) = rng.scalar_and_member();
+            assert!(contains(a, x), "generator broke: {a} !∋ {x}");
+            assert!(contains(b, y), "generator broke: {b} !∋ {y}");
+            let op = OPS[(rng.next() % OPS.len() as u64) as usize];
+            if let Some(v) = exact64(op, x, y) {
+                let r = alu64_transfer(op, a, b);
+                assert!(contains(r, v), "{a} {op:#x} {b} = {r} !∋ {v} ({x} op {y})");
+            }
+            if let Some(v) = exact32(op, x, y) {
+                let r = alu32_transfer(op, a, b);
+                assert!(contains(r, v), "32-bit {op:#x}: {r} !∋ {v} ({x} op {y})");
+            }
+        }
+    }
+
+    /// Branch refinement soundness: whenever the concrete comparison
+    /// agrees with the edge, the refined abstractions still contain the
+    /// concrete operands; a pruned (None) edge is never concretely taken.
+    #[test]
+    fn branch_refinement_is_sound() {
+        let cmps = [
+            OP_JEQ, OP_JNE, OP_JGT, OP_JGE, OP_JLT, OP_JLE, OP_JSGT, OP_JSGE, OP_JSLT, OP_JSLE,
+            OP_JSET,
+        ];
+        let mut rng = Rng(0x5EED_0002);
+        for _ in 0..20_000 {
+            let (a, x) = rng.scalar_and_member();
+            let (b, y) = rng.scalar_and_member();
+            let op = cmps[(rng.next() % cmps.len() as u64) as usize];
+            let holds = match op {
+                OP_JEQ => x == y,
+                OP_JNE => x != y,
+                OP_JGT => x > y,
+                OP_JGE => x >= y,
+                OP_JLT => x < y,
+                OP_JLE => x <= y,
+                OP_JSGT => (x as i64) > (y as i64),
+                OP_JSGE => (x as i64) >= (y as i64),
+                OP_JSLT => (x as i64) < (y as i64),
+                OP_JSLE => (x as i64) <= (y as i64),
+                _ => x & y != 0,
+            };
+            for taken in [true, false] {
+                if holds != taken {
+                    continue; // this edge isn't the concretely-taken one
+                }
+                match refine_branch(op, taken, false, a, b) {
+                    None => panic!(
+                        "pruned a live edge: op {op:#x} taken={taken} x={x} y={y} a={a} b={b}"
+                    ),
+                    Some((a2, b2)) => {
+                        assert!(contains(a2, x), "refined dst {a2} lost {x}");
+                        assert!(contains(b2, y), "refined src {b2} lost {y}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_cross_derives_bounds() {
+        // AND with 63 pins the value to [0, 63] in every representation.
+        let r = alu64_transfer(OP_AND, Scalar::unknown(), Scalar::constant(63));
+        assert_eq!(r.umin, 0);
+        assert_eq!(r.umax, 63);
+        assert_eq!(r.smin, 0);
+        assert_eq!(r.smax, 63);
+        assert_eq!(r.tn.mask, 63);
+        // Then <<3 gives a multiple of 8 in [0, 504].
+        let r = alu64_transfer(OP_LSH, r, Scalar::constant(3));
+        assert_eq!((r.umin, r.umax), (0, 504));
+        assert_eq!(r.tn.mask, 0b111111000);
+        assert_eq!(r.tn.value, 0);
+    }
+
+    #[test]
+    fn jgt_refinement_tightens_both_sides() {
+        let d = Scalar::unknown();
+        let s = Scalar::constant(63);
+        // taken edge of `if d > 63`: d in [64, MAX]
+        let Some((d2, _)) = refine_branch(OP_JGT, true, false, d, s) else {
+            panic!("edge should be feasible");
+        };
+        assert_eq!(d2.umin, 64);
+        // fall edge: d in [0, 63]
+        let Some((d3, _)) = refine_branch(OP_JGT, false, false, d, s) else {
+            panic!("edge should be feasible");
+        };
+        assert_eq!((d3.umin, d3.umax), (0, 63));
+        assert_eq!((d3.smin, d3.smax), (0, 63));
+    }
+
+    #[test]
+    fn const_compares_prune_dead_edges() {
+        let a = Scalar::constant(5);
+        let b = Scalar::constant(9);
+        assert!(refine_branch(OP_JEQ, true, false, a, b).is_none());
+        assert!(refine_branch(OP_JEQ, false, false, a, b).is_some());
+        assert!(refine_branch(OP_JLT, false, false, a, b).is_none());
+        assert!(refine_branch(OP_JSET, true, false, a, Scalar::constant(2)).is_none());
+    }
+
+    #[test]
+    fn jset_refines_known_bits() {
+        // fall edge of `if d & 0x8`: bit 3 is known clear.
+        let Some((d2, _)) =
+            refine_branch(OP_JSET, false, false, Scalar::unknown(), Scalar::constant(8))
+        else {
+            panic!("fall edge feasible");
+        };
+        assert_eq!(d2.tn.mask & 8, 0);
+        assert_eq!(d2.tn.value & 8, 0);
+        // taken edge with a single-bit constant: bit known set, so d >= 8.
+        let Some((d3, _)) =
+            refine_branch(OP_JSET, true, false, Scalar::unknown(), Scalar::constant(8))
+        else {
+            panic!("taken edge feasible");
+        };
+        assert_eq!(d3.tn.value & 8, 8);
+        assert!(d3.umin >= 8);
+    }
+
+    #[test]
+    fn div_with_proven_nonzero_divisor_is_tight() {
+        // divisor in [2, 4]: 100 / d in [25, 50]
+        let a = Scalar::constant(100);
+        let b = Scalar::from_urange(2, 4);
+        let r = alu64_transfer(OP_DIV, a, b);
+        assert_eq!((r.umin, r.umax), (25, 50));
+        // divisor maybe zero: only [0, 100]
+        let r = alu64_transfer(OP_DIV, a, Scalar::from_urange(0, 4));
+        assert_eq!((r.umin, r.umax), (0, 100));
+    }
+}

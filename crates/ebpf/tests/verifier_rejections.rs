@@ -1,14 +1,19 @@
 //! Table-driven rejection-path coverage for the verifier.
 //!
-//! One minimal program per [`VerifyError`] class. The table is the
-//! specification: adding a variant to `VerifyError` without extending the
-//! table fails the `every_error_class_is_covered` completeness check, so
-//! rejection paths can't silently lose coverage.
+//! One minimal program per [`VerifyError`] class, and one per
+//! [`VerifyWarning`] class. The tables are the specification: adding a
+//! variant without extending the matching table fails a completeness
+//! check, so rejection and diagnostic paths can't silently lose
+//! coverage. A third table pins the value-tracking bounds checks:
+//! register-offset accesses whose intervals do *not* provably fit must
+//! still be rejected.
 
 use kscope_ebpf::asm::Asm;
-use kscope_ebpf::insn::{Insn, OP_ADD, OP_DIV, OP_MUL, R0, R1, R2, R10, SZ_DW, SZ_W};
+use kscope_ebpf::insn::{
+    Insn, OP_ADD, OP_AND, OP_DIV, OP_MUL, R0, R1, R2, R6, R7, R10, SZ_DW, SZ_W,
+};
 use kscope_ebpf::maps::{MapDef, MapRegistry};
-use kscope_ebpf::verifier::{Verifier, VerifyError};
+use kscope_ebpf::verifier::{Verifier, VerifyError, VerifyWarning};
 use kscope_ebpf::{Helper, Program};
 
 struct Case {
@@ -311,4 +316,224 @@ fn rejections_are_deterministic() {
         let second = Verifier::default().verify(&prog, &maps).unwrap_err();
         assert_eq!(first, second, "case `{}` gave unstable errors", case.class);
     }
+}
+
+// --- warnings ---
+
+struct WarnCase {
+    class: &'static str,
+    build: fn() -> Program,
+    matches: fn(&VerifyWarning) -> bool,
+}
+
+/// The full variant list of `VerifyWarning`, kept in declaration order.
+const ALL_WARNING_CLASSES: &[&str] = &["UnreachableInsn", "DeadStore"];
+
+fn warn_cases() -> Vec<WarnCase> {
+    vec![
+        WarnCase {
+            class: "UnreachableInsn",
+            build: || {
+                // r0 is the constant 0, so `jeq r0, 0` is always taken
+                // and the fall-through instruction can never execute.
+                Program::new(
+                    "dead-code",
+                    vec![
+                        Insn::mov64_imm(R0, 0),
+                        Insn::jmp_imm(kscope_ebpf::insn::OP_JEQ, R0, 0, 1),
+                        Insn::mov64_imm(R0, 1),
+                        Insn::exit(),
+                    ],
+                )
+            },
+            matches: |w| matches!(w, VerifyWarning::UnreachableInsn { pc: 2 }),
+        },
+        WarnCase {
+            class: "DeadStore",
+            build: || {
+                // The stored slot is never read before `exit`.
+                Program::new(
+                    "dead-store",
+                    vec![
+                        Insn::mov64_imm(R0, 7),
+                        Insn::store_reg(SZ_DW, R10, R0, -8),
+                        Insn::exit(),
+                    ],
+                )
+            },
+            matches: |w| {
+                matches!(
+                    w,
+                    VerifyWarning::DeadStore {
+                        pc: 1,
+                        off: -8,
+                        size: 8
+                    }
+                )
+            },
+        },
+    ]
+}
+
+/// Each warning case's program is *accepted* and produces exactly its
+/// declared warning class.
+#[test]
+fn each_warning_class_fires_on_its_minimal_program() {
+    for case in warn_cases() {
+        let maps = MapRegistry::new();
+        let prog = (case.build)();
+        let report = Verifier::default().verify_report(&prog, &maps);
+        assert!(
+            report.is_ok(),
+            "warning case `{}` must verify, got:\n{report}",
+            case.class
+        );
+        assert!(
+            report.warnings.iter().any(case.matches),
+            "warning case `{}`: expected that class, got {:?}\n{}",
+            case.class,
+            report.warnings,
+            prog.disassemble()
+        );
+    }
+}
+
+/// The warning table must name every `VerifyWarning` variant once.
+#[test]
+fn every_warning_class_is_covered() {
+    let table: Vec<&str> = warn_cases().iter().map(|c| c.class).collect();
+    for class in ALL_WARNING_CLASSES {
+        assert!(
+            table.contains(class),
+            "no warning case for VerifyWarning::{class}"
+        );
+    }
+    assert_eq!(
+        table.len(),
+        ALL_WARNING_CLASSES.len(),
+        "warning table has duplicate or stray classes"
+    );
+}
+
+/// An overwritten-before-read store is dead too, and a consumed store
+/// must NOT warn — the liveness analysis reads through register offsets.
+#[test]
+fn dead_store_analysis_tracks_reads() {
+    let maps = MapRegistry::new();
+    // Overwrite: the first store can never be observed.
+    let prog = Program::new(
+        "overwrite",
+        vec![
+            Insn::mov64_imm(R0, 1),
+            Insn::store_reg(SZ_DW, R10, R0, -8),
+            Insn::store_reg(SZ_DW, R10, R0, -8),
+            Insn::load(SZ_DW, R0, R10, -8),
+            Insn::exit(),
+        ],
+    );
+    let report = Verifier::default().verify_report(&prog, &maps);
+    assert!(report.is_ok());
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, VerifyWarning::DeadStore { pc: 1, .. })),
+        "overwritten store should be dead: {:?}",
+        report.warnings
+    );
+    assert!(
+        !report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, VerifyWarning::DeadStore { pc: 2, .. })),
+        "consumed store must not warn: {:?}",
+        report.warnings
+    );
+}
+
+// --- value-tracking bounds rejections ---
+
+/// Register-offset accesses whose interval does not provably fit are
+/// still rejected: value tracking admits proofs, not hopes.
+#[test]
+fn unproven_register_offsets_stay_rejected() {
+    // Completely unclamped context word used as a stack offset.
+    let unclamped = Asm::new("unclamped")
+        .mov64_imm(R0, 0)
+        .load(SZ_DW, R6, R1, 0)
+        .mov64_reg(R7, R10)
+        .add64_imm(R7, -64)
+        .insn(Insn::alu64_reg(OP_ADD, R7, R6))
+        .store_reg(SZ_DW, R7, R0, 0)
+        .exit()
+        .assemble()
+        .unwrap();
+
+    // Clamped, but to a window wider than the stack.
+    let too_wide = Asm::new("too-wide")
+        .mov64_imm(R0, 0)
+        .load(SZ_DW, R6, R1, 0)
+        .insn(Insn::alu64_imm(OP_AND, R6, 127))
+        .insn(Insn::alu64_imm(kscope_ebpf::insn::OP_LSH, R6, 3))
+        .mov64_reg(R7, R10)
+        .add64_imm(R7, -512)
+        .insn(Insn::alu64_reg(OP_ADD, R7, R6))
+        .store_reg(SZ_DW, R7, R0, 0)
+        .exit()
+        .assemble()
+        .unwrap();
+
+    // A 32-bit compare must not bound the upper 32 bits: on the
+    // fall-through of `jge32 r6, 56` the *low* word is < 56 but the
+    // high word is still anything, so the store remains unprovable.
+    let jmp32_guard = Asm::new("jmp32-guard")
+        .mov64_imm(R0, 0)
+        .load(SZ_DW, R6, R1, 0)
+        .insn(Insn::jmp32_imm(kscope_ebpf::insn::OP_JGE, R6, 56, 4))
+        .mov64_reg(R7, R10)
+        .add64_imm(R7, -64)
+        .insn(Insn::alu64_reg(OP_ADD, R7, R6))
+        .store_reg(SZ_DW, R7, R0, 0)
+        .exit()
+        .assemble()
+        .unwrap();
+
+    let maps = MapRegistry::new();
+    for (name, prog) in [
+        ("unclamped", &unclamped),
+        ("too-wide", &too_wide),
+        ("jmp32-guard", &jmp32_guard),
+    ] {
+        let err = Verifier::default().verify(prog, &maps).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::OutOfBounds { .. }),
+            "{name}: expected OutOfBounds, got {err:?}\n{}",
+            prog.disassemble()
+        );
+    }
+}
+
+/// A variable-offset load requires *every* byte the window can touch to
+/// be initialized; one initialized slot is not enough.
+#[test]
+fn var_offset_load_needs_fully_initialized_window() {
+    let prog = Asm::new("partial-window")
+        .mov64_imm(R0, 0)
+        .store_reg(SZ_DW, R10, R0, -8) // only one of two slots
+        .load(SZ_DW, R6, R1, 0)
+        .insn(Insn::alu64_imm(OP_AND, R6, 8)) // offset in {0, 8}
+        .mov64_reg(R7, R10)
+        .add64_imm(R7, -16)
+        .insn(Insn::alu64_reg(OP_ADD, R7, R6))
+        .load(SZ_DW, R0, R7, 0)
+        .exit()
+        .assemble()
+        .unwrap();
+    let maps = MapRegistry::new();
+    let err = Verifier::default().verify(&prog, &maps).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::UninitStackRead { .. }),
+        "expected UninitStackRead, got {err:?}\n{}",
+        prog.disassemble()
+    );
 }

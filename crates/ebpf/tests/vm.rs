@@ -74,6 +74,49 @@ fn div_and_mod_by_zero_register_follow_kernel_semantics() {
 }
 
 #[test]
+fn div_and_mod_by_zero_register_32bit_follow_kernel_semantics() {
+    // 32-bit DIV by a zero register yields 0.
+    let prog = Asm::new("divzero32")
+        .mov64_imm(R0, 42)
+        .mov64_imm(R2, 0)
+        .insn(Insn::alu32_reg(OP_DIV, R0, R2))
+        .exit()
+        .assemble()
+        .unwrap();
+    assert_eq!(run(&prog, &[], &mut MapRegistry::new()), 0);
+
+    // 32-bit MOD by zero keeps the destination, but truncated and
+    // zero-extended like every ALU32 result.
+    let prog = Asm::new("modzero32")
+        .ld_dw(R0, 0xFFFF_FFFF_0000_002A)
+        .mov64_imm(R2, 0)
+        .insn(Insn::alu32_reg(OP_MOD, R0, R2))
+        .exit()
+        .assemble()
+        .unwrap();
+    assert_eq!(run(&prog, &[], &mut MapRegistry::new()), 0x2A);
+}
+
+#[test]
+fn runtime_zero_divisor_from_context_is_safe() {
+    // The verifier cannot prove this ctx-loaded divisor nonzero, and must
+    // not need to: scalar/scalar division is always safe at runtime.
+    let prog = Asm::new("ctxdiv")
+        .mov64_imm(R0, 100)
+        .load(SZ_DW, R2, R1, 0)
+        .insn(Insn::alu64_reg(OP_DIV, R0, R2))
+        .exit()
+        .assemble()
+        .unwrap();
+    // ctx word 0 == 0: BPF defines the quotient as 0.
+    assert_eq!(run(&prog, &[0u8; 16], &mut MapRegistry::new()), 0);
+    // ctx word 0 == 5: ordinary division.
+    let mut ctx = [0u8; 16];
+    ctx[0] = 5;
+    assert_eq!(run(&prog, &ctx, &mut MapRegistry::new()), 20);
+}
+
+#[test]
 fn arsh_is_sign_preserving() {
     let prog = Asm::new("arsh")
         .mov64_imm(R0, -16)
@@ -753,10 +796,12 @@ fn disassembly_of_a_real_program_mentions_all_parts() {
 #[test]
 fn join_of_divergent_paths_is_conservative() {
     // r6 is a pointer on one path and a scalar on the other; using it as a
-    // pointer after the join must be rejected.
+    // pointer after the join must be rejected. The branch condition comes
+    // from the context so the value-tracking verifier can't decide it and
+    // both paths stay live.
     let maps = MapRegistry::new();
     let prog = Asm::new("join")
-        .mov64_imm(R0, 0)
+        .load(SZ_DW, R0, R1, 0)
         .jeq_imm(R0, 0, "path_a")
         .mov64_imm(R6, 5)
         .ja("merge")

@@ -63,7 +63,10 @@ pub fn analyze_workload(spec: &WorkloadSpec, config: &SweepConfig) -> (Fig2Row, 
     let ys: Vec<f64> = raw.iter().map(|p| p.1).collect();
     let xs = normalize_by_max(&xs);
     let ys = normalize_by_max(&ys);
-    let fit = LinearFit::fit(&xs, &ys).expect("sweep produces at least two levels");
+    let fit = match LinearFit::fit(&xs, &ys) {
+        Ok(fit) => fit,
+        Err(e) => panic!("load sweep must produce a fittable point set: {e}"),
+    };
     let residuals = fit.residuals(&xs, &ys);
     let max_abs_residual = residuals.iter().fold(0.0f64, |m, r| m.max(r.abs()));
     let points: Vec<(f64, f64)> = xs.into_iter().zip(ys).collect();

@@ -58,11 +58,17 @@ pub fn run(scale: Scale) -> Vec<BypassRow> {
             )) as Box<dyn TracepointProbe>]
         });
         let mut kernel = outcome.kernel;
-        let mut probe = kernel.tracing.detach(outcome.probes[0]).expect("attached");
-        let observer = probe
+        let mut probe = match kernel.tracing.detach(outcome.probes[0]) {
+            Some(probe) => probe,
+            None => unreachable!("probe id came from this run's attach"),
+        };
+        let observer = match probe
             .as_any_mut()
             .downcast_mut::<WindowedObserver<NativeBackend>>()
-            .expect("native observer");
+        {
+            Some(observer) => observer,
+            None => unreachable!("this run attached a native windowed observer"),
+        };
         observer.finish(outcome.end);
         let windows: Vec<_> = observer
             .windows()

@@ -79,7 +79,7 @@ fn run_once(spec: &WorkloadSpec, fraction: f64, setup: ProbeSetup, scale: Scale)
             )) as Box<dyn TracepointProbe>],
             ProbeSetup::Bytecode => vec![Box::new(WindowedObserver::new(
                 BytecodeBackend::new_multi(pids, profile, DEFAULT_SHIFT)
-                    .expect("generated programs verify"),
+                    .unwrap_or_else(|e| panic!("generated probe programs must verify: {e}")),
                 window,
             )) as Box<dyn TracepointProbe>],
         }

@@ -197,7 +197,7 @@ pub fn run_level(spec: &WorkloadSpec, offered_rps: f64, config: &SweepConfig, se
             )),
             BackendKind::Bytecode => Box::new(WindowedObserver::new(
                 BytecodeBackend::new_multi(pids, sim.spec().profile.clone(), shift)
-                    .expect("generated programs verify"),
+                    .unwrap_or_else(|e| panic!("generated probe programs must verify: {e}")),
                 window,
             )),
         };
@@ -205,24 +205,30 @@ pub fn run_level(spec: &WorkloadSpec, offered_rps: f64, config: &SweepConfig, se
     });
 
     let mut kernel = outcome.kernel;
-    let mut probe = kernel
-        .tracing
-        .detach(outcome.probes[0])
-        .expect("probe attached");
+    let mut probe = match kernel.tracing.detach(outcome.probes[0]) {
+        Some(probe) => probe,
+        None => unreachable!("probe id came from this run's attach"),
+    };
     let windows = match backend {
         BackendKind::Native => {
-            let observer = probe
+            let observer = match probe
                 .as_any_mut()
                 .downcast_mut::<WindowedObserver<NativeBackend>>()
-                .expect("native observer");
+            {
+                Some(observer) => observer,
+                None => unreachable!("this run attached a native windowed observer"),
+            };
             observer.finish(outcome.end);
             observer.windows().to_vec()
         }
         BackendKind::Bytecode => {
-            let observer = probe
+            let observer = match probe
                 .as_any_mut()
                 .downcast_mut::<WindowedObserver<BytecodeBackend>>()
-                .expect("bytecode observer");
+            {
+                Some(observer) => observer,
+                None => unreachable!("this run attached a bytecode windowed observer"),
+            };
             observer.finish(outcome.end);
             observer.windows().to_vec()
         }

@@ -53,11 +53,17 @@ pub fn run(scale: Scale) -> Vec<WindowRow> {
         });
         let truth = outcome.client.achieved_rps;
         let mut kernel = outcome.kernel;
-        let mut probe = kernel.tracing.detach(outcome.probes[0]).expect("attached");
-        let observer = probe
+        let mut probe = match kernel.tracing.detach(outcome.probes[0]) {
+            Some(probe) => probe,
+            None => unreachable!("probe id came from this run's attach"),
+        };
+        let observer = match probe
             .as_any_mut()
             .downcast_mut::<WindowedObserver<NativeBackend>>()
-            .expect("native observer");
+        {
+            Some(observer) => observer,
+            None => unreachable!("this run attached a native windowed observer"),
+        };
         observer.finish(outcome.end);
         let errors: Vec<f64> = observer
             .windows()

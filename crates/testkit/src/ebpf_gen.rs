@@ -26,6 +26,8 @@ use kscope_ebpf::insn::{
     OP_JLE, OP_JLT, OP_JNE, OP_JSET, OP_JSGE, OP_JSGT, OP_JSLE, OP_JSLT, OP_LSH, OP_MOD, OP_MOV,
     OP_MUL, OP_NEG, OP_OR, OP_RSH, OP_SUB, OP_XOR, SRC_K, SRC_X, SZ_B, SZ_DW, SZ_H, SZ_W,
 };
+use kscope_ebpf::maps::MapFd;
+use kscope_ebpf::Helper;
 use kscope_ebpf::Program;
 use kscope_simcore::SimRng;
 
@@ -216,7 +218,119 @@ pub fn valid_program(rng: &mut SimRng, allow_branches: bool) -> Program {
         }
     }
     let asm = asm.label("end").exit();
-    asm.assemble().expect("structured generator emitted an unassemblable program")
+    match asm.assemble() {
+        Ok(prog) => prog,
+        Err(e) => unreachable!("structured generator emitted an unassemblable program: {e}"),
+    }
+}
+
+/// A random program whose memory accesses go through *register* offsets
+/// that are clamped into bounds before use — the access pattern the
+/// value-tracking verifier admits and the old type-only rules rejected
+/// as `PointerArith`.
+///
+/// Each program draws unknown scalars from the 64-byte context, clamps
+/// them with one of four idioms (AND mask, unsigned `jgt` guard, `jset`
+/// bit guard, signed compare pair), and uses the result as a
+/// register offset into the stack or — when `map_fd` is given — a
+/// 128-byte map value behind a null-checked `map_lookup_elem`.
+/// Accepted programs must run clean in the interpreter on any context;
+/// the clamp is genuine, not cosmetic.
+pub fn bounded_offset_program(rng: &mut SimRng, map_fd: Option<MapFd>) -> Program {
+    let mut asm = Asm::new("bounded").mov64_reg(9, 1); // ctx survives helper calls in r9
+    for &reg in &WORK_REGS {
+        asm = asm.mov64_imm(reg, gen::i32_in(rng, -100, 100));
+    }
+    let sections = gen::usize_in(rng, 1, 3);
+    for i in 0..sections {
+        // An unknown scalar the verifier cannot constant-fold.
+        let ctx_off = gen::i64_in(rng, 0, 6) as i16 * 8;
+        asm = asm.load(SZ_DW, 6, 9, ctx_off);
+        let kind_max = if map_fd.is_some() { 4 } else { 3 };
+        match gen::u64_in(rng, 0, kind_max) {
+            0 => {
+                // AND-mask clamp: r6 in [0, mask], shifted to an aligned
+                // byte offset, then a doubleword store through r10.
+                let slots = gen::pick(rng, &[2u64, 4, 8, 16]);
+                let mask = slots as i32 - 1;
+                let base = -8 * slots as i32;
+                asm = asm
+                    .and64_imm(6, mask)
+                    .lsh64_imm(6, 3)
+                    .mov64_reg(7, 10)
+                    .add64_imm(7, base)
+                    .add64_reg(7, 6)
+                    .store_reg(SZ_DW, 7, 8, 0);
+            }
+            1 => {
+                // Unsigned-guard clamp: skip the access unless r6 <= 56,
+                // then a byte-sized store at a pure range-bounded offset
+                // (no tnum alignment information involved).
+                let skip = format!("skip{i}");
+                asm = asm
+                    .jgt_imm(6, 56, skip.clone())
+                    .mov64_reg(7, 10)
+                    .add64_imm(7, -64)
+                    .add64_reg(7, 6)
+                    .store_reg(SZ_B, 7, 8, 0)
+                    .label(skip);
+            }
+            2 => {
+                // JSET bit guard: taken edge bails; the fall-through
+                // proves the offset is an 8-aligned value in [0, 56].
+                let skip = format!("skip{i}");
+                asm = asm
+                    .jmp_imm(OP_JSET, 6, !0x38, skip.clone())
+                    .mov64_reg(7, 10)
+                    .add64_imm(7, -64)
+                    .add64_reg(7, 6)
+                    .store_reg(SZ_DW, 7, 8, 0)
+                    .label(skip);
+            }
+            3 => {
+                // Signed-compare pair: [0, 63] via jsgt/jslt, which the
+                // scalar domain must cross-derive into unsigned bounds.
+                let skip = format!("skip{i}");
+                asm = asm
+                    .jmp_imm(OP_JSGT, 6, 63, skip.clone())
+                    .jmp_imm(OP_JSLT, 6, 0, skip.clone())
+                    .lsh64_imm(6, 3)
+                    .mov64_reg(7, 10)
+                    .add64_imm(7, -512)
+                    .add64_reg(7, 6)
+                    .store_reg(SZ_DW, 7, 8, 0)
+                    .label(skip);
+            }
+            _ => {
+                // Register-offset access into a null-checked map value:
+                // the in-probe histogram shape.
+                let fd = match map_fd {
+                    Some(fd) => fd,
+                    None => unreachable!("the map variant is only drawn when a map fd exists"),
+                };
+                let skip = format!("skip{i}");
+                asm = asm
+                    .and64_imm(6, 15)
+                    .lsh64_imm(6, 3)
+                    .store_imm(SZ_W, 10, -4, 0)
+                    .ld_map_fd(1, fd)
+                    .mov64_reg(2, 10)
+                    .add64_imm(2, -4)
+                    .call(Helper::MapLookupElem)
+                    .jeq_imm(0, 0, skip.clone())
+                    .add64_reg(0, 6)
+                    .load(SZ_DW, 7, 0, 0)
+                    .add64_imm(7, 1)
+                    .store_reg(SZ_DW, 0, 7, 0)
+                    .label(skip);
+            }
+        }
+    }
+    let asm = asm.label("end").mov64_imm(0, 0).exit();
+    match asm.assemble() {
+        Ok(prog) => prog,
+        Err(e) => unreachable!("bounded-offset generator emitted an unassemblable program: {e}"),
+    }
 }
 
 impl Shrink for Insn {

@@ -11,15 +11,21 @@
 //! 3. **Reference evaluation** — for branch-free ALU programs the
 //!    interpreter's result equals an independent straight-line evaluator
 //!    transcribed from the instruction-set semantics.
+//! 4. **Value-tracking precision and soundness** — 1000 bounds-clamped
+//!    register-offset programs all verify and never fault, and on mixed
+//!    program streams the value-tracking verifier accepts a strict
+//!    superset of what the historical type-only rules accepted.
 
 use kscope_ebpf::insn::Insn;
 use kscope_ebpf::interp::{ExecEnv, Vm};
 use kscope_ebpf::maps::{MapDef, MapRegistry};
 use kscope_ebpf::text::{emit_program, parse_program};
-use kscope_ebpf::verifier::Verifier;
+use kscope_ebpf::verifier::{Verifier, VerifierConfig};
 use kscope_ebpf::Program;
 use kscope_simcore::SimRng;
-use kscope_testkit::ebpf_gen::{fuzz_program, reference_eval, straightline_program, valid_program};
+use kscope_testkit::ebpf_gen::{
+    bounded_offset_program, fuzz_program, reference_eval, straightline_program, valid_program,
+};
 use kscope_testkit::Config;
 
 /// 1200 arbitrary-body programs: everything the verifier accepts must
@@ -151,6 +157,77 @@ fn interpreter_matches_reference_evaluator() {
                 prog.disassemble()
             );
         }
+    );
+}
+
+/// 1000 bounds-clamped register-offset programs: the value-tracking
+/// verifier must accept every one (the generator's clamps are designed
+/// to be provable), and every accepted program must run clean on
+/// randomized context bytes — the soundness half of the precision story.
+#[test]
+fn bounded_offset_programs_verify_and_never_fault() {
+    let mut rng = SimRng::seed_from_u64(Config::default().seed);
+    for i in 0..1000 {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("vals", MapDef::array(128, 1));
+        let prog = bounded_offset_program(&mut rng, (i % 2 == 0).then_some(fd));
+        Verifier::default().verify(&prog, &maps).unwrap_or_else(|e| {
+            panic!(
+                "iteration {i}: bounded-offset program rejected: {e}\n{}",
+                prog.disassemble()
+            )
+        });
+        let mut ctx = [0u8; 64];
+        for b in ctx.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        let result = Vm::new().execute(&prog, &ctx, &mut maps, &mut ExecEnv::default());
+        assert!(
+            result.is_ok(),
+            "iteration {i}: accepted program faulted on ctx {ctx:02x?}: {result:?}\n{}",
+            prog.disassemble()
+        );
+    }
+}
+
+/// The value-tracking verifier accepts a strict superset of the
+/// type-only rules: on a mixed stream of arbitrary, structured, and
+/// bounded-offset programs, nothing the old lattice accepted is newly
+/// rejected — and the bounded-offset corpus demonstrates genuine new
+/// acceptances, so the inclusion is strict, not vacuous.
+#[test]
+fn value_tracking_accepts_strict_superset_of_type_only() {
+    let mut rng = SimRng::seed_from_u64(Config::default().seed ^ 0x5EED);
+    let type_only = Verifier::new(VerifierConfig {
+        value_tracking: false,
+        ..VerifierConfig::default()
+    });
+    let full = Verifier::default();
+    let mut newly_accepted = 0usize;
+    for i in 0..1200 {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("vals", MapDef::array(128, 1));
+        let prog = match i % 3 {
+            0 => fuzz_program(&mut rng, 24),
+            1 => valid_program(&mut rng, true),
+            _ => bounded_offset_program(&mut rng, Some(fd)),
+        };
+        let old = type_only.verify(&prog, &maps);
+        let new = full.verify(&prog, &maps);
+        if old.is_ok() {
+            assert!(
+                new.is_ok(),
+                "iteration {i}: value tracking rejected a type-only-accepted program: {new:?}\n{}",
+                prog.disassemble()
+            );
+        }
+        if old.is_err() && new.is_ok() {
+            newly_accepted += 1;
+        }
+    }
+    assert!(
+        newly_accepted >= 100,
+        "expected a strict precision gain, saw only {newly_accepted} new acceptances"
     );
 }
 

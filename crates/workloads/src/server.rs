@@ -289,7 +289,7 @@ impl ServerSim {
                         self.kernel
                             .tasks
                             .spawn_thread(pid, format!("worker-{w}"))
-                            .expect("process exists")
+                            .unwrap_or_else(|| unreachable!("the server pid was spawned at startup"))
                     };
                     let ep = self.kernel.epolls.create();
                     epolls.push(ep);
@@ -345,7 +345,7 @@ impl ServerSim {
                         self.kernel
                             .tasks
                             .spawn_thread(fe_pid, format!("fe-{w}"))
-                            .expect("process exists")
+                            .unwrap_or_else(|| unreachable!("the server pid was spawned at startup"))
                     };
                     let ep = self.kernel.epolls.create();
                     fe_epolls.push(ep);
@@ -373,7 +373,7 @@ impl ServerSim {
                         self.kernel
                             .tasks
                             .spawn_thread(be_pid, format!("be-{w}"))
-                            .expect("process exists")
+                            .unwrap_or_else(|| unreachable!("the server pid was spawned at startup"))
                     };
                     self.threads.insert(
                         tid,
@@ -439,7 +439,7 @@ impl ServerSim {
                         self.kernel
                             .tasks
                             .spawn_thread(pid, format!("net-{w}"))
-                            .expect("process exists")
+                            .unwrap_or_else(|| unreachable!("the server pid was spawned at startup"))
                     };
                     let ep = self.kernel.epolls.create();
                     net_epolls.push(ep);
@@ -465,7 +465,7 @@ impl ServerSim {
                         .kernel
                         .tasks
                         .spawn_thread(pid, format!("compute-{w}"))
-                        .expect("process exists");
+                        .unwrap_or_else(|| unreachable!("the server pid was spawned at startup"));
                     self.threads.insert(
                         tid,
                         ThreadRt {
@@ -518,12 +518,12 @@ impl ServerSim {
         // (nothing is readable yet, so every thread blocks).
         let tids: Vec<Tid> = self.threads.keys().copied().collect();
         for tid in tids {
-            let rt = self.threads.get_mut(&tid).expect("thread exists");
+            let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
             rt.state = TState::Polling;
             let (pid, poll_no, epoll) = (rt.pid, rt.poll_no, rt.epoll);
             self.kernel.tracing.sys_enter(pid, tid, poll_no, boot_end);
             self.kernel.epolls.block(epoll, tid);
-            self.threads.get_mut(&tid).expect("thread exists").state = TState::Blocked;
+            self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads")).state = TState::Blocked;
         }
     }
 
@@ -584,12 +584,12 @@ impl ServerSim {
         let mut t = now;
         // Main thread of the first process closes every connection.
         let (main_tid, main_pid) = {
-            let (tid, rt) = self.threads.iter().next().expect("threads exist");
+            let (tid, rt) = self.threads.iter().next().unwrap_or_else(|| unreachable!("the server always has at least one thread"));
             (*tid, rt.pid)
         };
         // Terminate whatever syscall the main thread is inside.
         {
-            let rt = self.threads.get_mut(&main_tid).expect("thread exists");
+            let rt = self.threads.get_mut(&main_tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
             match rt.state {
                 TState::Blocked | TState::Polling => {
                     let poll_no = rt.poll_no;
@@ -624,13 +624,13 @@ impl ServerSim {
 
     /// The thread (re-)enters its poll syscall at `at`.
     fn thread_poll(&mut self, tid: Tid, at: Nanos, sched: &mut Scheduler<'_, Ev>) {
-        let rt = self.threads.get_mut(&tid).expect("thread exists");
+        let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
         rt.cur = None;
         rt.batch.clear();
         let (pid, poll_no, epoll) = (rt.pid, rt.poll_no, rt.epoll);
         let oh = self.kernel.tracing.sys_enter(pid, tid, poll_no, at);
         let ready = self.kernel.epolls.ready_channels(epoll, &self.kernel.channels);
-        let rt = self.threads.get_mut(&tid).expect("thread exists");
+        let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
         if ready.is_empty() {
             self.kernel.epolls.block(epoll, tid);
             rt.state = TState::Blocked;
@@ -645,7 +645,7 @@ impl ServerSim {
     /// next batch of work.
     fn handle_poll_exit(&mut self, tid: Tid, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
-        let rt = self.threads.get_mut(&tid).expect("thread exists");
+        let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
         debug_assert!(matches!(rt.state, TState::Polling));
         let (pid, poll_no, epoll) = (rt.pid, rt.poll_no, rt.epoll);
         let ready = self.kernel.epolls.ready_channels(epoll, &self.kernel.channels);
@@ -653,7 +653,7 @@ impl ServerSim {
             .kernel
             .tracing
             .sys_exit(pid, tid, poll_no, ready.len() as i64, now);
-        let rt = self.threads.get_mut(&tid).expect("thread exists");
+        let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
         rt.batch = ready;
         self.start_next_item(tid, now + oh, sched);
     }
@@ -662,7 +662,7 @@ impl ServerSim {
     /// pop (recv) step; re-polls when the batch is drained.
     fn start_next_item(&mut self, tid: Tid, at: Nanos, sched: &mut Scheduler<'_, Ev>) {
         loop {
-            let rt = self.threads.get_mut(&tid).expect("thread exists");
+            let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
             let Some(channel) = rt.batch.pop() else {
                 self.thread_poll(tid, at, sched);
                 return;
@@ -672,7 +672,7 @@ impl ServerSim {
             let Some(msg) = self.kernel.channels.recv(channel) else {
                 continue;
             };
-            let cfg = *self.chan_cfg.get(&channel).expect("configured channel");
+            let cfg = *self.chan_cfg.get(&channel).unwrap_or_else(|| unreachable!("every channel was registered at startup"));
             let bypass = self.spec.syscall_bypass_fraction > 0.0
                 && self.rng_misc.next_bool(self.spec.syscall_bypass_fraction);
             let work = Work {
@@ -682,7 +682,7 @@ impl ServerSim {
                 after: cfg.after,
                 bypass,
             };
-            let rt = self.threads.get_mut(&tid).expect("thread exists");
+            let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
             rt.cur = Some(work);
             match cfg.pop_syscall {
                 Some(no) if !bypass => {
@@ -694,7 +694,7 @@ impl ServerSim {
                 }
                 Some(_) => {
                     // io_uring-style receive: same I/O time, no tracepoint.
-                    let rt = self.threads.get_mut(&tid).expect("thread exists");
+                    let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
                     rt.state = TState::InSyscall;
                     sched.at(at + self.spec.syscall_cost, Ev::SyscallExit { tid });
                 }
@@ -710,8 +710,8 @@ impl ServerSim {
     /// Submits the thread's compute demand to the scheduler.
     fn begin_compute(&mut self, tid: Tid, at: Nanos, sched: &mut Scheduler<'_, Ev>) {
         let work = {
-            let rt = self.threads.get_mut(&tid).expect("thread exists");
-            let work = rt.cur.as_mut().expect("work in progress");
+            let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
+            let work = rt.cur.as_mut().unwrap_or_else(|| unreachable!("the scheduler only runs threads holding work"));
             work.phase = Phase::Compute;
             *work
         };
@@ -761,13 +761,13 @@ impl ServerSim {
                 }
             }
         }
-        self.threads.get_mut(&tid).expect("thread exists").state = TState::AwaitCpu;
+        self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads")).state = TState::AwaitCpu;
         if let Some(grant) = self
             .kernel
             .sched
             .submit(tid, demand, at.max(sched.now()), &mut self.rng_sched)
         {
-            let rt = self.threads.get_mut(&tid).expect("thread exists");
+            let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
             rt.state = TState::Computing;
             sched.at(grant.finish, Ev::ComputeDone { tid });
         }
@@ -778,18 +778,18 @@ impl ServerSim {
     fn handle_compute_done(&mut self, tid: Tid, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
         if let Some(next) = self.kernel.sched.complete(tid, now, &mut self.rng_sched) {
-            let rt = self.threads.get_mut(&next.tid).expect("thread exists");
+            let rt = self.threads.get_mut(&next.tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
             debug_assert_eq!(rt.state, TState::AwaitCpu);
             rt.state = TState::Computing;
             sched.at(next.finish, Ev::ComputeDone { tid: next.tid });
         }
-        let rt = self.threads.get_mut(&tid).expect("thread exists");
-        let work = rt.cur.expect("work in progress");
+        let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
+        let work = rt.cur.unwrap_or_else(|| unreachable!("the scheduler only runs threads holding work"));
         match work.after {
             AfterPop::ComputeAndRespond => self.begin_send(tid, now, sched),
             AfterPop::ComputeAndForward { to, via, .. } => match via {
                 Some(no) => {
-                    let rt = self.threads.get_mut(&tid).expect("thread exists");
+                    let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
                     rt.state = TState::InSyscall;
                     rt.cur = Some(Work {
                         phase: Phase::Forward,
@@ -821,8 +821,8 @@ impl ServerSim {
             .spec
             .sends_per_request
             .sample_count(&mut self.rng_misc, 1) as u32;
-        let rt = self.threads.get_mut(&tid).expect("thread exists");
-        let work = rt.cur.as_mut().expect("work in progress");
+        let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
+        let work = rt.cur.as_mut().unwrap_or_else(|| unreachable!("the scheduler only runs threads holding work"));
         work.phase = Phase::Send {
             remaining: sends - 1,
         };
@@ -845,25 +845,25 @@ impl ServerSim {
     /// Completes the thread's in-flight fast syscall and advances its FSM.
     fn handle_syscall_exit(&mut self, tid: Tid, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
-        let rt = self.threads.get_mut(&tid).expect("thread exists");
+        let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
         let pid = rt.pid;
         // Bypassed (io_uring) I/O has no tracepoint to exit from.
         let oh = match self.pending_syscall.remove(&tid) {
             Some((no, ret)) => self.kernel.tracing.sys_exit(pid, tid, no, ret, now),
             None => Nanos::ZERO,
         };
-        let rt = self.threads.get_mut(&tid).expect("thread exists");
-        let work = rt.cur.expect("work in progress");
+        let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
+        let work = rt.cur.unwrap_or_else(|| unreachable!("the scheduler only runs threads holding work"));
         match work.phase {
             Phase::Recv => self.begin_compute(tid, now + oh, sched),
             Phase::Forward => {
-                let to = self.pending_forward.remove(&tid).expect("forward target");
+                let to = self.pending_forward.remove(&tid).unwrap_or_else(|| unreachable!("the forward target was recorded before dispatch"));
                 self.deliver_internal(to, work.request, work.bytes, now, sched);
                 self.start_next_item(tid, now + oh, sched);
             }
             Phase::Send { remaining } => {
                 if remaining > 0 {
-                    let rt = self.threads.get_mut(&tid).expect("thread exists");
+                    let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
                     rt.cur = Some(Work {
                         phase: Phase::Send {
                             remaining: remaining - 1,
@@ -918,7 +918,7 @@ impl ServerSim {
 
     fn wake_watchers(&mut self, channel: ChannelId, now: Nanos, sched: &mut Scheduler<'_, Ev>) {
         for (_, tid) in self.kernel.epolls.on_readable(channel) {
-            let rt = self.threads.get_mut(&tid).expect("thread exists");
+            let rt = self.threads.get_mut(&tid).unwrap_or_else(|| unreachable!("tid is one of this server's threads"));
             debug_assert_eq!(rt.state, TState::Blocked);
             rt.state = TState::Polling;
             sched.at(now + self.wake_cost, Ev::PollExit { tid });

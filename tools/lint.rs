@@ -1,0 +1,301 @@
+//! Repo-local lint gate, compiled with plain `rustc` (no dependencies):
+//!
+//! ```text
+//! rustc tools/lint.rs -O -o target/lint && ./target/lint
+//! ```
+//!
+//! Policy, enforced over every `crates/*/src/**/*.rs` file:
+//!
+//! * `.unwrap()` and `.expect(` are banned in non-test library code.
+//!   Infallible-by-construction cases use `match` with a `panic!` /
+//!   `unreachable!` carrying a message that says *why* the case cannot
+//!   happen; everything else propagates an error.
+//! * `dbg!(` and `todo!(` are banned everywhere under `src/`, including
+//!   test modules — they are debugging residue, not shipping code.
+//!
+//! `#[cfg(test)]` items (and everything nested inside them) are exempt
+//! from the unwrap/expect ban, as are doc comments, line/block
+//! comments, and string literals: the scanner strips those before
+//! matching, so an error message that *mentions* `.unwrap()` is fine.
+//!
+//! Exit status is the number-of-violations truth: 0 when clean, 1 when
+//! anything fired, 2 on I/O trouble (so CI can't green-wash a missing
+//! tree).
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Patterns banned in non-test library code.
+const BANNED_NON_TEST: &[&str] = &[".unwrap()", ".expect("];
+
+/// Patterns banned everywhere under `src/`, test modules included.
+const BANNED_EVERYWHERE: &[&str] = &["dbg!(", "todo!("];
+
+fn main() -> ExitCode {
+    let root = env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    if let Err(e) = collect_sources(&crates, &mut files) {
+        eprintln!("lint: cannot walk {}: {e}", crates.display());
+        return ExitCode::from(2);
+    }
+    files.sort();
+
+    let mut violations = 0usize;
+    for file in &files {
+        let text = match fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lint: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        violations += scan_file(file, &text);
+    }
+
+    if violations == 0 {
+        println!("lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {violations} violation(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively gather `*.rs` files under each crate's `src/` directory.
+fn collect_sources(crates: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(crates)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            walk(&src, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan one file; print each violation and return how many fired.
+fn scan_file(path: &Path, text: &str) -> usize {
+    let stripped = strip_comments_and_strings(text);
+    let mut count = 0usize;
+    let mut in_test_item = false;
+    let mut pending_cfg_test = false;
+    let mut depth_at_entry = 0usize;
+    let mut depth = 0usize;
+
+    for (lineno, line) in stripped.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+
+        let opens = line.matches('{').count();
+        let closes = line.matches('}').count();
+
+        if pending_cfg_test && !in_test_item && opens > 0 {
+            in_test_item = true;
+            pending_cfg_test = false;
+            depth_at_entry = depth;
+        }
+
+        let exempt = in_test_item || pending_cfg_test;
+        for pat in BANNED_NON_TEST {
+            if exempt {
+                break;
+            }
+            for _ in line.matches(pat) {
+                println!(
+                    "{}:{}: banned `{pat}` in non-test code (use `match` + \
+                     `panic!`/`unreachable!` with a reason, or propagate the error)",
+                    path.display(),
+                    lineno + 1
+                );
+                count += 1;
+            }
+        }
+        for pat in BANNED_EVERYWHERE {
+            for _ in line.matches(pat) {
+                println!(
+                    "{}:{}: banned `{pat}` (debugging residue)",
+                    path.display(),
+                    lineno + 1
+                );
+                count += 1;
+            }
+        }
+
+        depth = depth + opens - closes.min(depth + opens);
+        if in_test_item && depth <= depth_at_entry && closes > 0 {
+            in_test_item = false;
+        }
+    }
+    count
+}
+
+/// Replace comments, string literals, and char literals with spaces,
+/// preserving line structure so reported line numbers stay exact.
+fn strip_comments_and_strings(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut nest = 1usize;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < bytes.len() && nest > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        nest += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        nest -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let hashes = count_hashes(bytes, i + 1);
+                out.push(b' ');
+                i += 1;
+                for _ in 0..hashes {
+                    out.push(b' ');
+                    i += 1;
+                }
+                out.push(b' ');
+                i += 1; // opening quote
+                loop {
+                    if i >= bytes.len() {
+                        break;
+                    }
+                    if bytes[i] == b'"' && closes_raw(bytes, i, hashes) {
+                        out.push(b' ');
+                        i += 1;
+                        for _ in 0..hashes {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                        break;
+                    }
+                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            b'\'' if is_char_literal(bytes, i) => {
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        }
+                        b'\'' => {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    match String::from_utf8(out) {
+        Ok(s) => s,
+        // Replacement only writes ASCII over ASCII; multi-byte chars
+        // pass through untouched, so this cannot happen.
+        Err(_) => unreachable!("stripping preserves UTF-8"),
+    }
+}
+
+/// `r"..."` / `r#"..."#` / `br"..."` starts (the `b` byte, if present,
+/// was already emitted verbatim, which is harmless).
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn count_hashes(bytes: &[u8], mut i: usize) -> usize {
+    let mut n = 0;
+    while bytes.get(i) == Some(&b'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closes_raw(bytes: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// Distinguish `'a'` / `'\n'` char literals from `'static` lifetimes.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
