@@ -62,7 +62,7 @@ fn bench_vm_throughput(c: &mut Criterion) {
     let prog = asm.exit().assemble().unwrap();
     let mut maps = MapRegistry::new();
     Verifier::default().verify(&prog, &maps).unwrap();
-    let vm = Vm::new();
+    let mut vm = Vm::new();
     c.bench_function("vm_interpret_64_alu_insns", |b| {
         let mut env = ExecEnv::default();
         b.iter(|| {

@@ -504,7 +504,7 @@ fn build_exit(
             asm = asm
                 .jmp_imm(OP_JLT, R8, 1i32 << k, skip.clone())
                 .add64_imm(R6, k)
-                .rsh64_imm(R8, k as i32)
+                .rsh64_imm(R8, k)
                 .label(skip);
         }
         asm = asm

@@ -11,6 +11,8 @@
 //! tracepoints — not just as Rust closures standing in for them.
 //!
 //! * [`insn`] — the real x86-64 eBPF instruction encoding;
+//! * [`decode`] — the pre-decoded representation the interpreter's hot
+//!   loop dispatches on (fields resolved once at program load);
 //! * [`asm::Asm`] — a label-resolving builder (the "clang" of this stack);
 //! * [`tnum::Tnum`] — the known-bits (tristate number) abstract domain;
 //! * [`verifier::Verifier`] — bounded size, no back-edges, uninitialized
@@ -53,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod asm;
+pub mod decode;
 pub mod helpers;
 pub mod insn;
 pub mod interp;
@@ -63,6 +66,7 @@ pub mod tnum;
 pub mod verifier;
 
 pub use asm::Asm;
+pub use decode::Decoded;
 pub use helpers::Helper;
 pub use interp::{ExecEnv, ExecError, ExecOutcome, Vm};
 pub use maps::{MapDef, MapError, MapFd, MapKind, MapRegistry};

@@ -6,8 +6,34 @@
 //! `start` timestamp map of Listing 1), `Array` (fixed accumulator slots),
 //! and `RingBuf` (event streaming, used when the collector exports raw
 //! events instead of aggregates).
+//!
+//! # Hot-path storage model
+//!
+//! The per-syscall probe path (`map_lookup_elem` / `map_update_elem` /
+//! `map_delete_elem` on every traced event) performs no heap allocation in
+//! steady state, mirroring the kernel's preallocated BPF hash maps:
+//!
+//! * keys are stored inline in fixed-capacity [`InlineKey`] cells
+//!   (every probe key in this codebase is ≤ 8 bytes; the cap is
+//!   [`MAX_KEY_SIZE`] = 16 and enforced at map creation);
+//! * hash values live in `Box<[u8]>` cells that are recycled through a
+//!   per-map free pool on delete, so the enter-store / exit-delete cycle of
+//!   the `start` map reuses the same allocation forever;
+//! * [`MapRegistry::update_in_place`] overwrites existing values through a
+//!   borrowed slice instead of inserting fresh ones.
+//!
+//! Hash maps use a fixed-seed FNV-1a hasher ([`DetState`]) instead of the
+//! standard library's `RandomState`, so iteration and dump order are
+//! reproducible across runs and platforms — a requirement for golden
+//! fixtures, not just a nicety.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// Maximum key size (bytes) of hash maps: keys are stored inline, never on
+/// the heap. Every probe map in the methodology uses 4- or 8-byte keys.
+pub const MAX_KEY_SIZE: usize = 16;
 
 /// Map kinds supported by the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,6 +97,133 @@ impl MapDef {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MapFd(pub u32);
 
+/// A fixed-capacity inline map key.
+///
+/// Keys are copied into a `[u8; MAX_KEY_SIZE]` cell instead of a heap
+/// `Vec<u8>`, so storing, comparing, and hashing a key never allocates.
+/// The padding beyond `len` is always zero, but equality and hashing are
+/// defined over the live `as_slice()` prefix only, matching how a borrowed
+/// `&[u8]` key hashes — which is what makes `HashMap::get(&[u8])` find
+/// entries keyed by `InlineKey` through the `Borrow` impl.
+///
+/// # Examples
+///
+/// ```
+/// use kscope_ebpf::maps::InlineKey;
+///
+/// let key = InlineKey::new(&7u64.to_le_bytes());
+/// assert_eq!(key.as_slice(), &7u64.to_le_bytes());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct InlineKey {
+    len: u8,
+    bytes: [u8; MAX_KEY_SIZE],
+}
+
+impl InlineKey {
+    /// Copies `key` into inline storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is longer than [`MAX_KEY_SIZE`]; map creation
+    /// rejects such definitions, so keys reaching this type always fit.
+    pub fn new(key: &[u8]) -> InlineKey {
+        assert!(
+            key.len() <= MAX_KEY_SIZE,
+            "map keys are limited to {MAX_KEY_SIZE} bytes, got {}",
+            key.len()
+        );
+        let mut bytes = [0u8; MAX_KEY_SIZE];
+        bytes[..key.len()].copy_from_slice(key);
+        InlineKey {
+            len: key.len() as u8,
+            bytes,
+        }
+    }
+
+    /// The live key bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+}
+
+impl PartialEq for InlineKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for InlineKey {}
+
+impl Hash for InlineKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must match `<[u8] as Hash>::hash` exactly so lookups by borrowed
+        // `&[u8]` hash to the same bucket (the `Borrow` contract).
+        self.as_slice().hash(state);
+    }
+}
+
+impl Borrow<[u8]> for InlineKey {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Deterministic `BuildHasher` for map storage: seeded FNV-1a with a
+/// finalizer, identical on every run and platform.
+///
+/// `std::collections::HashMap`'s default `RandomState` draws a fresh seed
+/// per process, which makes iteration order — and therefore map dumps,
+/// golden fixtures, and any debug output derived from them — differ
+/// between runs. Simulated probes have no hash-flooding adversary, so a
+/// fixed seed trades nothing for reproducibility.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetState;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Fixed seed folded into the offset basis.
+const DET_SEED: u64 = 0x6b73_636f_7065_6d61;
+
+impl BuildHasher for DetState {
+    type Hasher = DetHasher;
+
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher {
+            state: FNV_OFFSET ^ DET_SEED,
+        }
+    }
+}
+
+/// The hasher produced by [`DetState`].
+#[derive(Debug, Clone, Copy)]
+pub struct DetHasher {
+    state: u64,
+}
+
+impl Hasher for DetHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        // FNV mixes the low bits poorly; HashMap keys buckets off the high
+        // bits, so run a final avalanche (splitmix64 finalizer).
+        let mut x = self.state;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    }
+}
+
 /// Errors returned by map operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapError {
@@ -124,9 +277,21 @@ impl std::fmt::Display for MapError {
 
 impl std::error::Error for MapError {}
 
+/// Borrowed `(key, value)` pairs of a hash map, in deterministic
+/// iteration order — what [`MapRegistry::hash_entries`] returns.
+pub type HashEntries<'a> = Vec<(&'a [u8], &'a [u8])>;
+
 #[derive(Debug, Clone)]
 enum MapStorage {
-    Hash(HashMap<Vec<u8>, Vec<u8>>),
+    Hash {
+        entries: HashMap<InlineKey, Box<[u8]>, DetState>,
+        /// Value cells recycled from deleted entries — the kernel's
+        /// preallocated-elements free list, in miniature. `update` pops
+        /// here before touching the allocator, so the per-event
+        /// store/delete cycle of the `start` map allocates only on its
+        /// very first insertions.
+        free: Vec<Box<[u8]>>,
+    },
     Array(Vec<Vec<u8>>),
     RingBuf {
         records: std::collections::VecDeque<Vec<u8>>,
@@ -170,7 +335,7 @@ impl MapRegistry {
     /// # Panics
     ///
     /// Panics on degenerate definitions (zero sizes where a size is
-    /// required, zero entries).
+    /// required, zero entries, hash keys wider than [`MAX_KEY_SIZE`]).
     pub fn create(&mut self, name: impl Into<String>, def: MapDef) -> MapFd {
         assert!(def.max_entries > 0, "map needs at least one entry");
         assert!(def.value_size > 0, "map values must be non-empty");
@@ -183,7 +348,19 @@ impl MapRegistry {
         let storage = match def.kind {
             MapKind::Hash => {
                 assert!(def.key_size > 0, "hash maps need non-empty keys");
-                MapStorage::Hash(HashMap::new())
+                assert!(
+                    def.key_size as usize <= MAX_KEY_SIZE,
+                    "hash keys are limited to {MAX_KEY_SIZE} bytes (inline storage)"
+                );
+                MapStorage::Hash {
+                    // Pre-size the table (bounded, like the kernel's
+                    // prealloc) so steady-state inserts never rehash.
+                    entries: HashMap::with_capacity_and_hasher(
+                        def.max_entries.min(4096) as usize,
+                        DetState,
+                    ),
+                    free: Vec::new(),
+                }
             }
             MapKind::Array => {
                 assert_eq!(def.key_size, 4, "array maps use u32 keys");
@@ -275,7 +452,7 @@ impl MapRegistry {
         let entry = self.entry(fd)?;
         Self::check_key(&entry.def, key)?;
         match &entry.storage {
-            MapStorage::Hash(map) => Ok(map.get(key).map(Vec::as_slice)),
+            MapStorage::Hash { entries, .. } => Ok(entries.get(key).map(|v| &v[..])),
             MapStorage::Array(values) => {
                 let index = Self::array_index(key);
                 if index >= entry.def.max_entries {
@@ -300,7 +477,7 @@ impl MapRegistry {
         Self::check_key(&entry.def, key)?;
         let max_entries = entry.def.max_entries;
         match &mut entry.storage {
-            MapStorage::Hash(map) => Ok(map.get_mut(key).map(Vec::as_mut_slice)),
+            MapStorage::Hash { entries, .. } => Ok(entries.get_mut(key).map(|v| &mut v[..])),
             MapStorage::Array(values) => {
                 let index = Self::array_index(key);
                 if index >= max_entries {
@@ -314,21 +491,53 @@ impl MapRegistry {
 
     /// Inserts or overwrites a key/value pair.
     ///
+    /// Equivalent to [`MapRegistry::update_in_place`]; kept as the
+    /// long-standing name used by userspace-side code and tests.
+    ///
     /// # Errors
     ///
     /// Fails on bad fds, size mismatches, a full hash map, an
     /// out-of-bounds array index, or ring-buffer maps.
     pub fn update(&mut self, fd: MapFd, key: &[u8], value: &[u8]) -> Result<(), MapError> {
+        self.update_in_place(fd, key, value)
+    }
+
+    /// Inserts or overwrites a key/value pair without allocating on the
+    /// overwrite path.
+    ///
+    /// Existing values are overwritten through a borrowed slice; fresh
+    /// hash insertions reuse a value cell recycled from a prior delete
+    /// when one is available. This is the interpreter's
+    /// `bpf_map_update_elem` entry point — the per-syscall hot path.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds, size mismatches, a full hash map, an
+    /// out-of-bounds array index, or ring-buffer maps.
+    pub fn update_in_place(&mut self, fd: MapFd, key: &[u8], value: &[u8]) -> Result<(), MapError> {
         let entry = self.entry_mut(fd)?;
         Self::check_key(&entry.def, key)?;
         Self::check_value(&entry.def, value)?;
         let def = entry.def;
         match &mut entry.storage {
-            MapStorage::Hash(map) => {
-                if !map.contains_key(key) && map.len() as u32 >= def.max_entries {
+            MapStorage::Hash { entries, free } => {
+                if let Some(slot) = entries.get_mut(key) {
+                    slot.copy_from_slice(value);
+                    return Ok(());
+                }
+                if entries.len() as u32 >= def.max_entries {
                     return Err(MapError::Full);
                 }
-                map.insert(key.to_vec(), value.to_vec());
+                let cell = match free.pop() {
+                    Some(mut cell) => {
+                        cell.copy_from_slice(value);
+                        cell
+                    }
+                    // First-ever insertion for this cell count: the one
+                    // allocation each live entry costs over a map's life.
+                    None => Box::from(value),
+                };
+                entries.insert(InlineKey::new(key), cell);
                 Ok(())
             }
             MapStorage::Array(values) => {
@@ -348,6 +557,9 @@ impl MapRegistry {
 
     /// Deletes a key from a hash map. `Ok(false)` when the key was absent.
     ///
+    /// The deleted value's cell is recycled for future insertions rather
+    /// than freed, so a store/delete cycle does not churn the allocator.
+    ///
     /// # Errors
     ///
     /// Fails on bad fds, size mismatches, or non-hash maps (array elements
@@ -356,9 +568,33 @@ impl MapRegistry {
         let entry = self.entry_mut(fd)?;
         Self::check_key(&entry.def, key)?;
         match &mut entry.storage {
-            MapStorage::Hash(map) => Ok(map.remove(key).is_some()),
+            MapStorage::Hash { entries, free } => match entries.remove(key) {
+                Some(cell) => {
+                    free.push(cell);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
             MapStorage::Array(_) => Err(MapError::WrongKind(MapKind::Array)),
             MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
+        }
+    }
+
+    /// All live entries of a hash map, in the map's (deterministic)
+    /// iteration order — the same order on every run and platform thanks
+    /// to [`DetState`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds or non-hash maps.
+    pub fn hash_entries(&self, fd: MapFd) -> Result<HashEntries<'_>, MapError> {
+        let entry = self.entry(fd)?;
+        match &entry.storage {
+            MapStorage::Hash { entries, .. } => Ok(entries
+                .iter()
+                .map(|(k, v)| (k.as_slice(), &v[..]))
+                .collect()),
+            _ => Err(MapError::WrongKind(entry.def.kind)),
         }
     }
 
@@ -383,12 +619,12 @@ impl MapRegistry {
                     *dropped += 1;
                     Ok(false)
                 } else {
-                    records.push_back(record.to_vec());
+                    records.push_back(record.to_vec()); // cold path: records are handed off to the userspace drain side as owned buffers
                     Ok(true)
                 }
             }
             other => Err(MapError::WrongKind(match other {
-                MapStorage::Hash(_) => MapKind::Hash,
+                MapStorage::Hash { .. } => MapKind::Hash,
                 MapStorage::Array(_) => MapKind::Array,
                 MapStorage::RingBuf { .. } => unreachable!(),
             })),
@@ -430,7 +666,7 @@ impl MapRegistry {
     pub fn len(&self, fd: MapFd) -> Result<u32, MapError> {
         let entry = self.entry(fd)?;
         Ok(match &entry.storage {
-            MapStorage::Hash(map) => map.len() as u32,
+            MapStorage::Hash { entries, .. } => entries.len() as u32,
             MapStorage::Array(values) => values.len() as u32,
             MapStorage::RingBuf { records, .. } => records.len() as u32,
         })
@@ -507,6 +743,86 @@ mod tests {
     }
 
     #[test]
+    fn store_delete_cycle_recycles_cells() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("start", MapDef::hash(8, 8, 4));
+        // The enter/exit probe pattern: store, read, delete, repeat.
+        for i in 0..1000u64 {
+            let key = i.to_le_bytes();
+            maps.update(fd, &key, &(i * 3).to_le_bytes()).unwrap();
+            assert_eq!(
+                maps.lookup(fd, &key).unwrap(),
+                Some(&(i * 3).to_le_bytes()[..])
+            );
+            assert!(maps.delete(fd, &key).unwrap());
+        }
+        assert_eq!(maps.len(fd).unwrap(), 0);
+    }
+
+    #[test]
+    fn update_in_place_overwrites_existing_values() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("h", MapDef::hash(4, 8, 4));
+        maps.update_in_place(fd, &[9, 0, 0, 0], &1u64.to_le_bytes()).unwrap();
+        maps.update_in_place(fd, &[9, 0, 0, 0], &2u64.to_le_bytes()).unwrap();
+        assert_eq!(
+            maps.lookup(fd, &[9, 0, 0, 0]).unwrap().unwrap(),
+            2u64.to_le_bytes()
+        );
+        assert_eq!(maps.len(fd).unwrap(), 1);
+    }
+
+    #[test]
+    fn hash_iteration_order_is_deterministic() {
+        let build = || {
+            let mut maps = MapRegistry::new();
+            let fd = maps.create("h", MapDef::hash(8, 8, 64));
+            for i in (0..32u64).rev() {
+                maps.update(fd, &i.to_le_bytes(), &(i ^ 0xFF).to_le_bytes())
+                    .unwrap();
+            }
+            let dump: Vec<(Vec<u8>, Vec<u8>)> = maps
+                .hash_entries(fd)
+                .unwrap()
+                .into_iter()
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect();
+            dump
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "same insertions must iterate identically");
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn inline_key_matches_borrowed_slices() {
+        let key = InlineKey::new(&[1, 2, 3]);
+        assert_eq!(key.as_slice(), &[1, 2, 3]);
+        assert_eq!(key, InlineKey::new(&[1, 2, 3]));
+        assert_ne!(key, InlineKey::new(&[1, 2, 3, 0]));
+        let borrowed: &[u8] = key.borrow();
+        assert_eq!(borrowed, &[1, 2, 3]);
+        // Hashing an InlineKey and its borrowed slice must agree (the
+        // HashMap `Borrow` lookup contract).
+        let hash = |h: &dyn Fn(&mut DetHasher)| {
+            let mut state = DetState.build_hasher();
+            h(&mut state);
+            state.finish()
+        };
+        let a = hash(&|s| key.hash(s));
+        let b = hash(&|s| [1u8, 2, 3].as_slice().hash(s));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 16 bytes")]
+    fn oversized_hash_keys_rejected_at_create() {
+        let mut maps = MapRegistry::new();
+        maps.create("wide", MapDef::hash(17, 8, 4));
+    }
+
+    #[test]
     fn array_semantics() {
         let mut maps = MapRegistry::new();
         let fd = maps.create("a", MapDef::array(8, 4));
@@ -575,6 +891,10 @@ mod tests {
         let fd = maps.create("rb", MapDef::ring_buf(8, 2));
         assert!(matches!(
             maps.lookup(fd, &[]),
+            Err(MapError::WrongKind(MapKind::RingBuf))
+        ));
+        assert!(matches!(
+            maps.hash_entries(fd),
             Err(MapError::WrongKind(MapKind::RingBuf))
         ));
     }

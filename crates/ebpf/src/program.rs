@@ -1,5 +1,6 @@
 //! Program container.
 
+use crate::decode::{decode_program, Decoded};
 use crate::insn::Insn;
 
 /// An assembled (but not yet verified) eBPF program.
@@ -7,18 +8,35 @@ use crate::insn::Insn;
 /// Obtain one from the [`Asm`](crate::asm::Asm) builder, then pass it to
 /// [`Verifier::verify`](crate::verifier::Verifier::verify) and execute it
 /// with [`Vm`](crate::interp::Vm).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Construction eagerly pre-decodes the instruction stream into the
+/// [`Decoded`] representation the interpreter's hot loop dispatches on, so
+/// the per-instruction field extraction cost is paid once per program load
+/// rather than once per executed instruction.
+#[derive(Debug, Clone)]
 pub struct Program {
     name: String,
     insns: Vec<Insn>,
+    decoded: Vec<Decoded>,
 }
 
+// `decoded` is a pure function of `insns`; identity is (name, insns).
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.insns == other.insns
+    }
+}
+
+impl Eq for Program {}
+
 impl Program {
-    /// Wraps a raw instruction sequence.
+    /// Wraps a raw instruction sequence, pre-decoding it for execution.
     pub fn new(name: impl Into<String>, insns: Vec<Insn>) -> Program {
+        let decoded = decode_program(&insns);
         Program {
             name: name.into(),
             insns,
+            decoded,
         }
     }
 
@@ -30,6 +48,11 @@ impl Program {
     /// The instruction slots.
     pub fn insns(&self) -> &[Insn] {
         &self.insns
+    }
+
+    /// The pre-decoded instruction slots (one entry per raw slot).
+    pub fn decoded(&self) -> &[Decoded] {
+        &self.decoded
     }
 
     /// Number of instruction slots.

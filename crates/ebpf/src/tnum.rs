@@ -69,6 +69,8 @@ impl Tnum {
 
     /// Wrapping addition (kernel `tnum_add`): carries out of unknown bits
     /// poison every position they can reach.
+    // Named after the kernel's `tnum_add`, not the `Add` operator.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Tnum) -> Tnum {
         let sm = self.mask.wrapping_add(other.mask);
         let sv = self.value.wrapping_add(other.value);
@@ -82,6 +84,8 @@ impl Tnum {
     }
 
     /// Wrapping subtraction (kernel `tnum_sub`).
+    // Named after the kernel's `tnum_sub`, not the `Sub` operator.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Tnum) -> Tnum {
         let dv = self.value.wrapping_sub(other.value);
         let alpha = dv.wrapping_add(self.mask);
@@ -154,6 +158,8 @@ impl Tnum {
     /// Multiplication: exact for two constants, shift for a known
     /// power-of-two factor, unknown otherwise (the kernel's `tnum_mul`
     /// is sharper; this keeps the sound cases we actually use).
+    // Named after the kernel's `tnum_mul`, not the `Mul` operator.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Tnum) -> Tnum {
         match (self.const_val(), other.const_val()) {
             (Some(a), Some(b)) => Tnum::constant(a.wrapping_mul(b)),

@@ -632,18 +632,19 @@ fn alu64_transfer(op: u8, a: Scalar, b: Scalar) -> Scalar {
         }
         OP_DIV => {
             if let Some(c) = b.const_val() {
-                if c == 0 {
-                    Scalar::constant(0)
-                } else {
-                    Scalar::from_urange(a.umin / c, a.umax / c)
+                match (a.umin.checked_div(c), a.umax.checked_div(c)) {
+                    (Some(lo), Some(hi)) => Scalar::from_urange(lo, hi),
+                    // eBPF defines division by zero as yielding 0.
+                    _ => Scalar::constant(0),
                 }
-            } else if b.umin > 0 {
-                // Divisor provably nonzero: proper interval division.
-                Scalar::from_urange(a.umin / b.umax, a.umax / b.umin)
             } else {
-                // Divisor may be zero (result 0); quotient never exceeds
-                // the dividend.
-                Scalar::from_urange(0, a.umax)
+                // Divisor provably nonzero: proper interval division.
+                // Otherwise it may be zero (result 0) and the quotient
+                // still never exceeds the dividend.
+                match (a.umin.checked_div(b.umax), a.umax.checked_div(b.umin)) {
+                    (Some(lo), Some(hi)) => Scalar::from_urange(lo, hi),
+                    _ => Scalar::from_urange(0, a.umax),
+                }
             }
         }
         OP_MOD => {
@@ -2345,7 +2346,7 @@ mod tests {
             let v = match self.next() % 4 {
                 0 => self.next() % 256,
                 1 => self.next(),
-                2 => (self.next() % 64) as u64,
+                2 => self.next() % 64,
                 _ => u64::MAX - self.next() % 16,
             };
             let s = match self.next() % 4 {

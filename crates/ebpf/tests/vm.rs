@@ -628,7 +628,7 @@ fn listing1_style_duration_program() {
     verifier.verify(&enter, &maps).expect("enter verifies");
     verifier.verify(&exit, &maps).expect("exit verifies");
 
-    let vm = Vm::new();
+    let mut vm = Vm::new();
     let ctx_epoll = {
         let mut buf = [0u8; 16];
         buf[..8].copy_from_slice(&232u64.to_le_bytes());

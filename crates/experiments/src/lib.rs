@@ -37,13 +37,16 @@ pub mod fig5;
 pub mod hosts;
 pub mod iouring;
 pub mod overhead;
+pub mod parallel;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod windows;
 
+pub use parallel::{default_jobs, map_indexed};
 pub use sweep::{
-    run_level, send_events_per_request, sweep, BackendKind, LevelResult, SweepConfig, SweepResult,
+    run_level, send_events_per_request, sweep, sweep_jobs, BackendKind, LevelResult, SweepConfig,
+    SweepResult,
 };
 
 /// Experiment scale: quick smoke runs vs. paper-scale sweeps.

@@ -245,25 +245,31 @@ pub fn run_level(spec: &WorkloadSpec, offered_rps: f64, config: &SweepConfig, se
     }
 }
 
-/// Runs a full sweep of `spec`.
-pub fn sweep(spec: &WorkloadSpec, config: &SweepConfig) -> SweepResult {
-    let levels = config
-        .fractions
-        .iter()
-        .enumerate()
-        .map(|(i, frac)| {
-            run_level(
-                spec,
-                spec.paper_failure_rps * frac,
-                config,
-                config.seed + i as u64,
-            )
-        })
-        .collect();
+/// Runs a full sweep of `spec`, fanning levels across worker threads.
+///
+/// Levels are independent simulations with split seeds (`config.seed +
+/// level index`), so the result is bitwise identical for every `jobs`
+/// value — `jobs = 1` is the serial reference, and the
+/// `sweep_parallel_determinism` test holds higher values to it.
+pub fn sweep_jobs(spec: &WorkloadSpec, config: &SweepConfig, jobs: usize) -> SweepResult {
+    let levels = crate::parallel::map_indexed(&config.fractions, jobs, |i, frac| {
+        run_level(
+            spec,
+            spec.paper_failure_rps * frac,
+            config,
+            config.seed + i as u64,
+        )
+    });
     SweepResult {
         spec: spec.clone(),
         levels,
     }
+}
+
+/// Runs a full sweep of `spec` with the default worker count
+/// (`--jobs` / `KSCOPE_JOBS` / available parallelism).
+pub fn sweep(spec: &WorkloadSpec, config: &SweepConfig) -> SweepResult {
+    sweep_jobs(spec, config, crate::parallel::default_jobs())
 }
 
 #[cfg(test)]

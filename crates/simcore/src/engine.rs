@@ -103,6 +103,25 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Creates an engine with queue capacity for `capacity` pending events.
+    ///
+    /// Harnesses that know their expected in-flight event count (e.g. the
+    /// workload runner, which can bound it from the offered rate) avoid
+    /// the heap's growth reallocations during the run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Engine {
+            now: Nanos::ZERO,
+            seq: 0,
+            heap: BinaryHeap::with_capacity(capacity),
+            processed: 0,
+        }
+    }
+
+    /// Reserves space for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// The current virtual instant.
     #[inline]
     pub fn now(&self) -> Nanos {
@@ -130,6 +149,15 @@ impl<E> Engine<E> {
     /// Instant of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Nanos> {
         self.heap.peek().map(|p| p.at)
+    }
+
+    /// Instant of the earliest pending event, if any.
+    ///
+    /// Alias of [`Engine::peek_time`] matching the accessor on
+    /// [`Scheduler`], so schedulers and engines can be probed uniformly.
+    #[inline]
+    pub fn peek_next_at(&self) -> Option<Nanos> {
+        self.peek_time()
     }
 
     /// Schedules `event` at absolute instant `at`.
@@ -253,6 +281,15 @@ impl<E> Scheduler<'_, E> {
     pub fn immediately(&mut self, event: E) {
         self.at(self.now, event);
     }
+
+    /// Instant of the earliest pending event, if any.
+    ///
+    /// Handlers that need to coordinate with the queue head (e.g. a
+    /// scheduler deciding whether to batch work before the next wakeup)
+    /// can inspect it directly instead of the old pop/re-push probe.
+    pub fn peek_next_at(&self) -> Option<Nanos> {
+        self.heap.peek().map(|p| p.at)
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +411,39 @@ mod tests {
         let mut m = Imm { order: vec![] };
         eng.run(&mut m);
         assert_eq!(m.order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut eng = Engine::with_capacity(256);
+        eng.reserve(64);
+        eng.schedule(Nanos::from_nanos(10), Ev::Tag(1));
+        let mut rec = Recorder::default();
+        eng.run(&mut rec);
+        assert_eq!(rec.seen, vec![(Nanos::from_nanos(10), 1)]);
+    }
+
+    #[test]
+    fn peek_next_at_sees_the_queue_head() {
+        let mut eng = Engine::new();
+        assert_eq!(eng.peek_next_at(), None);
+        eng.schedule(Nanos::from_nanos(20), Ev::Tag(2));
+        eng.schedule(Nanos::from_nanos(10), Ev::Tag(1));
+        assert_eq!(eng.peek_next_at(), Some(Nanos::from_nanos(10)));
+
+        // The handler-side accessor sees follow-ups queued at dispatch time.
+        struct Peeker {
+            heads: Vec<Option<Nanos>>,
+        }
+        impl Simulation for Peeker {
+            type Event = Ev;
+            fn handle(&mut self, _event: Ev, sched: &mut Scheduler<'_, Ev>) {
+                self.heads.push(sched.peek_next_at());
+            }
+        }
+        let mut m = Peeker { heads: vec![] };
+        eng.run(&mut m);
+        assert_eq!(m.heads, vec![Some(Nanos::from_nanos(20)), None]);
     }
 
     #[test]

@@ -426,20 +426,9 @@ fn alu64_semantics(op: u8, a: u64, b: u64) -> Option<u64> {
         OP_ADD => a.wrapping_add(b),
         OP_SUB => a.wrapping_sub(b),
         OP_MUL => a.wrapping_mul(b),
-        OP_DIV => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
-        OP_MOD => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        // eBPF defines div-by-zero as 0 and mod-by-zero as the dividend.
+        OP_DIV => a.checked_div(b).unwrap_or(0),
+        OP_MOD => a.checked_rem(b).unwrap_or(a),
         OP_OR => a | b,
         OP_AND => a & b,
         OP_XOR => a ^ b,
@@ -458,20 +447,9 @@ fn alu32_semantics(op: u8, a: u32, b: u32) -> Option<u32> {
         OP_ADD => a.wrapping_add(b),
         OP_SUB => a.wrapping_sub(b),
         OP_MUL => a.wrapping_mul(b),
-        OP_DIV => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
-        OP_MOD => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        // eBPF defines div-by-zero as 0 and mod-by-zero as the dividend.
+        OP_DIV => a.checked_div(b).unwrap_or(0),
+        OP_MOD => a.checked_rem(b).unwrap_or(a),
         OP_OR => a | b,
         OP_AND => a & b,
         OP_XOR => a ^ b,

@@ -183,7 +183,7 @@ impl Expectations {
                 .trim()
                 .parse()
                 .map_err(|_| gerr(line_no, format!("bad tolerance `{}`", tol_str.trim())))?;
-            if !(tolerance >= 0.0) {
+            if tolerance.is_nan() || tolerance < 0.0 {
                 return Err(gerr(line_no, "tolerance must be non-negative"));
             }
             if entries

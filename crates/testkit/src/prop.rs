@@ -23,6 +23,8 @@ use crate::shrink::Shrink;
 
 /// Default base seed. Arbitrary but fixed: default runs are deterministic
 /// across machines and across time.
+// The grouping spells "seed of call-able"; keep it readable as words.
+#[allow(clippy::unusual_byte_groupings)]
 pub const DEFAULT_SEED: u64 = 0x5eed_0f_ca11_ab1e;
 
 /// Runner configuration.
@@ -189,6 +191,9 @@ where
 
 /// [`run`], but returning the failure instead of panicking. Used by the
 /// harness's own tests; ordinary tests should use [`check!`](crate::check).
+// The failure carries the full shrunk-case report; it exists only on the
+// already-failed path, so its size is irrelevant.
+#[allow(clippy::result_large_err)]
 pub fn run_result<T, G, P>(
     package: &str,
     property: &str,
@@ -319,8 +324,8 @@ mod tests {
         assert!(sum > 1000, "shrunk value must still fail (sum {sum})");
         // Greedy shrinking must reach a local minimum: removing any single
         // element makes the property pass.
-        for i in 0..shrunk.len() {
-            let without: u64 = sum - shrunk[i];
+        for (i, &element) in shrunk.iter().enumerate() {
+            let without: u64 = sum - element;
             assert!(without <= 1000, "not minimal: dropping index {i} still fails");
         }
     }

@@ -1,0 +1,338 @@
+//! Differential identity of the two interpreter dispatchers.
+//!
+//! The VM executes programs either from the pre-decoded representation
+//! (`Vm::new()`, the hot path) or by re-decoding raw instruction words on
+//! every step (`Vm::new().with_raw_dispatch()`, the reference kept
+//! verbatim from the original interpreter). The tests here hold the two
+//! byte-for-byte equal — same `ExecOutcome` (return value, instruction
+//! count, trace output) or same `ExecError`, same final map state, same
+//! final helper environment — across:
+//!
+//! * ≥1200 generated programs: arbitrary fuzz bodies, straight-line ALU,
+//!   structured verified programs, bounds-clamped register-offset
+//!   programs with live map traffic, and fully wild instruction words
+//!   (random opcode bytes, including undefined classes, truncated
+//!   `ld_dw` pairs, and jumps into `ld_dw` hi slots);
+//! * tiny instruction budgets, so `BudgetExhausted` fires at the same
+//!   instruction on both paths;
+//! * a hand-written program exercising every helper the VM implements;
+//! * every committed precision fixture;
+//! * the real `BytecodeBackend` enter/exit probe programs, run as a
+//!   stateful event stream over persistent map registries.
+
+use kscope_core::BytecodeBackend;
+use kscope_ebpf::asm::Asm;
+use kscope_ebpf::helpers::Helper;
+use kscope_ebpf::insn::{Insn, SZ_DW};
+use kscope_ebpf::interp::{ExecEnv, Vm};
+use kscope_ebpf::maps::{MapDef, MapRegistry};
+use kscope_ebpf::text::parse_program;
+use kscope_ebpf::Program;
+use kscope_simcore::SimRng;
+use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile};
+use kscope_testkit::ebpf_gen::{
+    bounded_offset_program, fuzz_program, straightline_program, valid_program,
+};
+use kscope_testkit::{gen, Config};
+
+/// Runs `prog` through both dispatchers from identical starting states
+/// and asserts the observable results are equal: the `Result` itself
+/// (outcome or error), the mutated helper environment, and the full map
+/// registry state.
+fn assert_dispatch_identical(
+    label: &str,
+    prog: &Program,
+    ctx: &[u8],
+    base: &MapRegistry,
+    env: ExecEnv,
+    budget: Option<u64>,
+) {
+    let make_vm = || match budget {
+        Some(b) => Vm::with_insn_budget(b),
+        None => Vm::new(),
+    };
+    let mut vm_decoded = make_vm();
+    let mut vm_raw = make_vm().with_raw_dispatch();
+    assert!(vm_decoded.uses_predecode());
+    assert!(!vm_raw.uses_predecode());
+
+    let mut maps_decoded = base.clone();
+    let mut maps_raw = base.clone();
+    let mut env_decoded = env;
+    let mut env_raw = env;
+
+    let decoded = vm_decoded.execute(prog, ctx, &mut maps_decoded, &mut env_decoded);
+    let raw = vm_raw.execute(prog, ctx, &mut maps_raw, &mut env_raw);
+
+    assert_eq!(
+        decoded,
+        raw,
+        "{label}: dispatch outcomes diverge\n{}",
+        prog.disassemble()
+    );
+    assert_eq!(env_decoded, env_raw, "{label}: helper env diverges");
+    assert_eq!(
+        format!("{maps_decoded:?}"),
+        format!("{maps_raw:?}"),
+        "{label}: map state diverges\n{}",
+        prog.disassemble()
+    );
+}
+
+/// A completely unconstrained instruction word, except that register
+/// fields stay in `0..=10` (the interpreter's documented input
+/// contract). Random code bytes hit undefined classes and opcodes,
+/// `ld_dw` with missing hi slots, and every size/mode combination.
+fn wild_insn(rng: &mut SimRng) -> Insn {
+    Insn {
+        code: gen::u64_in(rng, 0, 255) as u8,
+        dst: gen::u64_in(rng, 0, 10) as u8,
+        src: gen::u64_in(rng, 0, 10) as u8,
+        off: gen::i64_in(rng, -24, 24) as i16,
+        imm: gen::i32_in(rng, -4096, 4096),
+    }
+}
+
+fn wild_program(rng: &mut SimRng) -> Program {
+    let body = gen::usize_in(rng, 1, 16);
+    let insns: Vec<Insn> = (0..body).map(|_| wild_insn(rng)).collect();
+    // No trailing exit on purpose: falling off the end must be identical
+    // too. (Many of these programs error on their first instruction.)
+    Program::new("wild", insns)
+}
+
+fn random_ctx(rng: &mut SimRng) -> [u8; 64] {
+    let mut ctx = [0u8; 64];
+    for b in ctx.iter_mut() {
+        *b = rng.next_u64() as u8;
+    }
+    ctx
+}
+
+fn random_env(rng: &mut SimRng) -> ExecEnv {
+    ExecEnv {
+        ktime_ns: rng.next_u64() >> 20,
+        pid_tgid: rng.next_u64(),
+        prandom_state: rng.next_u64() | 1,
+    }
+}
+
+/// 1200 generated programs (five families, 240 each) execute identically
+/// on both dispatchers, map traffic and helper state included.
+#[test]
+fn generated_programs_execute_identically() {
+    let mut rng = SimRng::seed_from_u64(Config::default().seed ^ 0xDEC0DE);
+    for i in 0..1200 {
+        let mut base = MapRegistry::new();
+        base.create("h", MapDef::hash(8, 8, 64));
+        let vals = base.create("vals", MapDef::array(128, 1));
+        let prog = match i % 5 {
+            0 => fuzz_program(&mut rng, 24),
+            1 => straightline_program(&mut rng),
+            2 => valid_program(&mut rng, true),
+            3 => bounded_offset_program(&mut rng, Some(vals)),
+            _ => wild_program(&mut rng),
+        };
+        let ctx = random_ctx(&mut rng);
+        let env = random_env(&mut rng);
+        assert_dispatch_identical(&format!("generated[{i}]"), &prog, &ctx, &base, env, None);
+    }
+}
+
+/// Budget exhaustion fires on the same instruction for both paths:
+/// sweeping tiny budgets over the same programs, every `Ok`/`Err`
+/// boundary lands identically (including `ld_dw` counting as one
+/// executed instruction on both sides).
+#[test]
+fn budget_exhaustion_is_identical() {
+    let mut rng = SimRng::seed_from_u64(Config::default().seed ^ 0xB0D6E7);
+    for i in 0..120 {
+        let base = MapRegistry::new();
+        let prog = match i % 3 {
+            0 => fuzz_program(&mut rng, 16),
+            1 => straightline_program(&mut rng),
+            _ => wild_program(&mut rng),
+        };
+        let ctx = random_ctx(&mut rng);
+        // Zero is rejected at construction; 1 is the smallest legal budget.
+        for budget in [1u64, 2, 3, 5, 8, 13, 1_000] {
+            assert_dispatch_identical(
+                &format!("budget[{i}@{budget}]"),
+                &prog,
+                &ctx,
+                &base,
+                ExecEnv::default(),
+                Some(budget),
+            );
+        }
+    }
+}
+
+/// One program through every helper the VM implements: lookup miss,
+/// update, lookup hit with a read through the returned slot, delete,
+/// ktime, prandom, pid_tgid, printk (trace output), and ringbuf output.
+#[test]
+fn helper_surface_is_identical() {
+    let mut base = MapRegistry::new();
+    let hash = base.create("h", MapDef::hash(8, 8, 16));
+    let ring = base.create("rb", MapDef::ring_buf(64, 8));
+
+    let prog = Asm::new("helpers")
+        // Key 0x1122334455667788 at stack[-8]; value at stack[-16].
+        .ld_dw(6, 0x1122_3344_5566_7788)
+        .store_reg(SZ_DW, 10, 6, -8)
+        .ld_dw(6, 0xAABB_CCDD_EEFF_0011)
+        .store_reg(SZ_DW, 10, 6, -16)
+        // Miss: r0 = 0.
+        .ld_map_fd(1, hash)
+        .mov64_reg(2, 10)
+        .add64_imm(2, -8)
+        .call(Helper::MapLookupElem)
+        // Insert, then hit and read back through the value slot.
+        .ld_map_fd(1, hash)
+        .mov64_reg(2, 10)
+        .add64_imm(2, -8)
+        .mov64_reg(3, 10)
+        .add64_imm(3, -16)
+        .mov64_imm(4, 0)
+        .call(Helper::MapUpdateElem)
+        .ld_map_fd(1, hash)
+        .mov64_reg(2, 10)
+        .add64_imm(2, -8)
+        .call(Helper::MapLookupElem)
+        .load(SZ_DW, 6, 0, 0)
+        // Delete it again (returns 0), then the no-argument helpers.
+        .ld_map_fd(1, hash)
+        .mov64_reg(2, 10)
+        .add64_imm(2, -8)
+        .call(Helper::MapDeleteElem)
+        .call(Helper::KtimeGetNs)
+        .call(Helper::GetPrandomU32)
+        .call(Helper::GetCurrentPidTgid)
+        // printk of the 8 value bytes still on the stack.
+        .mov64_reg(1, 10)
+        .add64_imm(1, -16)
+        .mov64_imm(2, 8)
+        .call(Helper::TracePrintk)
+        // ringbuf_output of the same bytes.
+        .ld_map_fd(1, ring)
+        .mov64_reg(2, 10)
+        .add64_imm(2, -16)
+        .mov64_imm(3, 8)
+        .mov64_imm(4, 0)
+        .call(Helper::RingbufOutput)
+        .mov64_reg(0, 6)
+        .exit()
+        .assemble()
+        .unwrap_or_else(|e| panic!("helper program must assemble: {e}"));
+
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let env = random_env(&mut rng);
+        assert_dispatch_identical(&format!("helpers[{seed}]"), &prog, &[], &base, env, None);
+    }
+}
+
+/// Every committed precision fixture runs identically on both paths, on
+/// randomized context bytes.
+#[test]
+fn fixture_probes_execute_identically() {
+    const FIXTURES: &[(&str, &str)] = &[
+        (
+            "and_mask_stack",
+            include_str!("fixtures/precision/and_mask_stack.bpf"),
+        ),
+        (
+            "log2_bucket_map",
+            include_str!("fixtures/precision/log2_bucket_map.bpf"),
+        ),
+        (
+            "range_guard_byte",
+            include_str!("fixtures/precision/range_guard_byte.bpf"),
+        ),
+        (
+            "jset_aligned",
+            include_str!("fixtures/precision/jset_aligned.bpf"),
+        ),
+        (
+            "signed_window",
+            include_str!("fixtures/precision/signed_window.bpf"),
+        ),
+        (
+            "div_range_proof",
+            include_str!("fixtures/precision/div_range_proof.bpf"),
+        ),
+    ];
+    let mut rng = SimRng::seed_from_u64(Config::default().seed);
+    for (name, text) in FIXTURES {
+        let prog = parse_program(name, text)
+            .unwrap_or_else(|e| panic!("fixture `{name}` failed to parse: {e}"));
+        let mut base = MapRegistry::new();
+        base.create("vals", MapDef::array(512, 1));
+        for round in 0..8 {
+            let ctx = random_ctx(&mut rng);
+            let env = random_env(&mut rng);
+            assert_dispatch_identical(&format!("{name}[{round}]"), &prog, &ctx, &base, env, None);
+        }
+    }
+}
+
+/// The real probe programs, run as a stateful stream: both dispatchers
+/// process the same 400-event enter/exit sequence against their own
+/// persistent registries, which must stay in lockstep throughout (the
+/// `start` hash map carries state from enter to exit).
+#[test]
+fn backend_probe_programs_execute_identically() {
+    let backend = BytecodeBackend::new(1200, SyscallProfile::data_caching(), 6)
+        .unwrap_or_else(|e| panic!("generated probe programs must verify: {e}"));
+    let (enter, exit) = backend.programs();
+    let mut maps_decoded = backend.map_registry().clone();
+    let mut maps_raw = backend.map_registry().clone();
+    let mut vm_decoded = Vm::new();
+    let mut vm_raw = Vm::new().with_raw_dispatch();
+
+    let profile = SyscallProfile::data_caching();
+    let send_no = profile.primary(kscope_syscalls::SyscallRole::Send).raw() as u64;
+    let recv_no = profile.primary(kscope_syscalls::SyscallRole::Receive).raw() as u64;
+    let poll_no = profile.primary(kscope_syscalls::SyscallRole::Poll).raw() as u64;
+    let wrong_no = SyscallNo::FUTEX.raw() as u64;
+
+    let mut rng = SimRng::seed_from_u64(Config::default().seed ^ 0x9205E);
+    for i in 0..400u64 {
+        let (no, is_enter) = match i % 8 {
+            0 => (poll_no, true),
+            1 => (poll_no, false),
+            2..=4 => (send_no, false),
+            5 => (recv_no, false),
+            6 => (wrong_no, false),
+            // Same stream shape from a non-observed process below.
+            _ => (send_no, false),
+        };
+        let observed = i % 8 != 7;
+        let mut ctx = [0u8; 16];
+        ctx[..8].copy_from_slice(&no.to_le_bytes());
+        ctx[8..16].copy_from_slice(&(gen::u64_in(&mut rng, 1, 4096)).to_le_bytes());
+        let env = ExecEnv {
+            ktime_ns: 5_000 * (i + 1),
+            pid_tgid: if observed {
+                pid_tgid(1200, 1201)
+            } else {
+                pid_tgid(4242, 4243)
+            },
+            ..ExecEnv::default()
+        };
+        let prog = if is_enter { enter } else { exit };
+
+        let mut env_decoded = env;
+        let mut env_raw = env;
+        let decoded = vm_decoded.execute(prog, &ctx, &mut maps_decoded, &mut env_decoded);
+        let raw = vm_raw.execute(prog, &ctx, &mut maps_raw, &mut env_raw);
+        assert_eq!(decoded, raw, "event {i}: probe outcomes diverge");
+        assert_eq!(env_decoded, env_raw, "event {i}: probe env diverges");
+    }
+    assert_eq!(
+        format!("{maps_decoded:?}"),
+        format!("{maps_raw:?}"),
+        "probe map state diverges after the stream"
+    );
+}

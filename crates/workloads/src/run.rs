@@ -154,7 +154,11 @@ where
     for probe in probes {
         probe_ids.push(sim.kernel_mut().tracing.attach(probe));
     }
-    let mut engine = Engine::new();
+    // Pending events scale with in-flight requests, not total requests; a
+    // tenth of a second of offered load comfortably bounds the high-water
+    // mark and spares the heap its growth reallocations mid-run.
+    let expected_pending = ((config.offered_rps * 0.1) as usize).clamp(64, 16_384);
+    let mut engine = Engine::with_capacity(expected_pending);
     sim.install(&mut engine);
     engine.run_until(&mut sim, config.end());
     if config.collect_trace {

@@ -12,6 +12,13 @@
 //!   happen; everything else propagates an error.
 //! * `dbg!(` and `todo!(` are banned everywhere under `src/`, including
 //!   test modules — they are debugging residue, not shipping code.
+//! * `.to_vec()` and `.clone()` are banned in the interpreter/map
+//!   hot-path modules (`crates/ebpf/src/{interp,decode,maps}.rs`): the
+//!   per-event path is allocation-free by measurement
+//!   (`hot_path_allocs_per_event` in `BENCH_baseline.json`), and this
+//!   keeps it that way by construction. Deliberate off-path allocations
+//!   carry a `// cold path: ...` comment on the same line, which exempts
+//!   that line.
 //!
 //! `#[cfg(test)]` items (and everything nested inside them) are exempt
 //! from the unwrap/expect ban, as are doc comments, line/block
@@ -32,6 +39,24 @@ const BANNED_NON_TEST: &[&str] = &[".unwrap()", ".expect("];
 
 /// Patterns banned everywhere under `src/`, test modules included.
 const BANNED_EVERYWHERE: &[&str] = &["dbg!(", "todo!("];
+
+/// Interpreter/map hot-path modules: per-event code where heap churn is
+/// a measured regression (`BENCH_baseline.json` pins
+/// `hot_path_allocs_per_event` at zero).
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/ebpf/src/interp.rs",
+    "crates/ebpf/src/decode.rs",
+    "crates/ebpf/src/maps.rs",
+];
+
+/// Allocation patterns banned in hot-path modules outside annotated cold
+/// paths and test code.
+const BANNED_HOT_PATH: &[&str] = &[".to_vec()", ".clone()"];
+
+/// A line (comment included) containing this marker declares itself a
+/// deliberate cold path — setup, drain, or error handling that runs off
+/// the per-event path — and is exempt from the hot-path allocation ban.
+const COLD_MARKER: &str = "cold path:";
 
 fn main() -> ExitCode {
     let root = env::args()
@@ -90,16 +115,28 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// True when `path` is one of the designated hot-path modules.
+fn is_hot_path(path: &Path) -> bool {
+    let normalized = path.to_string_lossy().replace('\\', "/");
+    HOT_PATH_FILES.iter().any(|f| normalized.ends_with(f))
+}
+
 /// Scan one file; print each violation and return how many fired.
 fn scan_file(path: &Path, text: &str) -> usize {
     let stripped = strip_comments_and_strings(text);
+    let hot = is_hot_path(path);
     let mut count = 0usize;
     let mut in_test_item = false;
     let mut pending_cfg_test = false;
     let mut depth_at_entry = 0usize;
     let mut depth = 0usize;
 
+    // The stripped text is matched for code patterns; the raw text is
+    // consulted only for the cold-path marker, which lives in comments.
+    let mut raw_lines = text.lines();
+
     for (lineno, line) in stripped.lines().enumerate() {
+        let raw_line = raw_lines.next().unwrap_or("");
         if line.contains("#[cfg(test)]") {
             pending_cfg_test = true;
         }
@@ -136,6 +173,20 @@ fn scan_file(path: &Path, text: &str) -> usize {
                     lineno + 1
                 );
                 count += 1;
+            }
+        }
+        if hot && !exempt && !raw_line.contains(COLD_MARKER) {
+            for pat in BANNED_HOT_PATH {
+                for _ in line.matches(pat) {
+                    println!(
+                        "{}:{}: banned `{pat}` in a hot-path module (allocation on \
+                         the per-event path; annotate `// {COLD_MARKER} ...` if this \
+                         is genuinely off the hot path)",
+                        path.display(),
+                        lineno + 1
+                    );
+                    count += 1;
+                }
             }
         }
 
