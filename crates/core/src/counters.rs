@@ -115,6 +115,29 @@ impl RawCounters {
         self.poll.reset();
         self.events = 0;
     }
+
+    /// Merges another host's (or window's) counters into this one.
+    ///
+    /// The statistic cells are sufficient statistics — counts, Σδ, and
+    /// Σδ² under wrapping `u64` addition — so merging is associative and
+    /// commutative, and merging K disjoint streams is **bit-for-bit**
+    /// equal to accumulating the concatenated stream: the algebraic
+    /// property the fleet collection plane relies on. The last-timestamp
+    /// cells take the maximum, matching "latest event wins" across hosts
+    /// that share a clock (the simulated fleet drives all hosts on one
+    /// engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaling shifts differ.
+    pub fn merge(&mut self, other: &RawCounters) {
+        self.send.merge(&other.send);
+        self.recv.merge(&other.recv);
+        self.poll.merge(&other.poll);
+        self.send_last_ts = self.send_last_ts.max(other.send_last_ts);
+        self.recv_last_ts = self.recv_last_ts.max(other.recv_last_ts);
+        self.events = self.events.wrapping_add(other.events);
+    }
 }
 
 /// Metrics derived from one observation window — what the userspace agent
@@ -224,6 +247,29 @@ mod tests {
         assert_eq!(m.rps_obsv, None);
         assert_eq!(m.var_send, None);
         assert_eq!(m.poll_mean_ns, None);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let deltas: Vec<u64> = (0..200).map(|i| 100_000 + i * 977).collect();
+        let mut whole = RawCounters::new(10);
+        let mut parts = [RawCounters::new(10), RawCounters::new(10), RawCounters::new(10)];
+        for (i, &d) in deltas.iter().enumerate() {
+            whole.send.push(d);
+            whole.poll.push(d / 3);
+            whole.events += 2;
+            whole.send_last_ts = i as u64;
+            let p = &mut parts[i % 3];
+            p.send.push(d);
+            p.poll.push(d / 3);
+            p.events += 2;
+            p.send_last_ts = i as u64;
+        }
+        let mut merged = RawCounters::new(10);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole);
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod counters;
 pub mod custom;
 mod estimators;
 mod fixed;
+mod hist;
 mod native;
 mod observer;
 pub mod streaming;
@@ -76,5 +77,6 @@ pub use estimators::{
     PAPER_MIN_SAMPLES,
 };
 pub use fixed::{ScaledAcc, DEFAULT_SHIFT};
+pub use hist::Log2Hist;
 pub use native::{NativeBackend, FILTER_COST, UPDATE_COST};
 pub use observer::{MetricBackend, WindowedObserver};

@@ -56,6 +56,8 @@ pub struct WindowedObserver<B> {
     window: Nanos,
     window_start: Nanos,
     history: Vec<WindowMetrics>,
+    raw_history: Vec<RawCounters>,
+    hist_history: Vec<Option<[u64; 64]>>,
 }
 
 impl<B: MetricBackend> WindowedObserver<B> {
@@ -71,12 +73,29 @@ impl<B: MetricBackend> WindowedObserver<B> {
             window,
             window_start: Nanos::ZERO,
             history: Vec::new(),
+            raw_history: Vec::new(),
+            hist_history: Vec::new(),
         }
     }
 
     /// Completed windows so far.
     pub fn windows(&self) -> &[WindowMetrics] {
         &self.history
+    }
+
+    /// Raw counter snapshots for the completed windows, index-aligned
+    /// with [`WindowedObserver::windows`]. These are the mergeable
+    /// sufficient statistics ([`RawCounters::merge`]) a fleet host
+    /// accumulates into the cumulative state it reports upstream.
+    pub fn raw_windows(&self) -> &[RawCounters] {
+        &self.raw_history
+    }
+
+    /// In-probe poll-duration histogram snapshots for the completed
+    /// windows, index-aligned with [`WindowedObserver::windows`]; `None`
+    /// entries come from backends without in-kernel aggregation.
+    pub fn window_histograms(&self) -> &[Option<[u64; 64]>] {
+        &self.hist_history
     }
 
     /// The wrapped backend.
@@ -103,19 +122,22 @@ impl<B: MetricBackend> WindowedObserver<B> {
     fn roll_to(&mut self, now: Nanos, force: bool) {
         while now >= self.window_start + self.window {
             let end = self.window_start + self.window;
-            let metrics =
-                WindowMetrics::from_counters(self.window_start, end, &self.backend.counters());
-            self.history.push(metrics);
-            self.backend.reset_window();
-            self.window_start = end;
+            self.close_window(end);
         }
         if force && now > self.window_start {
-            let metrics =
-                WindowMetrics::from_counters(self.window_start, now, &self.backend.counters());
-            self.history.push(metrics);
-            self.backend.reset_window();
-            self.window_start = now;
+            self.close_window(now);
         }
+    }
+
+    /// Snapshots the cells (derived metrics, raw counters, histogram)
+    /// into history, then resets the windowed state.
+    fn close_window(&mut self, end: Nanos) {
+        let raw = self.backend.counters();
+        self.history.push(WindowMetrics::from_counters(self.window_start, end, &raw));
+        self.raw_history.push(raw);
+        self.hist_history.push(self.backend.poll_histogram());
+        self.backend.reset_window();
+        self.window_start = end;
     }
 }
 
@@ -203,6 +225,22 @@ mod tests {
         assert_eq!(windows.len(), 4);
         assert_eq!(windows[1].send_samples, 0);
         assert_eq!(windows[2].send_samples, 0);
+    }
+
+    #[test]
+    fn raw_snapshots_align_with_windows() {
+        let mut obs = observer(1);
+        for i in 0..31 {
+            obs.fire(&send_exit(i * 100));
+        }
+        assert_eq!(obs.raw_windows().len(), obs.windows().len());
+        assert_eq!(obs.window_histograms().len(), obs.windows().len());
+        for (w, raw) in obs.windows().iter().zip(obs.raw_windows()) {
+            assert_eq!(w.send_samples, raw.send.count);
+            assert_eq!(w.events, raw.events);
+        }
+        // The native backend has no in-probe histogram.
+        assert!(obs.window_histograms().iter().all(Option::is_none));
     }
 
     #[test]

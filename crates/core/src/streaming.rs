@@ -129,33 +129,35 @@ impl StreamingProbe {
     }
 
     /// Drains all pending records (the userspace consumer).
+    ///
+    /// Decoding happens in place through [`MapRegistry::ring_consume`],
+    /// so the ring's record buffers are recycled rather than handed out:
+    /// the only allocation here is the returned event vector itself.
     pub fn drain(&mut self) -> Vec<StreamedEvent> {
-        let records = match self.maps.ring_drain(self.ring_fd) {
-            Ok(records) => records,
+        let mut events = Vec::new();
+        let consumed = self.maps.ring_consume(self.ring_fd, |record| {
+            let cell = |i: usize| -> u64 {
+                match record[i * 8..(i + 1) * 8].try_into() {
+                    Ok(bytes) => u64::from_le_bytes(bytes),
+                    Err(_) => unreachable!("an 8-byte slice converts to [u8; 8]"),
+                }
+            };
+            events.push(StreamedEvent {
+                phase: if cell(0) == 0 {
+                    TracePhase::Enter
+                } else {
+                    TracePhase::Exit
+                },
+                no: SyscallNo::from_raw(cell(1) as u32),
+                pid_tgid: cell(2),
+                ktime: Nanos::from_nanos(cell(3)),
+            });
+        });
+        match consumed {
+            Ok(_) => events,
             // `ring_fd` was created in `new` and fds are never closed.
             Err(e) => unreachable!("backend-owned ring buffer vanished: {e}"),
-        };
-        records
-            .into_iter()
-            .map(|record| {
-                let cell = |i: usize| -> u64 {
-                    match record[i * 8..(i + 1) * 8].try_into() {
-                        Ok(bytes) => u64::from_le_bytes(bytes),
-                        Err(_) => unreachable!("an 8-byte slice converts to [u8; 8]"),
-                    }
-                };
-                StreamedEvent {
-                    phase: if cell(0) == 0 {
-                        TracePhase::Enter
-                    } else {
-                        TracePhase::Exit
-                    },
-                    no: SyscallNo::from_raw(cell(1) as u32),
-                    pid_tgid: cell(2),
-                    ktime: Nanos::from_nanos(cell(3)),
-                }
-            })
-            .collect()
+        }
     }
 
     /// Pairs drained enter/exit records into completed [`SyscallEvent`]s

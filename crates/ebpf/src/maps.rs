@@ -20,7 +20,11 @@
 //!   per-map free pool on delete, so the enter-store / exit-delete cycle of
 //!   the `start` map reuses the same allocation forever;
 //! * [`MapRegistry::update_in_place`] overwrites existing values through a
-//!   borrowed slice instead of inserting fresh ones.
+//!   borrowed slice instead of inserting fresh ones;
+//! * ring-buffer records are written into cells recycled from
+//!   [`MapRegistry::ring_consume`]'s free pool, so the streaming
+//!   produce/consume cycle (`ring_push` → `ring_consume`) allocates only
+//!   while the ring is growing toward its high-water mark.
 //!
 //! Hash maps use a fixed-seed FNV-1a hasher ([`DetState`]) instead of the
 //! standard library's `RandomState`, so iteration and dump order are
@@ -295,6 +299,11 @@ enum MapStorage {
     Array(Vec<Vec<u8>>),
     RingBuf {
         records: std::collections::VecDeque<Vec<u8>>,
+        /// Record buffers recycled by `ring_consume` — the ring-buffer
+        /// twin of the hash map's free pool. `ring_push` refills these
+        /// instead of allocating, so the steady-state produce/consume
+        /// cycle performs no heap allocation.
+        free: Vec<Vec<u8>>,
         dropped: u64,
     },
 }
@@ -368,6 +377,7 @@ impl MapRegistry {
             }
             MapKind::RingBuf => MapStorage::RingBuf {
                 records: std::collections::VecDeque::new(),
+                free: Vec::new(),
                 dropped: 0,
             },
         };
@@ -614,12 +624,25 @@ impl MapRegistry {
             });
         }
         match &mut entry.storage {
-            MapStorage::RingBuf { records, dropped } => {
+            MapStorage::RingBuf {
+                records,
+                free,
+                dropped,
+            } => {
                 if records.len() as u32 >= def.max_entries {
                     *dropped += 1;
                     Ok(false)
                 } else {
-                    records.push_back(record.to_vec()); // cold path: records are handed off to the userspace drain side as owned buffers
+                    let mut cell = match free.pop() {
+                        Some(cell) => cell,
+                        // First fill of this slot: the one allocation it
+                        // costs over the map's life. The capacity covers
+                        // any legal record, so recycled cells never grow.
+                        None => Vec::with_capacity(def.value_size as usize),
+                    };
+                    cell.clear();
+                    cell.extend_from_slice(record);
+                    records.push_back(cell);
                     Ok(true)
                 }
             }
@@ -631,7 +654,41 @@ impl MapRegistry {
         }
     }
 
-    /// Drains all pending ring-buffer records (the userspace consumer side).
+    /// Consumes all pending ring-buffer records in FIFO order without
+    /// allocating: each record is passed to `consume` by reference, and
+    /// its buffer is recycled into the free pool for future pushes. This
+    /// is the userspace consumer's hot path — the analogue of walking the
+    /// mmap'd producer pages in place — and together with the recycling
+    /// `ring_push` it makes the steady-state produce/consume cycle
+    /// allocation-free. Returns how many records were consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds or non-ringbuf maps.
+    pub fn ring_consume<F>(&mut self, fd: MapFd, mut consume: F) -> Result<usize, MapError>
+    where
+        F: FnMut(&[u8]),
+    {
+        let entry = self.entry_mut(fd)?;
+        match &mut entry.storage {
+            MapStorage::RingBuf { records, free, .. } => {
+                let mut consumed = 0;
+                while let Some(cell) = records.pop_front() {
+                    consume(&cell);
+                    free.push(cell);
+                    consumed += 1;
+                }
+                Ok(consumed)
+            }
+            _ => Err(MapError::WrongKind(entry.def.kind)),
+        }
+    }
+
+    /// Drains all pending ring-buffer records as owned buffers.
+    ///
+    /// The drained cells leave the map (and its free pool) for good, so
+    /// every later push re-allocates; prefer [`MapRegistry::ring_consume`]
+    /// on any recurring path.
     ///
     /// # Errors
     ///
@@ -883,6 +940,41 @@ mod tests {
         let drained = maps.ring_drain(fd).unwrap();
         assert_eq!(drained, vec![b"one".to_vec(), b"two".to_vec()]);
         assert!(maps.ring_push(fd, b"four").unwrap());
+    }
+
+    #[test]
+    fn ring_consume_walks_fifo_and_recycles() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("rb", MapDef::ring_buf(16, 4));
+        // Many push/consume cycles through a pool of at most 4 cells: the
+        // free list keeps the cycle going without unbounded growth.
+        for round in 0..100u8 {
+            assert!(maps.ring_push(fd, &[round, 1]).unwrap());
+            assert!(maps.ring_push(fd, &[round, 2]).unwrap());
+            let mut seen = Vec::new();
+            let consumed = maps
+                .ring_consume(fd, |record| seen.push(record.to_vec()))
+                .unwrap();
+            assert_eq!(consumed, 2);
+            assert_eq!(seen, vec![vec![round, 1], vec![round, 2]]);
+        }
+        assert_eq!(maps.ring_dropped(fd).unwrap(), 0);
+        // An empty ring consumes nothing.
+        assert_eq!(maps.ring_consume(fd, |_| panic!("empty")).unwrap(), 0);
+        // Recycled cells must not leak a previous record's bytes.
+        assert!(maps.ring_push(fd, b"tiny").unwrap());
+        maps.ring_consume(fd, |record| assert_eq!(record, b"tiny"))
+            .unwrap();
+    }
+
+    #[test]
+    fn ring_consume_rejects_non_ring_maps() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("h", MapDef::hash(4, 4, 2));
+        assert!(matches!(
+            maps.ring_consume(fd, |_| {}),
+            Err(MapError::WrongKind(MapKind::Hash))
+        ));
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Regenerates the fleet robustness figure (signal error vs report loss).
+use kscope_experiments::{fleet, write_artifact, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let result = fleet::run(scale);
+    println!("{}", fleet::render(&result, true));
+    if let Some(path) = write_artifact("fleet_robustness.csv", &fleet::to_csv(&result)) {
+        println!("series written to {}", path.display());
+    }
+}

@@ -1,0 +1,69 @@
+//! Runs a multi-host fleet and emits the deterministic rollup JSON.
+//!
+//! ```text
+//! fleet_sweep [--hosts N] [--seed N] [--loss F] [--jobs N] [--quick] [--out PATH]
+//! ```
+//!
+//! The JSON document is byte-identical for any `--jobs` value and across
+//! reruns of the same seed — the property the CI `fleet-smoke` job checks
+//! with a literal `cmp`. The human-readable loss-robustness figure lives
+//! in the `fleet_robustness` binary; this one is the machine interface.
+
+use kscope_experiments::default_jobs;
+use kscope_fleet::{report_to_json, run_fleet, FleetConfig};
+
+fn flag_value<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let mut args = std::env::args().peekable();
+    while let Some(arg) = args.next() {
+        let value = if arg == name {
+            args.peek().cloned()
+        } else {
+            arg.strip_prefix(&format!("{name}=")).map(str::to_string)
+        };
+        if let Some(v) = value.and_then(|v| v.parse().ok()) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let hosts: usize = flag_value("--hosts").unwrap_or(16);
+    let mut config = if quick {
+        FleetConfig::quick(hosts)
+    } else {
+        FleetConfig::new(hosts)
+    };
+    if let Some(seed) = flag_value::<u64>("--seed") {
+        config.seed = seed;
+    }
+    if let Some(loss) = flag_value::<f64>("--loss") {
+        config = config.with_loss(loss);
+    }
+    let jobs = default_jobs();
+
+    let run = match run_fleet(&config) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("fleet_sweep: probe build failed: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    let rollup = run.rollup(jobs);
+    eprintln!(
+        "fleet_sweep: {} hosts, jobs {jobs}, fleet rps {:.1}, dropped {}, stale {}",
+        config.hosts, rollup.fleet_rps, rollup.accounting.channel_dropped, rollup.accounting.stale
+    );
+    let json = report_to_json(&config, &rollup);
+    match flag_value::<std::path::PathBuf>("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("fleet_sweep: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("fleet_sweep: report written to {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`iouring`] | §V-C — the io_uring syscall-bypass blind spot |
 //! | [`windows`] | §IV-B — the ≥2048-sample window recommendation |
 //! | [`hosts`] | §IV-A — generalization across the two testbed hosts |
+//! | [`fleet`] | fleet collection plane — signal error vs report loss |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +35,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod fleet;
 pub mod hosts;
 pub mod iouring;
 pub mod overhead;

@@ -1,0 +1,381 @@
+//! The central collector: per-host report slots with sequence checking,
+//! and the sharded deterministic rollup.
+
+use kscope_analysis::log2_bucket_quantile;
+use kscope_core::{Log2Hist, RawCounters};
+use kscope_simcore::parallel::map_indexed;
+use kscope_simcore::Nanos;
+
+use crate::host::ReportEnvelope;
+
+/// Collector-side state for one host.
+#[derive(Debug, Clone, Default)]
+pub struct HostSlot {
+    /// Highest sequence number accepted.
+    pub last_seq: Option<u64>,
+    /// The latest (by sequence) envelope accepted.
+    pub latest: Option<ReportEnvelope>,
+    /// Envelopes accepted (forward progress).
+    pub accepted: u64,
+    /// Envelopes that arrived with `seq <= last_seq` — reordered behind a
+    /// newer report and discarded (their payload is subsumed).
+    pub stale: u64,
+    /// Sequence numbers skipped at accept time: reports that were dropped,
+    /// shed, or overtaken in flight. A late arrival is counted here *and*
+    /// in `stale` — `gaps` is "missing when needed", not "lost forever".
+    pub gaps: u64,
+    /// Arrival time of the latest accepted envelope.
+    pub last_arrival: Nanos,
+}
+
+/// Fleet-level report accounting: what the senders and channel did
+/// (ground truth, filled in by the run) next to what the collector saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accounting {
+    /// Reports produced across all hosts.
+    pub produced: u64,
+    /// Reports shed by the per-host inflight bound.
+    pub shed: u64,
+    /// Reports offered to the control channel.
+    pub offered: u64,
+    /// Reports the channel delivered.
+    pub channel_delivered: u64,
+    /// Reports the channel dropped.
+    pub channel_dropped: u64,
+    /// Reports the collector accepted.
+    pub accepted: u64,
+    /// Reports the collector discarded as stale (reordered).
+    pub stale: u64,
+    /// Sequence gaps the collector observed at accept time.
+    pub gaps: u64,
+}
+
+/// One host's row in the rollup, in host-id order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostRow {
+    /// Host id.
+    pub host: u32,
+    /// Latest accepted sequence, `None` for silent hosts.
+    pub seq: Option<u64>,
+    /// Windows covered by the latest accepted report.
+    pub windows: u64,
+    /// Cumulative Eq. 1 rate from the host's merged counters.
+    pub rps: Option<f64>,
+    /// Latest poll-slack headroom.
+    pub headroom: Option<f64>,
+    /// Whether either saturation signal fired in the latest report.
+    pub saturated: bool,
+    /// Deterministic saturation score used for the Top-K ranking.
+    pub score: f64,
+}
+
+/// The drop-aware fleet rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRollup {
+    /// Hosts in the fleet.
+    pub hosts: usize,
+    /// Hosts with at least one accepted report.
+    pub reporting_hosts: usize,
+    /// Hosts the collector has never heard from.
+    pub silent_hosts: usize,
+    /// Fleet throughput: the sum of per-host cumulative Eq. 1 rates.
+    pub fleet_rps: f64,
+    /// Send deltas across the merged fleet stream.
+    pub fleet_send_count: u64,
+    /// Mean inter-send delta of the merged stream (ns).
+    pub fleet_mean_delta_ns: Option<f64>,
+    /// Variance of the merged stream's inter-send deltas (ns²).
+    pub fleet_var_delta_ns2: Option<f64>,
+    /// Matched syscall exits across the fleet.
+    pub fleet_events: u64,
+    /// p50 of the merged poll-duration histogram (ns).
+    pub slack_p50_ns: Option<f64>,
+    /// p90 of the merged poll-duration histogram (ns).
+    pub slack_p90_ns: Option<f64>,
+    /// p99 of the merged poll-duration histogram (ns).
+    pub slack_p99_ns: Option<f64>,
+    /// The `top_k` highest-scoring hosts (score desc, host id asc).
+    pub top_saturated: Vec<HostRow>,
+    /// Every host's row, in host-id order.
+    pub per_host: Vec<HostRow>,
+    /// Collector-side accounting (`accepted`/`stale`/`gaps` only; the
+    /// run's report fills in the sender/channel ground truth).
+    pub accounting: Accounting,
+}
+
+/// Per-shard partial state folded by the rollup.
+struct ShardSummary {
+    merged: RawCounters,
+    hist: Log2Hist,
+    sum_rps: f64,
+    rows: Vec<HostRow>,
+    reporting: usize,
+    accepted: u64,
+    stale: u64,
+    gaps: u64,
+}
+
+/// The central collector.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    shift: u32,
+    min_send_samples: u64,
+    slots: Vec<HostSlot>,
+}
+
+impl Collector {
+    /// A collector expecting `hosts` hosts whose counters use `shift`.
+    pub fn new(hosts: usize, shift: u32, min_send_samples: u64) -> Collector {
+        Collector {
+            shift,
+            min_send_samples,
+            slots: vec![HostSlot::default(); hosts],
+        }
+    }
+
+    /// Per-host slots, in host-id order.
+    pub fn slots(&self) -> &[HostSlot] {
+        &self.slots
+    }
+
+    /// Handles one arriving envelope: accept forward progress, discard
+    /// stale (reordered) reports — safe because payloads are cumulative,
+    /// so the newer report already subsumes the older one.
+    pub fn receive(&mut self, envelope: ReportEnvelope, now: Nanos) {
+        let slot = &mut self.slots[envelope.host as usize];
+        match slot.last_seq {
+            Some(last) if envelope.seq <= last => {
+                slot.stale += 1;
+            }
+            _ => {
+                let expected = slot.last_seq.map(|s| s + 1).unwrap_or(0);
+                slot.gaps += envelope.seq - expected;
+                slot.last_seq = Some(envelope.seq);
+                slot.accepted += 1;
+                slot.last_arrival = now;
+                slot.latest = Some(envelope);
+            }
+        }
+    }
+
+    /// Rolls the fleet up across `shards` fixed shards on up to `jobs`
+    /// worker threads.
+    ///
+    /// Determinism: hosts map to shards by id range, shard summaries are
+    /// computed serially within a shard and folded in shard order, and
+    /// every floating-point value is derived from exactly-merged integer
+    /// cells — so the result (and its JSON rendering) is bitwise
+    /// identical for any `jobs`, including 1.
+    pub fn rollup(&self, jobs: usize, shards: usize, top_k: usize) -> FleetRollup {
+        let shards = shards.max(1).min(self.slots.len().max(1));
+        let chunk = self.slots.len().div_ceil(shards);
+        let ranges: Vec<(usize, usize)> = (0..shards)
+            .map(|s| {
+                // Both ends clamp to the host count: when `chunk` rounds
+                // up, trailing shards degenerate to empty ranges.
+                let lo = (s * chunk).min(self.slots.len());
+                let hi = ((s + 1) * chunk).min(self.slots.len());
+                (lo, hi)
+            })
+            .collect();
+
+        let summaries: Vec<ShardSummary> =
+            map_indexed(&ranges, jobs, |_, &(lo, hi)| self.summarize_shard(lo, hi));
+
+        let mut merged = RawCounters::new(self.shift);
+        let mut hist = Log2Hist::new(self.shift);
+        let mut fleet_rps = 0.0;
+        let mut rows = Vec::with_capacity(self.slots.len());
+        let mut reporting = 0usize;
+        let mut accounting = Accounting::default();
+        for s in summaries {
+            merged.merge(&s.merged);
+            hist.merge(&s.hist);
+            fleet_rps += s.sum_rps;
+            rows.extend(s.rows);
+            reporting += s.reporting;
+            accounting.accepted += s.accepted;
+            accounting.stale += s.stale;
+            accounting.gaps += s.gaps;
+        }
+
+        let mut ranked = rows.clone();
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.host.cmp(&b.host))
+        });
+        ranked.truncate(top_k);
+
+        let quantile = |q: f64| log2_bucket_quantile(hist.buckets(), self.shift, q);
+        FleetRollup {
+            hosts: self.slots.len(),
+            reporting_hosts: reporting,
+            silent_hosts: self.slots.len() - reporting,
+            fleet_rps,
+            fleet_send_count: merged.send.count,
+            fleet_mean_delta_ns: merged.send.mean(),
+            fleet_var_delta_ns2: merged.send.variance(),
+            fleet_events: merged.events,
+            slack_p50_ns: quantile(0.50),
+            slack_p90_ns: quantile(0.90),
+            slack_p99_ns: quantile(0.99),
+            top_saturated: ranked,
+            per_host: rows,
+            accounting,
+        }
+    }
+
+    fn summarize_shard(&self, lo: usize, hi: usize) -> ShardSummary {
+        let mut merged = RawCounters::new(self.shift);
+        let mut hist = Log2Hist::new(self.shift);
+        let mut sum_rps = 0.0;
+        let mut rows = Vec::with_capacity(hi - lo);
+        let mut reporting = 0usize;
+        let (mut accepted, mut stale, mut gaps) = (0u64, 0u64, 0u64);
+        for (idx, slot) in self.slots[lo..hi].iter().enumerate() {
+            let host = (lo + idx) as u32;
+            accepted += slot.accepted;
+            stale += slot.stale;
+            gaps += slot.gaps;
+            let row = match &slot.latest {
+                Some(env) => {
+                    reporting += 1;
+                    merged.merge(&env.cum);
+                    hist.merge(&env.hist);
+                    let rps = (env.cum.send.count >= self.min_send_samples)
+                        .then(|| env.cum.send.mean())
+                        .flatten()
+                        .filter(|&m| m > 0.0)
+                        .map(|m| 1e9 / m);
+                    if let Some(r) = rps {
+                        sum_rps += r;
+                    }
+                    let headroom = env.slack.map(|s| s.headroom);
+                    let sat_flag = env.saturation.map(|s| s.saturated).unwrap_or(false);
+                    let slack_flag = env.slack.map(|s| s.saturated).unwrap_or(false);
+                    let score = f64::from(u8::from(sat_flag)) + f64::from(u8::from(slack_flag))
+                        + headroom.map(|h| (1.0 - h).clamp(0.0, 1.0)).unwrap_or(0.0);
+                    HostRow {
+                        host,
+                        seq: slot.last_seq,
+                        windows: env.windows_observed,
+                        rps,
+                        headroom,
+                        saturated: sat_flag || slack_flag,
+                        score,
+                    }
+                }
+                None => HostRow {
+                    host,
+                    seq: None,
+                    windows: 0,
+                    rps: None,
+                    headroom: None,
+                    saturated: false,
+                    score: 0.0,
+                },
+            };
+            rows.push(row);
+        }
+        ShardSummary {
+            merged,
+            hist,
+            sum_rps,
+            rows,
+            reporting,
+            accepted,
+            stale,
+            gaps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kscope_core::ScaledAcc;
+
+    fn envelope(host: u32, seq: u64, delta_ns: u64, n: u64) -> ReportEnvelope {
+        let mut cum = RawCounters::new(0);
+        cum.send = {
+            let mut acc = ScaledAcc::new(0);
+            for _ in 0..n {
+                acc.push(delta_ns);
+            }
+            acc
+        };
+        let mut hist = Log2Hist::new(0);
+        for _ in 0..n {
+            hist.record(delta_ns / 2);
+        }
+        ReportEnvelope {
+            host,
+            seq,
+            sent_at: Nanos::ZERO,
+            windows_observed: seq + 1,
+            cum,
+            hist,
+            latest_rps: None,
+            saturation: None,
+            slack: None,
+        }
+    }
+
+    #[test]
+    fn stale_reports_are_discarded() {
+        let mut c = Collector::new(2, 0, 1);
+        c.receive(envelope(0, 1, 1_000, 10), Nanos::from_millis(1));
+        c.receive(envelope(0, 0, 1_000, 5), Nanos::from_millis(2));
+        let slot = &c.slots()[0];
+        assert_eq!(slot.accepted, 1);
+        assert_eq!(slot.stale, 1);
+        // Seq 0 was missing when seq 1 was accepted.
+        assert_eq!(slot.gaps, 1);
+        assert_eq!(slot.latest.as_ref().map(|e| e.seq), Some(1));
+    }
+
+    #[test]
+    fn gaps_count_skipped_sequence_numbers() {
+        let mut c = Collector::new(1, 0, 1);
+        c.receive(envelope(0, 0, 1_000, 10), Nanos::ZERO);
+        c.receive(envelope(0, 3, 1_000, 40), Nanos::from_millis(5));
+        assert_eq!(c.slots()[0].gaps, 2);
+        assert_eq!(c.slots()[0].accepted, 2);
+    }
+
+    #[test]
+    fn rollup_sums_per_host_rates_and_merges_streams() {
+        let mut c = Collector::new(3, 0, 1);
+        // Hosts 0 and 1 report 1ms deltas (1000 rps each); host 2 silent.
+        c.receive(envelope(0, 0, 1_000_000, 100), Nanos::ZERO);
+        c.receive(envelope(1, 0, 1_000_000, 100), Nanos::ZERO);
+        let r = c.rollup(1, 2, 2);
+        assert_eq!(r.reporting_hosts, 2);
+        assert_eq!(r.silent_hosts, 1);
+        assert!((r.fleet_rps - 2_000.0).abs() < 1e-9, "{}", r.fleet_rps);
+        assert_eq!(r.fleet_send_count, 200);
+        assert_eq!(r.per_host.len(), 3);
+        assert_eq!(r.top_saturated.len(), 2);
+        assert!(r.slack_p50_ns.is_some());
+    }
+
+    #[test]
+    fn rollup_is_identical_across_jobs() {
+        let mut c = Collector::new(16, 0, 1);
+        for h in 0..16u32 {
+            for seq in 0..3 {
+                c.receive(
+                    envelope(h, seq, 500_000 + u64::from(h) * 1_000, 50 * (seq + 1)),
+                    Nanos::from_millis(seq),
+                );
+            }
+        }
+        let a = c.rollup(1, 8, 5);
+        let b = c.rollup(4, 8, 5);
+        let d = c.rollup(32, 8, 5);
+        assert_eq!(a, b);
+        assert_eq!(a, d);
+    }
+}

@@ -1,0 +1,304 @@
+//! One simulated fleet member: a full single-host kscope stack plus the
+//! report-producing side of the control channel.
+
+use kscope_core::{
+    Agent, BytecodeBackend, Log2Hist, RawCounters, RpsEstimator, SaturationAssessment,
+    SaturationDetector, SlackAssessment, SlackEstimator, WindowedObserver,
+};
+use kscope_kernel::{HostSpec, Kernel, ProbeId, SchedConfig};
+use kscope_netem::{DatagramTransit, NetemLink};
+use kscope_simcore::{Nanos, SimRng};
+use kscope_syscalls::{Pid, SyscallNo, SyscallProfile};
+
+use crate::config::FleetConfig;
+
+/// One report shipped host → collector.
+///
+/// The statistic payload is **cumulative** since host start (merged
+/// per-window sufficient statistics and histogram cells), which is what
+/// makes the channel loss-tolerant without feedback: any later report
+/// subsumes a lost one, so the collector's per-host state is only ever
+/// *stale*, never *biased*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportEnvelope {
+    /// Reporting host id.
+    pub host: u32,
+    /// Per-host sequence number, starting at 0. The channel may drop or
+    /// reorder; the collector accepts only forward progress.
+    pub seq: u64,
+    /// Send time at the host.
+    pub sent_at: Nanos,
+    /// Completed observation windows covered by the payload.
+    pub windows_observed: u64,
+    /// Cumulative mergeable counters (count/Σδ/Σδ² per stream).
+    pub cum: RawCounters,
+    /// Cumulative in-probe poll-duration histogram cells.
+    pub hist: Log2Hist,
+    /// Latest window's Eq. 1 estimate, when thick enough.
+    pub latest_rps: Option<f64>,
+    /// Latest variance-knee assessment.
+    pub saturation: Option<SaturationAssessment>,
+    /// Latest poll-slack assessment.
+    pub slack: Option<SlackAssessment>,
+}
+
+/// Ground-truth accounting for one host, kept outside the collector so
+/// tests can check conservation against what the collector inferred.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostTruth {
+    /// Reports produced (one per report tick with new windows).
+    pub produced: u64,
+    /// Reports shed at the sender by the inflight bound.
+    pub shed: u64,
+    /// Reports offered to the channel.
+    pub offered: u64,
+    /// Reports the channel delivered.
+    pub delivered: u64,
+    /// Reports the channel dropped.
+    pub dropped: u64,
+    /// Completed observation windows.
+    pub windows: u64,
+}
+
+/// A fleet member: kernel + verified bytecode probe + windowed observer +
+/// agent, with a netem link to the collector.
+pub struct SimHost {
+    id: u32,
+    pid: Pid,
+    kernel: Kernel,
+    probe: ProbeId,
+    agent: Agent,
+    rng: SimRng,
+    link: NetemLink,
+    link_rng: SimRng,
+    /// Timestamp of the last send exit (the next request's edges start
+    /// just after it).
+    cursor: Nanos,
+    burst_flip: bool,
+    hot: bool,
+    hot_at: Nanos,
+    mean_gap_ns: f64,
+    shift: u32,
+    reported_windows: usize,
+    next_seq: u64,
+    cum: RawCounters,
+    cum_hist: Log2Hist,
+    /// Reports currently in flight on the channel.
+    pub inflight: usize,
+    /// Ground-truth accounting.
+    pub truth: HostTruth,
+}
+
+impl std::fmt::Debug for SimHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHost")
+            .field("id", &self.id)
+            .field("cursor", &self.cursor)
+            .field("truth", &self.truth)
+            .finish()
+    }
+}
+
+impl SimHost {
+    /// Builds host `id`'s full stack, forking its RNG streams from
+    /// `master` (labels depend only on `id`, so traffic is identical
+    /// across channel configurations).
+    pub fn new(
+        config: &FleetConfig,
+        id: u32,
+        master: &mut SimRng,
+    ) -> Result<SimHost, kscope_core::BuildError> {
+        let pid: Pid = 1_000 + id;
+        let backend =
+            BytecodeBackend::new_with_histogram(pid, SyscallProfile::data_caching(), config.shift)?;
+        let observer = WindowedObserver::new(backend, config.window);
+        let mut kernel = Kernel::for_host(HostSpec::amd_epyc_7302(), SchedConfig::default());
+        let probe = kernel.tracing.attach(Box::new(observer));
+
+        let mut saturation = SaturationDetector::default();
+        saturation.min_samples = config.min_send_samples;
+        let agent = Agent::new(
+            RpsEstimator::with_min_samples(config.min_send_samples),
+            saturation,
+            SlackEstimator::default(),
+        );
+
+        // Stagger host start times slightly so per-host event streams are
+        // not phase-locked.
+        let cursor = Nanos::from_nanos(u64::from(id) * 1_000);
+        Ok(SimHost {
+            id,
+            pid,
+            kernel,
+            probe,
+            agent,
+            rng: master.fork(u64::from(id)),
+            link: NetemLink::new(config.channel.clone()),
+            link_rng: master.fork(1_000_000 + u64::from(id)),
+            cursor,
+            burst_flip: false,
+            hot: u64::from(id) < config.hot_hosts as u64,
+            hot_at: config.hot_at(),
+            mean_gap_ns: 1e9 / config.per_host_rps,
+            shift: config.shift,
+            reported_windows: 0,
+            next_seq: 0,
+            cum: RawCounters::new(config.shift),
+            cum_hist: Log2Hist::new(config.shift),
+            inflight: 0,
+            truth: HostTruth::default(),
+        })
+    }
+
+    /// Host id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// When this host's first request arrives.
+    pub fn first_request_at(&mut self) -> Nanos {
+        self.cursor + self.sample_gap()
+    }
+
+    fn in_hot_phase(&self, now: Nanos) -> bool {
+        self.hot && now >= self.hot_at
+    }
+
+    /// The next inter-request gap. Cold hosts jitter mildly around the
+    /// mean; hot hosts alternate short/long gaps with the *same mean*
+    /// (throughput holds while inter-send variance jumps — the Eq. 2
+    /// saturation signature).
+    fn sample_gap(&mut self) -> Nanos {
+        let factor = if self.in_hot_phase(self.cursor) {
+            self.burst_flip = !self.burst_flip;
+            if self.burst_flip {
+                0.25
+            } else {
+                1.75
+            }
+        } else {
+            0.9 + 0.2 * self.rng.next_f64()
+        };
+        Nanos::from_nanos((self.mean_gap_ns * factor).max(10_000.0) as u64)
+    }
+
+    /// Serves the request arriving at `now`: fires the poll → recv → send
+    /// tracepoint edges through the kernel's dispatcher (which the probe
+    /// observes), and returns when the *next* request arrives — or `None`
+    /// once that would pass `horizon`.
+    pub fn serve_request(&mut self, now: Nanos, horizon: Nanos) -> Option<Nanos> {
+        // The arriving request wakes the server just after `now`, so the
+        // send-exit chain tracks arrival gaps exactly (Eq. 1 sees the
+        // offered rate). Where the poll *started* is what separates the
+        // regimes: cold hosts sleep out the whole idle gap in epoll (high
+        // slack); hot hosts re-enter the poll loop late, off the back of
+        // queued work, so their polls shrink to the busy floor.
+        let poll_exit = now + Nanos::from_nanos(200);
+        let idle_since = self.cursor + Nanos::from_nanos(500);
+        let poll_enter = if self.in_hot_phase(now) {
+            let busy_poll_ns = 4_000 + self.rng.next_below(2_000);
+            poll_exit
+                .saturating_sub(Nanos::from_nanos(busy_poll_ns))
+                .max(idle_since)
+        } else {
+            idle_since
+        };
+        let recv_enter = poll_exit + Nanos::from_nanos(300);
+        let recv_exit = recv_enter + Nanos::from_nanos(1_200);
+        let send_enter = recv_exit + Nanos::from_nanos(300);
+        let send_exit = send_enter + Nanos::from_nanos(1_700);
+
+        let tr = &mut self.kernel.tracing;
+        let (pid, tid) = (self.pid, self.pid);
+        tr.sys_enter(pid, tid, SyscallNo::EPOLL_WAIT, poll_enter);
+        tr.sys_exit(pid, tid, SyscallNo::EPOLL_WAIT, 1, poll_exit);
+        tr.sys_enter(pid, tid, SyscallNo::RECVMSG, recv_enter);
+        tr.sys_exit(pid, tid, SyscallNo::RECVMSG, 64, recv_exit);
+        tr.sys_enter(pid, tid, SyscallNo::SENDMSG, send_enter);
+        tr.sys_exit(pid, tid, SyscallNo::SENDMSG, 64, send_exit);
+        self.cursor = send_exit;
+
+        let next = now + self.sample_gap();
+        (next <= horizon).then_some(next)
+    }
+
+    fn observer_mut(&mut self) -> &mut WindowedObserver<BytecodeBackend> {
+        let probe = match self.kernel.tracing.probe_mut(self.probe) {
+            Some(p) => p,
+            None => unreachable!("the fleet never detaches its probe"),
+        };
+        match probe.as_any_mut().downcast_mut() {
+            Some(obs) => obs,
+            None => unreachable!("the fleet's probe is a WindowedObserver<BytecodeBackend>"),
+        }
+    }
+
+    /// Report tick: folds any newly completed windows into the cumulative
+    /// state and, when there are any, produces the next envelope. The
+    /// final tick (`finish_at`) force-closes the observer at the horizon
+    /// so the last window is never lost to quantization.
+    pub fn make_report(&mut self, now: Nanos, finish_at: Option<Nanos>) -> Option<ReportEnvelope> {
+        let shift = self.shift;
+        let reported = self.reported_windows;
+        let obs = self.observer_mut();
+        if let Some(end) = finish_at {
+            obs.finish(end);
+        }
+        let total = obs.windows().len();
+        if total == reported {
+            return None;
+        }
+        let new_windows: Vec<_> = (reported..total)
+            .map(|i| (obs.windows()[i], obs.raw_windows()[i], obs.window_histograms()[i]))
+            .collect();
+        for (metrics, raw, hist) in new_windows {
+            self.cum.merge(&raw);
+            if let Some(buckets) = hist {
+                self.cum_hist.merge(&Log2Hist::from_buckets(shift, buckets));
+            }
+            self.agent.ingest(metrics);
+        }
+        self.reported_windows = total;
+        self.truth.windows = total as u64;
+        let latest = self.agent.latest();
+        let envelope = ReportEnvelope {
+            host: self.id,
+            seq: self.next_seq,
+            sent_at: now,
+            windows_observed: total as u64,
+            cum: self.cum,
+            hist: self.cum_hist,
+            latest_rps: latest.and_then(|r| r.rps_obsv),
+            saturation: latest.and_then(|r| r.saturation),
+            slack: latest.and_then(|r| r.slack),
+        };
+        self.next_seq += 1;
+        self.truth.produced += 1;
+        Some(envelope)
+    }
+
+    /// Offers an envelope to the channel under the inflight bound.
+    /// Returns `None` when the report was shed, otherwise the transit
+    /// outcome (the caller schedules the arrival or the loss release).
+    pub fn offer(&mut self, max_inflight: usize) -> Option<DatagramTransit> {
+        if self.inflight >= max_inflight {
+            self.truth.shed += 1;
+            return None;
+        }
+        self.inflight += 1;
+        self.truth.offered += 1;
+        let transit = self.link.send_datagram(&mut self.link_rng);
+        if transit.delivered {
+            self.truth.delivered += 1;
+        } else {
+            self.truth.dropped += 1;
+        }
+        Some(transit)
+    }
+
+    /// Releases one inflight slot (arrival or loss resolution).
+    pub fn release_inflight(&mut self) {
+        debug_assert!(self.inflight > 0, "release without a matching offer");
+        self.inflight = self.inflight.saturating_sub(1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic JSON rendering of the fleet report.
+//!
+//! Hand-rolled (the workspace has no serialization dependency) with a
+//! fixed key order and Rust's shortest-round-trip `f64` formatting, so
+//! two rollups that are bitwise equal render to byte-identical JSON —
+//! the property the CI `fleet-smoke` job compares across `--jobs`.
+
+use crate::collector::{FleetRollup, HostRow};
+use crate::config::FleetConfig;
+
+fn f64_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    v.map(f64_json).unwrap_or_else(|| "null".to_string())
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "null".to_string())
+}
+
+fn host_row(row: &HostRow) -> String {
+    format!(
+        "{{\"host\":{},\"seq\":{},\"windows\":{},\"rps\":{},\"headroom\":{},\"saturated\":{},\"score\":{}}}",
+        row.host,
+        opt_u64(row.seq),
+        row.windows,
+        opt_f64(row.rps),
+        opt_f64(row.headroom),
+        row.saturated,
+        f64_json(row.score),
+    )
+}
+
+fn rows_json(rows: &[HostRow]) -> String {
+    let body: Vec<String> = rows.iter().map(host_row).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Renders a rollup (plus the configuration that produced it) as one
+/// deterministic JSON document, terminated by a newline.
+pub fn report_to_json(config: &FleetConfig, rollup: &FleetRollup) -> String {
+    let acc = &rollup.accounting;
+    let mut out = String::with_capacity(2048 + 160 * rollup.per_host.len());
+    out.push_str("{\"fleet\":{");
+    out.push_str(&format!(
+        "\"hosts\":{},\"seed\":{},\"windows\":{},\"window_ns\":{},\"per_host_rps\":{},\"hot_hosts\":{},\"channel_loss\":{},\"max_inflight\":{},\"shards\":{},\"top_k\":{}",
+        config.hosts,
+        config.seed,
+        config.windows,
+        config.window.as_nanos(),
+        f64_json(config.per_host_rps),
+        config.hot_hosts,
+        f64_json(config.channel.loss.steady_state_loss()),
+        config.max_inflight,
+        config.shards,
+        config.top_k,
+    ));
+    out.push_str("},\"rollup\":{");
+    out.push_str(&format!(
+        "\"reporting_hosts\":{},\"silent_hosts\":{},\"fleet_rps\":{},\"fleet_send_count\":{},\"fleet_mean_delta_ns\":{},\"fleet_var_delta_ns2\":{},\"fleet_events\":{},\"slack_p50_ns\":{},\"slack_p90_ns\":{},\"slack_p99_ns\":{}",
+        rollup.reporting_hosts,
+        rollup.silent_hosts,
+        f64_json(rollup.fleet_rps),
+        rollup.fleet_send_count,
+        opt_f64(rollup.fleet_mean_delta_ns),
+        opt_f64(rollup.fleet_var_delta_ns2),
+        rollup.fleet_events,
+        opt_f64(rollup.slack_p50_ns),
+        opt_f64(rollup.slack_p90_ns),
+        opt_f64(rollup.slack_p99_ns),
+    ));
+    out.push_str(&format!(
+        ",\"accounting\":{{\"produced\":{},\"shed\":{},\"offered\":{},\"channel_delivered\":{},\"channel_dropped\":{},\"accepted\":{},\"stale\":{},\"gaps\":{}}}",
+        acc.produced,
+        acc.shed,
+        acc.offered,
+        acc.channel_delivered,
+        acc.channel_dropped,
+        acc.accepted,
+        acc.stale,
+        acc.gaps,
+    ));
+    out.push_str(&format!(",\"top_saturated\":{}", rows_json(&rollup.top_saturated)));
+    out.push_str(&format!(",\"per_host\":{}", rows_json(&rollup.per_host)));
+    out.push_str("}}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::run_fleet;
+
+    #[test]
+    fn json_is_deterministic_and_plausible() {
+        let config = FleetConfig::quick(4).with_loss(0.1);
+        let run = match run_fleet(&config) {
+            Ok(r) => r,
+            Err(e) => panic!("fleet build failed: {e:?}"),
+        };
+        let a = report_to_json(&config, &run.rollup(1));
+        let b = report_to_json(&config, &run.rollup(8));
+        assert_eq!(a, b, "jobs must not change a byte");
+        assert!(a.starts_with("{\"fleet\":{\"hosts\":4,"));
+        assert!(a.ends_with("}}\n"));
+        assert!(a.contains("\"accounting\":{\"produced\":"));
+        assert!(a.contains("\"channel_loss\":0.1"));
+    }
+
+    #[test]
+    fn null_and_special_values_render() {
+        assert_eq!(opt_f64(None), "null");
+        assert_eq!(opt_f64(Some(1.5)), "1.5");
+        assert_eq!(f64_json(f64::NAN), "null");
+        assert_eq!(opt_u64(None), "null");
+        assert_eq!(opt_u64(Some(3)), "3");
+    }
+}

@@ -1,0 +1,67 @@
+//! # kscope-fleet
+//!
+//! A deterministic multi-host collection plane for the kscope
+//! reproduction of *"Characterizing In-Kernel Observability of
+//! Latency-Sensitive Request-Level Metrics with eBPF"* (ISPASS 2024).
+//!
+//! The paper derives its signals on a single instrumented server; the
+//! production setting it argues for is a fleet, where per-host signals
+//! must cross an imperfect control channel and merge centrally without
+//! bias. This crate builds that layer out of the existing stack:
+//!
+//! * **Hosts** ([`SimHost`]): each fleet member is a full single-host
+//!   pipeline — `kscope-kernel` host, verified eBPF bytecode probe with
+//!   the in-probe poll histogram, `WindowedObserver`, and
+//!   `kscope-core::Agent` — all driven in lockstep on one shared
+//!   `kscope-simcore` engine.
+//! * **Mergeable state** ([`ReportEnvelope`]): hosts report *cumulative*
+//!   sufficient statistics (count/Σδ/Σδ² per stream,
+//!   `kscope_core::RawCounters`) and cumulative histogram cells
+//!   (`kscope_core::Log2Hist`). Merging K per-host states is bit-for-bit
+//!   equal to computing over the concatenated stream, and cumulative
+//!   payloads make the channel loss-tolerant without feedback: a later
+//!   report subsumes a lost one.
+//! * **Control channel**: reports travel as datagrams through
+//!   `kscope-netem` (`send_datagram`: delay, jitter-induced reordering,
+//!   loss — no retransmission), under a bounded per-host inflight budget.
+//!   Sequence numbers let the collector count stale and missing reports
+//!   instead of silently absorbing them.
+//! * **Collector** ([`Collector`]): per-host slots with
+//!   accept-forward-progress semantics, and a sharded rollup
+//!   ([`FleetRollup`]) built on `kscope_simcore::parallel::map_indexed` —
+//!   fleet RPS (Σ per-host Eq. 1), merged-stream variance, slack
+//!   percentiles from merged histograms, a saturated-host Top-K, and full
+//!   drop/stale accounting — bitwise identical at any `--jobs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use kscope_fleet::{report_to_json, run_fleet, FleetConfig};
+//!
+//! let config = FleetConfig::quick(4).with_loss(0.1);
+//! let run = run_fleet(&config)?;
+//! let rollup = run.rollup(2);
+//! assert_eq!(rollup.hosts, 4);
+//! // Drops are surfaced, never silently absorbed:
+//! let acc = rollup.accounting;
+//! assert_eq!(acc.offered, acc.channel_delivered + acc.channel_dropped);
+//! let json = report_to_json(&config, &rollup);
+//! assert!(json.contains("\"accounting\""));
+//! # Ok::<(), kscope_core::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod collector;
+mod config;
+mod host;
+mod json;
+mod sim;
+
+pub use collector::{Accounting, Collector, FleetRollup, HostRow, HostSlot};
+pub use config::FleetConfig;
+pub use host::{HostTruth, ReportEnvelope, SimHost};
+pub use json::report_to_json;
+pub use sim::{run_fleet, FleetRun};

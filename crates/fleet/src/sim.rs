@@ -1,0 +1,237 @@
+//! The lockstep fleet simulation: every host's kernel, probe, and report
+//! schedule driven by one shared discrete-event engine.
+
+use kscope_core::BuildError;
+use kscope_simcore::{Engine, Nanos, Scheduler, SimRng, Simulation};
+
+use crate::collector::{Accounting, Collector, FleetRollup};
+use crate::config::FleetConfig;
+use crate::host::{HostTruth, ReportEnvelope, SimHost};
+
+/// Events on the shared fleet engine. Ties at the same instant resolve in
+/// schedule order (the engine's FIFO tie-break), so the interleaving of
+/// host traffic, report ticks, and channel arrivals is deterministic.
+#[derive(Debug)]
+enum FleetEvent {
+    /// A request arrives at `host`.
+    Request { host: usize },
+    /// `host`'s report tick; `last` force-closes the final window.
+    Tick { host: usize, last: bool },
+    /// A report datagram reaches the collector.
+    Arrive { host: usize, envelope: Box<ReportEnvelope> },
+    /// A dropped datagram's loss resolves (releases the inflight slot;
+    /// nothing reaches the collector).
+    Lost { host: usize },
+}
+
+struct FleetSim {
+    config: FleetConfig,
+    hosts: Vec<SimHost>,
+    collector: Collector,
+    horizon: Nanos,
+}
+
+impl Simulation for FleetSim {
+    type Event = FleetEvent;
+
+    fn handle(&mut self, event: FleetEvent, sched: &mut Scheduler<'_, FleetEvent>) {
+        let now = sched.now();
+        match event {
+            FleetEvent::Request { host } => {
+                if let Some(next) = self.hosts[host].serve_request(now, self.horizon) {
+                    sched.at(next, FleetEvent::Request { host });
+                }
+            }
+            FleetEvent::Tick { host, last } => {
+                let finish = last.then_some(self.horizon);
+                if let Some(envelope) = self.hosts[host].make_report(now, finish) {
+                    if let Some(transit) = self.hosts[host].offer(self.config.max_inflight) {
+                        let event = if transit.delivered {
+                            FleetEvent::Arrive {
+                                host,
+                                envelope: Box::new(envelope),
+                            }
+                        } else {
+                            FleetEvent::Lost { host }
+                        };
+                        sched.after(transit.delay, event);
+                    }
+                }
+            }
+            FleetEvent::Arrive { host, envelope } => {
+                self.hosts[host].release_inflight();
+                self.collector.receive(*envelope, now);
+            }
+            FleetEvent::Lost { host } => {
+                self.hosts[host].release_inflight();
+            }
+        }
+    }
+}
+
+/// A completed fleet run: the collector's state plus per-host ground
+/// truth, ready to roll up at any worker count.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// The configuration that produced the run.
+    pub config: FleetConfig,
+    /// The collector, with whatever the channel let through.
+    pub collector: Collector,
+    /// Ground-truth accounting per host, in host-id order.
+    pub truth: Vec<HostTruth>,
+    /// The measurement horizon.
+    pub horizon: Nanos,
+}
+
+impl FleetRun {
+    /// Rolls the fleet up on `jobs` workers and attaches the ground-truth
+    /// accounting. Bitwise identical for any `jobs`.
+    pub fn rollup(&self, jobs: usize) -> FleetRollup {
+        let mut rollup = self
+            .collector
+            .rollup(jobs, self.config.shards, self.config.top_k);
+        rollup.accounting = self.accounting_with(rollup.accounting);
+        rollup
+    }
+
+    fn accounting_with(&self, collector_side: Accounting) -> Accounting {
+        let mut acc = collector_side;
+        for t in &self.truth {
+            acc.produced += t.produced;
+            acc.shed += t.shed;
+            acc.offered += t.offered;
+            acc.channel_delivered += t.delivered;
+            acc.channel_dropped += t.dropped;
+        }
+        acc
+    }
+}
+
+/// Runs a fleet to completion: seeds every host stack, drives traffic,
+/// report ticks, and channel transits on one engine until the event queue
+/// drains (traffic stops at the horizon; every inflight report resolves).
+///
+/// # Errors
+///
+/// Returns the probe build error if the bytecode program fails to
+/// assemble or verify — a builder bug, not an input condition.
+pub fn run_fleet(config: &FleetConfig) -> Result<FleetRun, BuildError> {
+    let mut master = SimRng::seed_from_u64(config.seed);
+    let horizon = config.horizon();
+    let mut hosts = Vec::with_capacity(config.hosts);
+    let mut engine: Engine<FleetEvent> = Engine::new();
+
+    for id in 0..config.hosts {
+        let mut host = SimHost::new(config, id as u32, &mut master)?;
+        engine.schedule(host.first_request_at(), FleetEvent::Request { host: id });
+        // Report ticks sit just past each window boundary, staggered per
+        // host so collector arrivals do not all tie at the same instant.
+        let offset = Nanos::from_nanos(1_000_000 + 7_000 * id as u64);
+        for w in 0..config.windows {
+            let boundary = Nanos::from_nanos(config.window.as_nanos() * (w as u64 + 1));
+            engine.schedule(
+                boundary + offset,
+                FleetEvent::Tick {
+                    host: id,
+                    last: w + 1 == config.windows,
+                },
+            );
+        }
+        hosts.push(host);
+    }
+
+    let mut sim = FleetSim {
+        config: config.clone(),
+        hosts,
+        collector: Collector::new(config.hosts, config.shift, config.min_send_samples),
+        horizon,
+    };
+    engine.run(&mut sim);
+
+    Ok(FleetRun {
+        config: config.clone(),
+        collector: sim.collector,
+        truth: sim.hosts.iter().map(|h| h.truth).collect(),
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_run(loss: f64, seed: u64) -> FleetRun {
+        let mut config = FleetConfig::quick(6).with_loss(loss);
+        config.seed = seed;
+        match run_fleet(&config) {
+            Ok(run) => run,
+            Err(e) => panic!("fleet build failed: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn lossless_fleet_reports_everything() {
+        let run = quick_run(0.0, 7);
+        let rollup = run.rollup(1);
+        assert_eq!(rollup.silent_hosts, 0);
+        let acc = rollup.accounting;
+        assert_eq!(acc.channel_dropped, 0);
+        assert_eq!(acc.produced, acc.shed + acc.offered);
+        assert_eq!(acc.offered, acc.channel_delivered);
+        // Reordering can still discard late reports, but everything the
+        // channel delivered reached the collector.
+        assert_eq!(acc.accepted + acc.stale, acc.channel_delivered);
+        // Every host produced one report per window.
+        assert!(acc.produced >= run.config.windows as u64 * run.config.hosts as u64 / 2);
+    }
+
+    #[test]
+    fn fleet_rps_approximates_offered_load() {
+        let run = quick_run(0.0, 11);
+        let rollup = run.rollup(1);
+        let offered = run.config.per_host_rps * run.config.hosts as f64;
+        let err = (rollup.fleet_rps - offered).abs() / offered;
+        assert!(
+            err < 0.05,
+            "fleet rps {} vs offered {offered} (err {err})",
+            rollup.fleet_rps
+        );
+    }
+
+    #[test]
+    fn hot_hosts_rank_top_of_saturation_topk() {
+        let run = quick_run(0.0, 13);
+        let rollup = run.rollup(1);
+        let hot = run.config.hot_hosts;
+        assert!(hot >= 1);
+        // The hot hosts (ids < hot_hosts) outrank every cold host.
+        for row in rollup.top_saturated.iter().take(hot) {
+            assert!(
+                (row.host as usize) < hot,
+                "expected a hot host on top, got {row:?}"
+            );
+            assert!(row.saturated, "hot host not flagged: {row:?}");
+        }
+    }
+
+    #[test]
+    fn lossy_channel_is_accounted_not_silent() {
+        let run = quick_run(0.3, 17);
+        let rollup = run.rollup(1);
+        let acc = rollup.accounting;
+        assert!(acc.channel_dropped > 0, "30% loss must drop something");
+        assert_eq!(acc.produced, acc.shed + acc.offered);
+        assert_eq!(acc.offered, acc.channel_delivered + acc.channel_dropped);
+        assert_eq!(acc.accepted + acc.stale, acc.channel_delivered);
+        // Collector-inferred gaps see at least the outright drops that
+        // were followed by a later acceptance.
+        assert!(acc.gaps > 0);
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let a = quick_run(0.2, 23).rollup(4);
+        let b = quick_run(0.2, 23).rollup(4);
+        assert_eq!(a, b);
+    }
+}

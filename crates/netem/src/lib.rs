@@ -145,15 +145,30 @@ pub struct Transit {
     pub transmissions: u32,
 }
 
+/// Outcome of one unreliable (datagram) transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatagramTransit {
+    /// One-way transit time. For a dropped datagram this is when the loss
+    /// resolves at the link (useful to release sender-side inflight
+    /// budget deterministically); nothing arrives at the receiver.
+    pub delay: Nanos,
+    /// Whether the datagram arrived.
+    pub delivered: bool,
+}
+
 /// Aggregate link statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Messages offered to the link.
     pub offered: u64,
-    /// Messages delivered (equals `offered`: delivery is eventual).
+    /// Messages delivered. For the reliable [`NetemLink::send`] path this
+    /// equals `offered` (delivery is eventual); datagrams sent with
+    /// [`NetemLink::send_datagram`] may instead count into `dropped`.
     pub delivered: u64,
-    /// Transmissions lost and retransmitted.
+    /// Transmissions lost and retransmitted (reliable path only).
     pub retransmissions: u64,
+    /// Datagrams lost outright (unreliable path only).
+    pub dropped: u64,
 }
 
 /// One direction of an emulated network path.
@@ -251,6 +266,29 @@ impl NetemLink {
         Transit {
             delay: elapsed + self.one_way(rng),
             transmissions,
+        }
+    }
+
+    /// Sends one message with **no** retransmission — UDP-style datagram
+    /// semantics for control-plane traffic that tolerates loss (e.g. the
+    /// fleet report channel, whose cumulative payloads make any later
+    /// report subsume a lost one). A single transmission attempt either
+    /// arrives after the one-way delay (plus jitter) or is dropped and
+    /// counted in [`LinkStats::dropped`]. Jitter reorders: two datagrams
+    /// sent back-to-back may arrive out of order, which is why receivers
+    /// must sequence-check.
+    pub fn send_datagram(&mut self, rng: &mut SimRng) -> DatagramTransit {
+        self.stats.offered += 1;
+        let lost = self.transmission_lost(rng);
+        let delay = self.one_way(rng);
+        if lost {
+            self.stats.dropped += 1;
+        } else {
+            self.stats.delivered += 1;
+        }
+        DatagramTransit {
+            delay,
+            delivered: !lost,
         }
     }
 }
@@ -393,6 +431,37 @@ mod tests {
         assert_eq!(cfg.loss.steady_state_loss(), 0.01);
         let zero = NetemConfig::impaired(Nanos::ZERO, 0.0);
         assert_eq!(zero.loss, LossModel::None);
+    }
+
+    #[test]
+    fn datagrams_drop_instead_of_retransmitting() {
+        let mut cfg = NetemConfig::ideal();
+        cfg.loss = LossModel::Bernoulli { p: 0.2 };
+        let mut link = NetemLink::new(cfg);
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 50_000u64;
+        for _ in 0..n {
+            link.send_datagram(&mut rng);
+        }
+        let stats = link.stats();
+        assert_eq!(stats.offered, n);
+        assert_eq!(stats.delivered + stats.dropped, n);
+        assert_eq!(stats.retransmissions, 0);
+        let rate = stats.dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "drop rate {rate}, expected ≈ 0.2");
+    }
+
+    #[test]
+    fn ideal_datagrams_all_arrive_instantly() {
+        let mut link = NetemLink::new(NetemConfig::ideal());
+        let mut rng = SimRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let t = link.send_datagram(&mut rng);
+            assert!(t.delivered);
+            assert_eq!(t.delay, Nanos::ZERO);
+        }
+        assert_eq!(link.stats().dropped, 0);
+        assert_eq!(link.stats().delivered, 100);
     }
 
     #[test]

@@ -98,6 +98,60 @@ fn steady_state_loss_is_a_probability() {
     );
 }
 
+/// Determinism of the control channel: a seeded channel applied twice to
+/// the same event stream yields identical per-message delivery times and
+/// an identical drop set — the prerequisite trust for routing fleet
+/// reports through netem. Exercises jitter (reordering source), both loss
+/// models, and the unreliable datagram path's stats.
+#[test]
+fn seeded_channel_replays_identically() {
+    kscope_testkit::check!(
+        Config::cases(128),
+        |rng: &mut SimRng| {
+            (
+                gen::u64_any(rng),
+                gen::u64_in(rng, 0, 9_999),
+                gen::f64_in(rng, 0.0, 0.5),
+                gen::bool_any(rng),
+                gen::usize_in(rng, 1, 300),
+            )
+        },
+        |&(seed, delay_us, loss, bursty, n): &(u64, u64, f64, bool, usize)| {
+            let mut cfg = NetemConfig::impaired(Nanos::from_micros(delay_us), loss);
+            if bursty && loss > 0.0 {
+                cfg.loss = LossModel::GilbertElliott {
+                    p_good_to_bad: loss / 2.0,
+                    p_bad_to_good: 0.3,
+                    loss_good: loss / 4.0,
+                    loss_bad: 0.9,
+                };
+            }
+            let replay = |cfg: &NetemConfig| {
+                let mut link = NetemLink::new(cfg.clone());
+                let mut rng = SimRng::seed_from_u64(seed);
+                // (delivery time | None for dropped) per message, i.e. the
+                // delivery schedule and the drop set in one sequence.
+                let schedule: Vec<Option<Nanos>> = (0..n)
+                    .map(|_| {
+                        let t = link.send_datagram(&mut rng);
+                        t.delivered.then_some(t.delay)
+                    })
+                    .collect();
+                (schedule, *link.stats())
+            };
+            let (sched_a, stats_a) = replay(&cfg);
+            let (sched_b, stats_b) = replay(&cfg);
+            assert_eq!(sched_a, sched_b);
+            assert_eq!(stats_a, stats_b);
+            assert_eq!(
+                stats_a.delivered + stats_a.dropped,
+                n as u64,
+                "every datagram is either delivered or counted dropped"
+            );
+        }
+    );
+}
+
 /// Determinism: identical seeds produce identical transit sequences.
 #[test]
 fn links_are_deterministic() {

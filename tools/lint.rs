@@ -12,8 +12,9 @@
 //!   happen; everything else propagates an error.
 //! * `dbg!(` and `todo!(` are banned everywhere under `src/`, including
 //!   test modules — they are debugging residue, not shipping code.
-//! * `.to_vec()` and `.clone()` are banned in the interpreter/map
-//!   hot-path modules (`crates/ebpf/src/{interp,decode,maps}.rs`): the
+//! * `.to_vec()` and `.clone()` are banned in the interpreter/map/stream
+//!   hot-path modules (`crates/ebpf/src/{interp,decode,maps}.rs` and
+//!   `crates/core/src/streaming.rs`): the
 //!   per-event path is allocation-free by measurement
 //!   (`hot_path_allocs_per_event` in `BENCH_baseline.json`), and this
 //!   keeps it that way by construction. Deliberate off-path allocations
@@ -47,6 +48,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/ebpf/src/interp.rs",
     "crates/ebpf/src/decode.rs",
     "crates/ebpf/src/maps.rs",
+    "crates/core/src/streaming.rs",
 ];
 
 /// Allocation patterns banned in hot-path modules outside annotated cold
