@@ -183,6 +183,24 @@ impl BytecodeBackend {
         })
     }
 
+    /// Switches probe execution to the template JIT
+    /// ([`Vm::with_jit`]): verified programs run as native x86-64 with
+    /// verifier-proof bounds-check elision, falling back to the decoded
+    /// interpreter on unsupported programs or targets. Opting in never
+    /// changes observable behavior — the differential suite holds the
+    /// dispatchers bitwise-identical — only execution speed. The
+    /// `NS_PER_INSN` cost model is unchanged: modeled probe cost stays
+    /// comparable across dispatchers.
+    pub fn with_jit(mut self) -> BytecodeBackend {
+        self.vm = self.vm.with_jit();
+        self
+    }
+
+    /// True when probe execution goes through the JIT dispatcher.
+    pub fn uses_jit(&self) -> bool {
+        self.vm.uses_jit()
+    }
+
     /// The processes being observed.
     pub fn tgids(&self) -> &[Pid] {
         &self.tgids

@@ -187,15 +187,30 @@ impl std::error::Error for ExecError {}
 #[derive(Debug, Clone)]
 pub struct Vm {
     insn_budget: u64,
-    /// Dispatch on the pre-decoded representation (default) or the
-    /// raw instruction words (reference path for differential testing).
-    predecode: bool,
+    /// Which executor steps the program.
+    dispatch: Dispatch,
     /// Live map-value slots handed out by `map_lookup_elem`, reset per
     /// invocation; owned here so repeated invocations reuse the storage.
     slots: Vec<(MapFd, InlineKey)>,
     /// Reusable buffer for helper value transfers (`map_update_elem`
     /// payloads, ring-buffer records).
     scratch: Vec<u8>,
+}
+
+/// Executor selection. All three produce byte-identical [`ExecOutcome`]s;
+/// they differ only in speed (raw < decoded < JIT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dispatch {
+    /// Re-decode every raw instruction word per step (reference).
+    Raw,
+    /// Dispatch on the pre-decoded representation (default).
+    Decoded,
+    /// Native code compiled by [`crate::jit`], falling back to `Decoded`
+    /// when the program or platform is unsupported.
+    Jit {
+        /// Elide bounds checks the verifier proved redundant.
+        elide: bool,
+    },
 }
 
 impl Default for Vm {
@@ -205,23 +220,87 @@ impl Default for Vm {
 }
 
 /// The interpreter's view of memory: the regions registers may point into.
-struct Memory<'a> {
-    ctx: &'a [u8],
-    stack: [u8; STACK_SIZE],
-    maps: &'a mut MapRegistry,
+///
+/// `pub(crate)` so the JIT's trampolines execute loads, stores, and helper
+/// calls through the exact same code paths (and therefore the exact same
+/// fault shapes) as the interpreter.
+pub(crate) struct Memory<'a> {
+    pub(crate) ctx: &'a [u8],
+    pub(crate) stack: [u8; STACK_SIZE],
+    pub(crate) maps: &'a mut MapRegistry,
     /// Live map-value slots: `(fd, key)` resolved on each access so writes
     /// land in the registry directly.
-    slots: &'a mut Vec<(MapFd, InlineKey)>,
+    pub(crate) slots: &'a mut Vec<(MapFd, InlineKey)>,
 }
 
 impl Memory<'_> {
-    fn read(&mut self, pc: usize, addr: u64, size: usize) -> Result<u64, ExecError> {
+    pub(crate) fn read(&mut self, pc: usize, addr: u64, size: usize) -> Result<u64, ExecError> {
         let mut buf = [0u8; 8];
         self.read_bytes(pc, addr, &mut buf[..size])?;
         Ok(u64::from_le_bytes(buf))
     }
 
-    fn read_bytes(&mut self, pc: usize, addr: u64, out: &mut [u8]) -> Result<(), ExecError> {
+    /// Read for an access the verifier proved lands in a map value: skips
+    /// the region dispatch but keeps slot resolution (a looked-up value
+    /// may since have been deleted) with identical fault shapes.
+    pub(crate) fn read_map_value(
+        &mut self,
+        pc: usize,
+        addr: u64,
+        size: usize,
+    ) -> Result<u64, ExecError> {
+        let mut buf = [0u8; 8];
+        let bad = |size: usize| ExecError::BadMemAccess { pc, addr, size };
+        let slot = ((addr - MAP_SLOT_BASE) / MAP_SLOT_STRIDE) as usize;
+        let off = ((addr - MAP_SLOT_BASE) % MAP_SLOT_STRIDE) as usize;
+        let &(fd, key) = self.slots.get(slot).ok_or_else(|| bad(0))?;
+        let value = self
+            .maps
+            .lookup(fd, key.as_slice())
+            .ok()
+            .flatten()
+            .ok_or_else(|| bad(0))?;
+        let end = off.checked_add(size).ok_or_else(|| bad(size))?;
+        if end > value.len() {
+            return Err(bad(size));
+        }
+        buf[..size].copy_from_slice(&value[off..end]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Write counterpart of [`Memory::read_map_value`].
+    pub(crate) fn write_map_value(
+        &mut self,
+        pc: usize,
+        addr: u64,
+        size: usize,
+        value: u64,
+    ) -> Result<(), ExecError> {
+        let bytes = value.to_le_bytes();
+        let bad = || ExecError::BadMemAccess { pc, addr, size };
+        let slot = ((addr - MAP_SLOT_BASE) / MAP_SLOT_STRIDE) as usize;
+        let off = ((addr - MAP_SLOT_BASE) % MAP_SLOT_STRIDE) as usize;
+        let &(fd, key) = self.slots.get(slot).ok_or_else(bad)?;
+        let dest = self
+            .maps
+            .lookup_mut(fd, key.as_slice())
+            .ok()
+            .flatten()
+            .ok_or_else(bad)?;
+        let end = off.checked_add(size).ok_or_else(bad)?;
+        if end > dest.len() {
+            return Err(bad());
+        }
+        dest[off..end].copy_from_slice(&bytes[..size]);
+        Ok(())
+    }
+
+    pub(crate) fn read_bytes(
+        &mut self,
+        pc: usize,
+        addr: u64,
+        out: &mut [u8],
+    ) -> Result<(), ExecError> {
         let size = out.len();
         let bad = |size: usize| ExecError::BadMemAccess { pc, addr, size };
         if (CTX_BASE..STACK_BASE).contains(&addr) {
@@ -264,12 +343,23 @@ impl Memory<'_> {
         }
     }
 
-    fn write(&mut self, pc: usize, addr: u64, size: usize, value: u64) -> Result<(), ExecError> {
+    pub(crate) fn write(
+        &mut self,
+        pc: usize,
+        addr: u64,
+        size: usize,
+        value: u64,
+    ) -> Result<(), ExecError> {
         let bytes = value.to_le_bytes();
         self.write_bytes(pc, addr, &bytes[..size])
     }
 
-    fn write_bytes(&mut self, pc: usize, addr: u64, data: &[u8]) -> Result<(), ExecError> {
+    pub(crate) fn write_bytes(
+        &mut self,
+        pc: usize,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<(), ExecError> {
         let size = data.len();
         let bad = || ExecError::BadMemAccess { pc, addr, size };
         if (STACK_BASE..MAP_SLOT_BASE).contains(&addr) {
@@ -309,7 +399,7 @@ impl Vm {
     pub fn new() -> Vm {
         Vm {
             insn_budget: DEFAULT_INSN_BUDGET,
-            predecode: true,
+            dispatch: Dispatch::Decoded,
             slots: Vec::new(),
             scratch: Vec::new(),
         }
@@ -334,13 +424,37 @@ impl Vm {
     /// as the reference semantics the pre-decoded path is differentially
     /// tested against, and for debugging suspected decode bugs.
     pub fn with_raw_dispatch(mut self) -> Vm {
-        self.predecode = false;
+        self.dispatch = Dispatch::Raw;
         self
     }
 
-    /// True when this VM dispatches on the pre-decoded representation.
+    /// Switches this VM to JIT-compiled native code (with verifier-proof
+    /// bounds-check elision), falling back to the decoded interpreter for
+    /// programs or platforms the JIT declines — so opting in never
+    /// changes behavior, only speed.
+    pub fn with_jit(mut self) -> Vm {
+        self.dispatch = Dispatch::Jit { elide: true };
+        self
+    }
+
+    /// Keeps every runtime bounds check in JIT-compiled code, even those
+    /// the verifier proved redundant. No effect on the interpreter paths.
+    pub fn without_bounds_elision(mut self) -> Vm {
+        if let Dispatch::Jit { elide } = &mut self.dispatch {
+            *elide = false;
+        }
+        self
+    }
+
+    /// True when this VM dispatches on the pre-decoded representation
+    /// (directly, or as the JIT's fallback).
     pub fn uses_predecode(&self) -> bool {
-        self.predecode
+        self.dispatch != Dispatch::Raw
+    }
+
+    /// True when this VM attempts JIT execution.
+    pub fn uses_jit(&self) -> bool {
+        matches!(self.dispatch, Dispatch::Jit { .. })
     }
 
     /// Runs one invocation of `program`.
@@ -364,7 +478,7 @@ impl Vm {
         self.slots.clear();
         let Vm {
             insn_budget,
-            predecode,
+            dispatch,
             slots,
             scratch,
         } = self;
@@ -374,10 +488,24 @@ impl Vm {
             maps,
             slots,
         };
-        if *predecode {
-            run_decoded(*insn_budget, program, &mut mem, scratch, env)
-        } else {
-            run_raw(*insn_budget, program, &mut mem, scratch, env)
+        match *dispatch {
+            Dispatch::Raw => run_raw(*insn_budget, program, &mut mem, scratch, env),
+            Dispatch::Decoded => run_decoded(*insn_budget, program, &mut mem, scratch, env),
+            Dispatch::Jit { elide } => {
+                // Compile lazily (cached on the Program). Elided code is
+                // only sound when the runtime context is at least as long
+                // as the one the program was verified against; otherwise
+                // use the fully-checked compilation.
+                let jit = match program.jit_for(elide) {
+                    Some(j) if elide && ctx.len() < j.min_ctx_len() => program.jit_for(false),
+                    other => other,
+                };
+                match jit {
+                    Some(j) => crate::jit::run(j, *insn_budget, &mut mem, scratch, env),
+                    // Unsupported program or platform: graceful fallback.
+                    None => run_decoded(*insn_budget, program, &mut mem, scratch, env),
+                }
+            }
         }
     }
 }
@@ -637,7 +765,7 @@ fn run_raw(
 /// [`MAX_KEY_SIZE`]); value payloads go through the `Vm`-owned `scratch`
 /// buffer, so in steady state no helper on the probe path allocates.
 #[allow(clippy::too_many_arguments)]
-fn call_helper(
+pub(crate) fn call_helper(
     pc: usize,
     helper: Helper,
     regs: &mut [u64; REG_COUNT],

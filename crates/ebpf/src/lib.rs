@@ -22,6 +22,9 @@
 //!   and a [`verifier::VerifierReport`] collecting every error with
 //!   register dumps plus unreachable/dead-store warnings;
 //! * [`interp::Vm`] — the interpreter with tagged address regions;
+//! * [`jit`] — a template JIT compiling verified programs to native
+//!   x86-64 (opt in via [`interp::Vm::with_jit`]; falls back to the
+//!   interpreter on unsupported programs or targets);
 //! * [`maps::MapRegistry`] — hash/array/ringbuf maps shared with userspace;
 //! * [`helpers::Helper`] — Linux-numbered kernel helpers
 //!   (`bpf_ktime_get_ns` = 5, `bpf_get_current_pid_tgid` = 14, …).
@@ -50,7 +53,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the JIT module — machine-code emission,
+// executable mappings, and C-ABI trampolines — can opt in explicitly;
+// every other module stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -59,6 +65,8 @@ pub mod decode;
 pub mod helpers;
 pub mod insn;
 pub mod interp;
+#[allow(unsafe_code)]
+pub mod jit;
 pub mod maps;
 pub mod program;
 pub mod text;
@@ -74,5 +82,6 @@ pub use program::Program;
 pub use text::parse_program;
 pub use tnum::Tnum;
 pub use verifier::{
-    Diagnostic, Verifier, VerifierConfig, VerifierReport, VerifyError, VerifyWarning,
+    AccessProofs, Diagnostic, ProvenRegion, Verifier, VerifierConfig, VerifierReport, VerifyError,
+    VerifyWarning,
 };

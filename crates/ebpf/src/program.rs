@@ -1,7 +1,11 @@
 //! Program container.
 
+use std::sync::OnceLock;
+
 use crate::decode::{decode_program, Decoded};
 use crate::insn::Insn;
+use crate::jit::JitProgram;
+use crate::verifier::AccessProofs;
 
 /// An assembled (but not yet verified) eBPF program.
 ///
@@ -13,14 +17,30 @@ use crate::insn::Insn;
 /// [`Decoded`] representation the interpreter's hot loop dispatches on, so
 /// the per-instruction field extraction cost is paid once per program load
 /// rather than once per executed instruction.
-#[derive(Debug, Clone)]
+///
+/// Verification attaches per-pc memory-access proofs
+/// ([`AccessProofs`]) as a side effect, and the first JIT execution
+/// compiles and caches native code; both are interior-mutable caches
+/// that do not participate in the program's identity.
+#[derive(Debug)]
 pub struct Program {
     name: String,
     insns: Vec<Insn>,
     decoded: Vec<Decoded>,
+    /// Verifier access proofs, attached by a successful value-tracking
+    /// verification. Write-once: the first verification wins (re-verifying
+    /// the same program yields the same proofs).
+    analysis: OnceLock<AccessProofs>,
+    /// Lazily compiled native code without bounds-check elision.
+    /// `None` inside means compilation was attempted and declined
+    /// (unsupported instruction or platform) — don't retry.
+    jit_plain: OnceLock<Option<JitProgram>>,
+    /// Lazily compiled native code with verifier-proof-driven elision.
+    jit_elided: OnceLock<Option<JitProgram>>,
 }
 
 // `decoded` is a pure function of `insns`; identity is (name, insns).
+// The analysis/JIT caches are derived state and excluded.
 impl PartialEq for Program {
     fn eq(&self, other: &Self) -> bool {
         self.name == other.name && self.insns == other.insns
@@ -28,6 +48,22 @@ impl PartialEq for Program {
 }
 
 impl Eq for Program {}
+
+impl Clone for Program {
+    fn clone(&self) -> Program {
+        Program {
+            name: self.name.clone(),
+            insns: self.insns.clone(),
+            decoded: self.decoded.clone(),
+            // Proofs are a pure function of (insns, verifier config) —
+            // carrying them over keeps elision available on clones.
+            analysis: self.analysis.clone(),
+            // Native code buffers are not cloneable; recompile on demand.
+            jit_plain: OnceLock::new(),
+            jit_elided: OnceLock::new(),
+        }
+    }
+}
 
 impl Program {
     /// Wraps a raw instruction sequence, pre-decoding it for execution.
@@ -37,6 +73,9 @@ impl Program {
             name: name.into(),
             insns,
             decoded,
+            analysis: OnceLock::new(),
+            jit_plain: OnceLock::new(),
+            jit_elided: OnceLock::new(),
         }
     }
 
@@ -63,6 +102,34 @@ impl Program {
     /// True for a program with no instructions.
     pub fn is_empty(&self) -> bool {
         self.insns.is_empty()
+    }
+
+    /// Access proofs attached by the most recent successful
+    /// value-tracking verification, if any.
+    pub fn access_proofs(&self) -> Option<&AccessProofs> {
+        self.analysis.get()
+    }
+
+    /// Records verifier access proofs (called by the verifier on a
+    /// successful value-tracking pass). First write wins.
+    pub(crate) fn attach_access_proofs(&self, proofs: AccessProofs) {
+        let _ = self.analysis.set(proofs);
+    }
+
+    /// The cached JIT compilation for this program, compiling on first
+    /// use. With `elide` set, bounds checks proven safe by the verifier's
+    /// value-tracking pass are omitted (a no-op unless
+    /// [`access_proofs`](Program::access_proofs) are attached). Returns
+    /// `None` when the program or platform is unsupported; callers fall
+    /// back to the decoded interpreter.
+    pub fn jit_for(&self, elide: bool) -> Option<&JitProgram> {
+        let cache = if elide { &self.jit_elided } else { &self.jit_plain };
+        cache
+            .get_or_init(|| {
+                let proofs = if elide { self.access_proofs() } else { None };
+                crate::jit::compile(&self.decoded, proofs)
+            })
+            .as_ref()
     }
 
     /// Renders a human-readable disassembly listing.
@@ -97,6 +164,16 @@ mod tests {
         assert_eq!(prog.name(), "p");
         assert_eq!(prog.len(), 2);
         assert!(!prog.is_empty());
+        assert!(prog.access_proofs().is_none());
+    }
+
+    #[test]
+    fn clone_carries_proofs_but_not_native_code() {
+        let prog = Program::new("p", vec![Insn::mov64_imm(R0, 0), Insn::exit()]);
+        prog.attach_access_proofs(AccessProofs::empty_for_len(2, 64));
+        let cloned = prog.clone();
+        assert!(cloned.access_proofs().is_some());
+        assert_eq!(prog, cloned);
     }
 
     #[test]

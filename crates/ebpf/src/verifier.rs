@@ -1260,6 +1260,81 @@ struct AccessLog {
     /// An exact-offset stack store: `(abs_start, size)`. Register-offset
     /// stores are not candidates (they may write anywhere in a window).
     store: Option<(usize, usize)>,
+    /// Region this pc's memory access was proven to stay inside, if the
+    /// bounds check on the *joined* abstract state succeeded. Consumed by
+    /// the JIT's bounds-check elision.
+    proven: Option<ProvenRegion>,
+}
+
+/// Memory region a load/store was proven to stay inside by the
+/// value-tracking pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvenRegion {
+    /// Read-only context, in-bounds of the configured
+    /// [`VerifierConfig::ctx_size`].
+    Ctx,
+    /// The 512-byte stack window.
+    Stack,
+    /// A non-null map value, in-bounds of the map's value size at
+    /// verification time.
+    MapValue,
+}
+
+/// Per-pc bounds proofs exported by a successful value-tracking run.
+///
+/// The verifier steps every reachable pc exactly once, on the join of all
+/// abstract states reaching it (the CFG is a forward DAG walked in pc
+/// order), so a proof recorded at a pc holds on *every* execution path.
+/// The JIT uses these proofs to elide the runtime region dispatch and
+/// bounds checks for stack and context accesses; unproven pcs keep the
+/// full checked path. Proofs are attached to the verified
+/// [`Program`] and only produced when
+/// [`VerifierConfig::value_tracking`] is enabled — disabling it forces
+/// every check back in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessProofs {
+    /// One entry per instruction slot.
+    proofs: Vec<Option<ProvenRegion>>,
+    /// Minimum runtime context length for which the `Ctx` proofs hold
+    /// (the `ctx_size` the program was verified against). Executing with
+    /// a shorter context must fall back to the checked path.
+    min_ctx_len: usize,
+}
+
+impl AccessProofs {
+    /// The proof recorded for `pc`, if any.
+    pub fn proven(&self, pc: usize) -> Option<ProvenRegion> {
+        self.proofs.get(pc).copied().flatten()
+    }
+
+    /// Minimum runtime context length for which `Ctx` proofs are sound.
+    pub fn min_ctx_len(&self) -> usize {
+        self.min_ctx_len
+    }
+
+    /// Number of instruction slots with a recorded proof.
+    pub fn proven_count(&self) -> usize {
+        self.proofs.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Number of instruction slots covered (proved or not).
+    pub fn len(&self) -> usize {
+        self.proofs.len()
+    }
+
+    /// True when no slots are covered.
+    pub fn is_empty(&self) -> bool {
+        self.proofs.is_empty()
+    }
+
+    /// An all-`None` proof table (nothing elidable) covering `len` slots.
+    #[cfg(test)]
+    pub(crate) fn empty_for_len(len: usize, min_ctx_len: usize) -> AccessProofs {
+        AccessProofs {
+            proofs: vec![None; len],
+            min_ctx_len,
+        }
+    }
 }
 
 /// A 512-bit set of live stack bytes.
@@ -1513,6 +1588,18 @@ impl Verifier {
             report
                 .warnings
                 .extend(dead_store_warnings(insns, &is_ld_dw_hi, &reachable, &logs));
+            // Publish per-pc access proofs for the JIT's bounds-check
+            // elision. Sound because the walk above steps each pc exactly
+            // once, on the join of every inbound path's state: a region
+            // proof recorded there holds on all executions. Gated on
+            // value tracking — without it the ranges that justify the
+            // proofs were never computed.
+            if self.config.value_tracking {
+                program.attach_access_proofs(AccessProofs {
+                    proofs: logs.iter().map(|l| l.proven).collect(),
+                    min_ctx_len: self.config.ctx_size,
+                });
+            }
         }
         report
     }
@@ -1616,12 +1703,14 @@ impl Verifier {
                         size,
                     });
                 }
+                log.proven = Some(ProvenRegion::Ctx);
                 Ok(RegType::scalar())
             }
             RegType::PtrStack { lo, hi } => {
                 let start_lo = lo.saturating_add(insn_off);
                 let start_hi = hi.saturating_add(insn_off);
                 check_stack_window(pc, start_lo, start_hi, size)?;
+                log.proven = Some(ProvenRegion::Stack);
                 let abs_lo = (start_lo + STACK_SIZE as i64) as usize;
                 let abs_hi = (start_hi + STACK_SIZE as i64) as usize;
                 log.reads.push((abs_lo, abs_hi - abs_lo + size));
@@ -1663,6 +1752,7 @@ impl Verifier {
                         size,
                     });
                 }
+                log.proven = Some(ProvenRegion::MapValue);
                 Ok(RegType::scalar())
             }
             _ => Err(VerifyError::PointerArith { pc }),
@@ -1686,6 +1776,7 @@ impl Verifier {
                 let start_lo = lo.saturating_add(insn_off);
                 let start_hi = hi.saturating_add(insn_off);
                 check_stack_window(pc, start_lo, start_hi, size)?;
+                log.proven = Some(ProvenRegion::Stack);
                 let abs_lo = (start_lo + STACK_SIZE as i64) as usize;
                 let abs_hi = (start_hi + STACK_SIZE as i64) as usize;
                 if start_lo == start_hi {
@@ -1744,6 +1835,7 @@ impl Verifier {
                 if !matches!(src_type, RegType::Scalar(_)) {
                     return Err(VerifyError::PointerArith { pc });
                 }
+                log.proven = Some(ProvenRegion::MapValue);
                 Ok(())
             }
             _ => Err(VerifyError::PointerArith { pc }),

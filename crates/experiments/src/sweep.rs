@@ -18,6 +18,9 @@ pub enum BackendKind {
     Native,
     /// Verified eBPF bytecode run in the interpreter.
     Bytecode,
+    /// Verified eBPF bytecode JIT-compiled to native machine code
+    /// (falls back to the interpreter on unsupported targets).
+    BytecodeJit,
 }
 
 /// Sweep parameters.
@@ -195,11 +198,14 @@ pub fn run_level(spec: &WorkloadSpec, offered_rps: f64, config: &SweepConfig, se
                 NativeBackend::new_multi(pids, sim.spec().profile.clone(), shift),
                 window,
             )),
-            BackendKind::Bytecode => Box::new(WindowedObserver::new(
-                BytecodeBackend::new_multi(pids, sim.spec().profile.clone(), shift)
-                    .unwrap_or_else(|e| panic!("generated probe programs must verify: {e}")),
-                window,
-            )),
+            BackendKind::Bytecode | BackendKind::BytecodeJit => {
+                let mut probe = BytecodeBackend::new_multi(pids, sim.spec().profile.clone(), shift)
+                    .unwrap_or_else(|e| panic!("generated probe programs must verify: {e}"));
+                if backend == BackendKind::BytecodeJit {
+                    probe = probe.with_jit();
+                }
+                Box::new(WindowedObserver::new(probe, window))
+            }
         };
         vec![probe]
     });
@@ -221,7 +227,7 @@ pub fn run_level(spec: &WorkloadSpec, offered_rps: f64, config: &SweepConfig, se
             observer.finish(outcome.end);
             observer.windows().to_vec()
         }
-        BackendKind::Bytecode => {
+        BackendKind::Bytecode | BackendKind::BytecodeJit => {
             let observer = match probe
                 .as_any_mut()
                 .downcast_mut::<WindowedObserver<BytecodeBackend>>()

@@ -41,6 +41,11 @@ pub struct FleetConfig {
     /// Minimum send samples per window for the Eq. 1 / Eq. 2 estimators
     /// (the paper's 2048-sample guidance scaled to simulated windows).
     pub min_send_samples: u64,
+    /// Run each host's probe through the template JIT instead of the
+    /// decoded interpreter (identical observable behavior, held by the
+    /// differential suite; falls back to the interpreter on unsupported
+    /// targets).
+    pub jit_probes: bool,
 }
 
 impl FleetConfig {
@@ -61,6 +66,7 @@ impl FleetConfig {
             shards: 8,
             top_k: 3,
             min_send_samples: 64,
+            jit_probes: false,
         }
     }
 
@@ -88,6 +94,12 @@ impl FleetConfig {
     /// Replaces the control channel with the preset at `loss`.
     pub fn with_loss(mut self, loss: f64) -> FleetConfig {
         self.channel = FleetConfig::control_channel(loss);
+        self
+    }
+
+    /// Opts every host's probe into JIT execution.
+    pub fn with_jit_probes(mut self) -> FleetConfig {
+        self.jit_probes = true;
         self
     }
 

@@ -109,8 +109,11 @@ impl SimHost {
         master: &mut SimRng,
     ) -> Result<SimHost, kscope_core::BuildError> {
         let pid: Pid = 1_000 + id;
-        let backend =
+        let mut backend =
             BytecodeBackend::new_with_histogram(pid, SyscallProfile::data_caching(), config.shift)?;
+        if config.jit_probes {
+            backend = backend.with_jit();
+        }
         let observer = WindowedObserver::new(backend, config.window);
         let mut kernel = Kernel::for_host(HostSpec::amd_epyc_7302(), SchedConfig::default());
         let probe = kernel.tracing.attach(Box::new(observer));

@@ -1,44 +1,65 @@
-//! Differential identity of the two interpreter dispatchers.
+//! Differential identity of every VM dispatcher: raw, decoded, and JIT.
 //!
-//! The VM executes programs either from the pre-decoded representation
-//! (`Vm::new()`, the hot path) or by re-decoding raw instruction words on
+//! The VM executes programs from the pre-decoded representation
+//! (`Vm::new()`, the hot path), by re-decoding raw instruction words on
 //! every step (`Vm::new().with_raw_dispatch()`, the reference kept
-//! verbatim from the original interpreter). The tests here hold the two
-//! byte-for-byte equal — same `ExecOutcome` (return value, instruction
-//! count, trace output) or same `ExecError`, same final map state, same
-//! final helper environment — across:
+//! verbatim from the original interpreter), or as native x86-64 machine
+//! code (`Vm::new().with_jit()`, with and without verifier-proof-driven
+//! bounds-check elision). The tests here hold all of them byte-for-byte
+//! equal — same `ExecOutcome` (return value, instruction count, trace
+//! output) or same `ExecError`, same final map state, same final helper
+//! environment — across:
 //!
-//! * ≥1200 generated programs: arbitrary fuzz bodies, straight-line ALU,
+//! * ≥2000 generated programs: arbitrary fuzz bodies, straight-line ALU,
 //!   structured verified programs, bounds-clamped register-offset
 //!   programs with live map traffic, and fully wild instruction words
 //!   (random opcode bytes, including undefined classes, truncated
 //!   `ld_dw` pairs, and jumps into `ld_dw` hi slots);
+//! * a seed-addressed `check!` fuzzer whose failures shrink to a minimal
+//!   diverging instruction sequence and print a `KSCOPE_TESTKIT_SEED`
+//!   repro command;
+//! * a directed corpus of JIT edge cases: immediate sign-extension,
+//!   32-bit wraparound, fused `ld_dw` slots (including jumps into the hi
+//!   slot), budget exhaustion mid-block, div/mod by zero in all four
+//!   width/operand forms, shift-count masking, and callee-saved register
+//!   survival across helper calls;
 //! * tiny instruction budgets, so `BudgetExhausted` fires at the same
-//!   instruction on both paths;
+//!   instruction on every path;
 //! * a hand-written program exercising every helper the VM implements;
-//! * every committed precision fixture;
+//! * every committed precision fixture, *verified first* so the elided
+//!   JIT actually runs with bounds checks removed;
 //! * the real `BytecodeBackend` enter/exit probe programs, run as a
 //!   stateful event stream over persistent map registries.
+//!
+//! On targets without JIT support the JIT arms fall back to the decoded
+//! interpreter inside `Vm::execute`, so the identity still holds (and
+//! still checks raw vs decoded); the `is_compilable` assertions are
+//! gated to x86-64.
 
 use kscope_core::BytecodeBackend;
 use kscope_ebpf::asm::Asm;
 use kscope_ebpf::helpers::Helper;
-use kscope_ebpf::insn::{Insn, SZ_DW};
+use kscope_ebpf::insn::{
+    Insn, OP_ADD, OP_ARSH, OP_DIV, OP_JEQ, OP_JGT, OP_JSET, OP_JSGT, OP_JSLT, OP_LSH, OP_MOD,
+    OP_MOV, OP_MUL, OP_NEG, OP_RSH, SZ_B, SZ_DW, SZ_H, SZ_W,
+};
 use kscope_ebpf::interp::{ExecEnv, Vm};
 use kscope_ebpf::maps::{MapDef, MapRegistry};
 use kscope_ebpf::text::parse_program;
+use kscope_ebpf::verifier::Verifier;
 use kscope_ebpf::Program;
 use kscope_simcore::SimRng;
 use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile};
 use kscope_testkit::ebpf_gen::{
     bounded_offset_program, fuzz_program, straightline_program, valid_program,
 };
-use kscope_testkit::{gen, Config};
+use kscope_testkit::{check, gen, Config};
 
-/// Runs `prog` through both dispatchers from identical starting states
-/// and asserts the observable results are equal: the `Result` itself
-/// (outcome or error), the mutated helper environment, and the full map
-/// registry state.
+/// Runs `prog` through all four dispatchers from identical starting
+/// states and asserts the observable results are equal: the `Result`
+/// itself (outcome or error), the mutated helper environment, and the
+/// full map registry state. The decoded interpreter is the pivot; raw,
+/// JIT-with-elision, and JIT-without-elision are each held to it.
 fn assert_dispatch_identical(
     label: &str,
     prog: &Program,
@@ -53,30 +74,42 @@ fn assert_dispatch_identical(
     };
     let mut vm_decoded = make_vm();
     let mut vm_raw = make_vm().with_raw_dispatch();
+    let mut vm_jit = make_vm().with_jit();
+    let mut vm_jit_checked = make_vm().with_jit().without_bounds_elision();
     assert!(vm_decoded.uses_predecode());
     assert!(!vm_raw.uses_predecode());
+    assert!(vm_jit.uses_jit());
+    assert!(vm_jit_checked.uses_jit());
 
     let mut maps_decoded = base.clone();
-    let mut maps_raw = base.clone();
     let mut env_decoded = env;
-    let mut env_raw = env;
-
     let decoded = vm_decoded.execute(prog, ctx, &mut maps_decoded, &mut env_decoded);
-    let raw = vm_raw.execute(prog, ctx, &mut maps_raw, &mut env_raw);
 
-    assert_eq!(
-        decoded,
-        raw,
-        "{label}: dispatch outcomes diverge\n{}",
-        prog.disassemble()
-    );
-    assert_eq!(env_decoded, env_raw, "{label}: helper env diverges");
-    assert_eq!(
-        format!("{maps_decoded:?}"),
-        format!("{maps_raw:?}"),
-        "{label}: map state diverges\n{}",
-        prog.disassemble()
-    );
+    for (arm, vm) in [
+        ("raw", &mut vm_raw),
+        ("jit", &mut vm_jit),
+        ("jit-no-elide", &mut vm_jit_checked),
+    ] {
+        let mut maps_other = base.clone();
+        let mut env_other = env;
+        let other = vm.execute(prog, ctx, &mut maps_other, &mut env_other);
+        assert_eq!(
+            decoded,
+            other,
+            "{label}: decoded vs {arm} outcomes diverge\n{}",
+            prog.disassemble()
+        );
+        assert_eq!(
+            env_decoded, env_other,
+            "{label}: decoded vs {arm} helper env diverges"
+        );
+        assert_eq!(
+            format!("{maps_decoded:?}"),
+            format!("{maps_other:?}"),
+            "{label}: decoded vs {arm} map state diverges\n{}",
+            prog.disassemble()
+        );
+    }
 }
 
 /// A completely unconstrained instruction word, except that register
@@ -117,12 +150,12 @@ fn random_env(rng: &mut SimRng) -> ExecEnv {
     }
 }
 
-/// 1200 generated programs (five families, 240 each) execute identically
-/// on both dispatchers, map traffic and helper state included.
+/// 2000 generated programs (five families, 400 each) execute identically
+/// on all dispatchers, map traffic and helper state included.
 #[test]
 fn generated_programs_execute_identically() {
     let mut rng = SimRng::seed_from_u64(Config::default().seed ^ 0xDEC0DE);
-    for i in 0..1200 {
+    for i in 0..2000 {
         let mut base = MapRegistry::new();
         base.create("h", MapDef::hash(8, 8, 64));
         let vals = base.create("vals", MapDef::array(128, 1));
@@ -139,10 +172,338 @@ fn generated_programs_execute_identically() {
     }
 }
 
-/// Budget exhaustion fires on the same instruction for both paths:
+/// Seed-addressed fuzzing with shrinking: any diverging wild instruction
+/// sequence shrinks to a minimal counterexample and prints a
+/// `KSCOPE_TESTKIT_SEED` repro command. The generated value is the raw
+/// `Vec<Insn>` (not the wrapped `Program`), so the harness's vector
+/// shrinker can drop and simplify individual instructions.
+#[test]
+fn shrinking_fuzzer_finds_no_divergence() {
+    check!(
+        Config::cases(600),
+        |rng: &mut SimRng| {
+            let body = gen::usize_in(rng, 1, 16);
+            let insns: Vec<Insn> = (0..body).map(|_| wild_insn(rng)).collect();
+            let ctx = random_ctx(rng);
+            let env = random_env(rng);
+            (insns, ctx.to_vec(), env.ktime_ns, env.pid_tgid)
+        },
+        |(insns, ctx, ktime_ns, pid_tgid)| {
+            let mut base = MapRegistry::new();
+            base.create("h", MapDef::hash(8, 8, 64));
+            base.create("vals", MapDef::array(128, 1));
+            let prog = Program::new("shrunk", insns.clone());
+            let env = ExecEnv {
+                ktime_ns: *ktime_ns,
+                pid_tgid: *pid_tgid,
+                prandom_state: 1,
+            };
+            assert_dispatch_identical("shrinking-fuzzer", &prog, ctx, &base, env, None);
+        },
+    );
+}
+
+/// Directed corpus of JIT edge cases, each swept across tiny budgets so
+/// exhaustion also lands mid-sequence. Every program is a known sharp
+/// corner of the template JIT: immediate sign-extension boundaries,
+/// 32-bit wraparound and zero-extension, fused `ld_dw` slots, div/mod by
+/// zero in all width/operand forms, shift-count masking, and the
+/// callee-saved register spill discipline around helper trampolines.
+#[test]
+fn directed_jit_edge_cases_execute_identically() {
+    fn asm_or_panic(asm: Asm) -> Program {
+        asm.assemble()
+            .unwrap_or_else(|e| panic!("directed program must assemble: {e}"))
+    }
+
+    let corpus: Vec<(&str, Program)> = vec![
+        (
+            "imm-sign-extension",
+            asm_or_panic(
+                Asm::new("imm_sext")
+                    .mov64_imm(0, -1)
+                    .add64_imm(0, i32::MIN)
+                    .insn(Insn::alu64_imm(OP_MUL, 0, -1))
+                    .insn(Insn::alu32_imm(OP_MUL, 0, -1))
+                    .and64_imm(0, i32::MIN)
+                    .exit(),
+            ),
+        ),
+        (
+            "jmp-vs-jmp32-negative-imm",
+            // r6 = 0xFFFF_FFFF: equals -1 under JMP32 (32-bit compare of
+            // the truncated imm) but not under JMP (full 64-bit compare
+            // of the sign-extended imm).
+            asm_or_panic(
+                Asm::new("jmp_widths")
+                    .mov64_imm(0, 0)
+                    .ld_dw(6, 0xFFFF_FFFF)
+                    .insn(Insn::jmp32_imm(OP_JEQ, 6, -1, 1))
+                    .exit()
+                    .mov64_imm(0, 1)
+                    .insn(Insn::jmp_imm(OP_JEQ, 6, -1, 1))
+                    .exit()
+                    .mov64_imm(0, 2)
+                    .exit(),
+            ),
+        ),
+        (
+            "jmp32-ignores-high-bits",
+            asm_or_panic(
+                Asm::new("jmp32_high")
+                    .mov64_imm(0, 0)
+                    .ld_dw(6, 0xFFFF_FFFF_0000_0001)
+                    .insn(Insn::jmp32_imm(OP_JEQ, 6, 1, 1))
+                    .exit()
+                    .mov64_imm(7, 1)
+                    .insn(Insn::jmp32_reg(OP_JGT, 6, 7, 1))
+                    .mov64_imm(0, 40)
+                    .add64_imm(0, 2)
+                    .exit(),
+            ),
+        ),
+        (
+            "alu32-wraparound",
+            asm_or_panic(
+                Asm::new("wrap32")
+                    .insn(Insn::alu32_imm(OP_MOV, 6, -1)) // r6 = 0xFFFF_FFFF
+                    .insn(Insn::alu32_imm(OP_ADD, 6, 1)) // wraps to 0
+                    .mov64_imm(7, 0x7FFF_FFFF)
+                    .insn(Insn::alu32_imm(OP_ADD, 7, 1)) // 0x8000_0000, zero-extended
+                    .ld_dw(8, 0x1_0000_0001)
+                    .insn(Insn::alu32_reg(OP_MUL, 8, 8)) // 32-bit square of 1
+                    .mov64_reg(0, 6)
+                    .add64_reg(0, 7)
+                    .add64_reg(0, 8)
+                    .exit(),
+            ),
+        ),
+        (
+            "neg-both-widths",
+            asm_or_panic(
+                Asm::new("negs")
+                    .mov64_imm(6, 5)
+                    .insn(Insn::alu64_imm(OP_NEG, 6, 0))
+                    .mov64_imm(7, 5)
+                    .insn(Insn::alu32_imm(OP_NEG, 7, 0))
+                    .ld_dw(8, i64::MIN as u64)
+                    .insn(Insn::alu64_imm(OP_NEG, 8, 0))
+                    .mov64_reg(0, 6)
+                    .add64_reg(0, 7)
+                    .add64_reg(0, 8)
+                    .exit(),
+            ),
+        ),
+        (
+            "jump-into-ld-dw-hi-slot",
+            // `ja +1` lands on the hi slot of the following fused
+            // `ld_dw`; the decoded stream and the JIT must fault exactly
+            // like the raw interpreter does.
+            (
+                Program::new(
+                    "ld_dw_hi_jump",
+                    vec![
+                        Insn::mov64_imm(0, 7),
+                        Insn::ja(1),
+                        Insn::ld_dw_lo(6, 0xAABB_CCDD_EEFF_0011),
+                        Insn::ld_dw_hi(0xAABB_CCDD_EEFF_0011),
+                        Insn::exit(),
+                    ],
+                )
+            ),
+        ),
+        (
+            "truncated-ld-dw",
+            // Lone lo slot at the end of the program: MalformedLdDw on
+            // every dispatcher, at the same executed-instruction count.
+            Program::new(
+                "ld_dw_truncated",
+                vec![Insn::mov64_imm(0, 1), Insn::ld_dw_lo(6, 0x1234)],
+            ),
+        ),
+        (
+            "div-mod-by-zero-all-forms",
+            asm_or_panic(
+                Asm::new("divzero")
+                    .ld_dw(6, 0x1_2345_6789) // dividend with live high bits
+                    .mov64_imm(7, 0) // zero divisor register
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu64_reg(OP_DIV, 8, 7)) // 0
+                    .mov64_reg(0, 6)
+                    .insn(Insn::alu64_reg(OP_MOD, 0, 7)) // dividend
+                    .add64_reg(0, 8)
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu32_reg(OP_DIV, 8, 7)) // 0
+                    .add64_reg(0, 8)
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu32_reg(OP_MOD, 8, 7)) // dividend, truncated to 32 bits
+                    .add64_reg(0, 8)
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu64_imm(OP_DIV, 8, 0)) // constant-zero immediate forms
+                    .add64_reg(0, 8)
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu64_imm(OP_MOD, 8, 0))
+                    .add64_reg(0, 8)
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu32_imm(OP_DIV, 8, 0))
+                    .add64_reg(0, 8)
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu32_imm(OP_MOD, 8, 0))
+                    .add64_reg(0, 8)
+                    .exit(),
+            ),
+        ),
+        (
+            "nonzero-div-mod-signedness",
+            // DIV/MOD are unsigned in eBPF; a dividend with the sign bit
+            // set distinguishes `div` from `idiv` codegen.
+            asm_or_panic(
+                Asm::new("divsign")
+                    .ld_dw(6, 0x8000_0000_0000_0007)
+                    .mov64_imm(7, 3)
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu64_reg(OP_DIV, 8, 7))
+                    .mov64_reg(0, 6)
+                    .insn(Insn::alu64_reg(OP_MOD, 0, 7))
+                    .add64_reg(0, 8)
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu32_reg(OP_DIV, 8, 7))
+                    .add64_reg(0, 8)
+                    .mov64_reg(8, 6)
+                    .insn(Insn::alu32_imm(OP_MOD, 8, 3))
+                    .add64_reg(0, 8)
+                    .exit(),
+            ),
+        ),
+        (
+            "shift-count-masking",
+            // Register shift counts mask to the operand width (&63 /
+            // &31): 70 shifts a 64-bit value by 6, 33 shifts a 32-bit
+            // value by 1, and a 32-bit shift by 0 still truncates.
+            asm_or_panic(
+                Asm::new("shiftmask")
+                    .mov64_imm(6, 70)
+                    .mov64_imm(7, 33)
+                    .mov64_imm(8, 1)
+                    .insn(Insn::alu64_reg(OP_LSH, 8, 6))
+                    .ld_dw(0, 0x8000_0000_DEAD_BEEF)
+                    .insn(Insn::alu32_reg(OP_RSH, 0, 7))
+                    .add64_reg(0, 8)
+                    .ld_dw(8, 0x8000_0000_0000_0000)
+                    .insn(Insn::alu64_reg(OP_ARSH, 8, 7)) // arithmetic, by 33
+                    .add64_reg(0, 8)
+                    .insn(Insn::alu32_imm(OP_LSH, 0, 0)) // 32-bit shift by 0 still truncates
+                    .exit(),
+            ),
+        ),
+        (
+            "jset-and-signed-compares",
+            asm_or_panic(
+                Asm::new("jset_signed")
+                    .mov64_imm(0, 0)
+                    .ld_dw(6, 0xF000_0000_0000_0001)
+                    .insn(Insn::jmp_imm(OP_JSET, 6, 1, 1))
+                    .exit()
+                    .add64_imm(0, 1)
+                    .insn(Insn::jmp_imm(OP_JSGT, 6, -1, 1)) // r6 is negative signed
+                    .add64_imm(0, 2)
+                    .mov64_imm(7, -3)
+                    .insn(Insn::jmp_reg(OP_JSLT, 6, 7, 1))
+                    .exit()
+                    .add64_imm(0, 4)
+                    .exit(),
+            ),
+        ),
+        (
+            "stack-store-load-all-sizes",
+            asm_or_panic(
+                Asm::new("stack_sizes")
+                    .ld_dw(6, 0x1122_3344_5566_7788)
+                    .store_reg(SZ_DW, 10, 6, -8)
+                    .store_reg(SZ_W, 10, 6, -16)
+                    .store_reg(SZ_H, 10, 6, -24)
+                    .store_reg(SZ_B, 10, 6, -32)
+                    .store_imm(SZ_DW, 10, -1, -40) // sign-extended imm store
+                    .store_imm(SZ_B, 10, 0x7F, -48)
+                    .load(SZ_DW, 0, 10, -8)
+                    .load(SZ_W, 7, 10, -16) // zero-extends
+                    .add64_reg(0, 7)
+                    .load(SZ_H, 7, 10, -24)
+                    .add64_reg(0, 7)
+                    .load(SZ_B, 7, 10, -32)
+                    .add64_reg(0, 7)
+                    .load(SZ_DW, 7, 10, -40)
+                    .add64_reg(0, 7)
+                    .load(SZ_B, 7, 10, -48)
+                    .add64_reg(0, 7)
+                    .exit(),
+            ),
+        ),
+        (
+            "callee-saved-survive-helpers",
+            // r6–r9 live in callee-saved x86 registers in the JIT; the
+            // helper trampoline must spill and reload them (and r0 must
+            // carry the helper's return, clobbering its previous value).
+            asm_or_panic(
+                Asm::new("helper_saves")
+                    .mov64_imm(6, 11)
+                    .mov64_imm(7, 22)
+                    .mov64_imm(8, 33)
+                    .mov64_imm(9, 44)
+                    .call(Helper::KtimeGetNs)
+                    .mov64_reg(1, 0)
+                    .call(Helper::GetPrandomU32)
+                    .mov64_reg(0, 6)
+                    .add64_reg(0, 7)
+                    .add64_reg(0, 8)
+                    .add64_reg(0, 9)
+                    .exit(),
+            ),
+        ),
+        (
+            "budget-exhaustion-mid-block",
+            // A fused ld_dw (one executed instruction, two slots) between
+            // plain ALU ops and a helper call: the budget sweep below
+            // must exhaust before, on, and after each identically.
+            asm_or_panic(
+                Asm::new("budget_mid")
+                    .mov64_imm(0, 1)
+                    .add64_imm(0, 1)
+                    .ld_dw(6, 0xFFFF_FFFF_FFFF_FFFF)
+                    .add64_reg(0, 6)
+                    .add64_imm(0, 1)
+                    .call(Helper::GetCurrentPidTgid)
+                    .mov64_imm(0, 9)
+                    .exit(),
+            ),
+        ),
+    ];
+
+    let mut rng = SimRng::seed_from_u64(Config::default().seed ^ 0xD1EC7);
+    for (name, prog) in &corpus {
+        let ctx = random_ctx(&mut rng);
+        let env = random_env(&mut rng);
+        let base = MapRegistry::new();
+        assert_dispatch_identical(&format!("directed[{name}]"), prog, &ctx, &base, env, None);
+        // Sweep budgets 1..=len+1 so exhaustion lands on every slot
+        // boundary, including mid-`ld_dw` and right at `exit`.
+        for budget in 1..=(prog.len() as u64 + 1) {
+            assert_dispatch_identical(
+                &format!("directed[{name}@{budget}]"),
+                prog,
+                &ctx,
+                &base,
+                env,
+                Some(budget),
+            );
+        }
+    }
+}
+
+/// Budget exhaustion fires on the same instruction for all paths:
 /// sweeping tiny budgets over the same programs, every `Ok`/`Err`
 /// boundary lands identically (including `ld_dw` counting as one
-/// executed instruction on both sides).
+/// executed instruction on every side).
 #[test]
 fn budget_exhaustion_is_identical() {
     let mut rng = SimRng::seed_from_u64(Config::default().seed ^ 0xB0D6E7);
@@ -226,6 +587,12 @@ fn helper_surface_is_identical() {
         .assemble()
         .unwrap_or_else(|e| panic!("helper program must assemble: {e}"));
 
+    #[cfg(target_arch = "x86_64")]
+    assert!(
+        kscope_ebpf::jit::is_compilable(&prog),
+        "the helper-surface program must be JIT-compilable on x86-64"
+    );
+
     for seed in 0..32u64 {
         let mut rng = SimRng::seed_from_u64(seed);
         let env = random_env(&mut rng);
@@ -233,8 +600,10 @@ fn helper_surface_is_identical() {
     }
 }
 
-/// Every committed precision fixture runs identically on both paths, on
-/// randomized context bytes.
+/// Every committed precision fixture runs identically on all paths, on
+/// randomized context bytes. The fixtures are verified first, so the
+/// value-tracking proofs attach and the default JIT arm executes with
+/// bounds checks actually elided (the `jit-no-elide` arm keeps them in).
 #[test]
 fn fixture_probes_execute_identically() {
     const FIXTURES: &[(&str, &str)] = &[
@@ -269,6 +638,18 @@ fn fixture_probes_execute_identically() {
             .unwrap_or_else(|e| panic!("fixture `{name}` failed to parse: {e}"));
         let mut base = MapRegistry::new();
         base.create("vals", MapDef::array(512, 1));
+        Verifier::default()
+            .verify(&prog, &base)
+            .unwrap_or_else(|e| panic!("fixture `{name}` must verify: {e}"));
+        assert!(
+            prog.access_proofs().is_some(),
+            "fixture `{name}`: verification must attach access proofs"
+        );
+        #[cfg(target_arch = "x86_64")]
+        assert!(
+            kscope_ebpf::jit::is_compilable(&prog),
+            "fixture `{name}` must be JIT-compilable on x86-64"
+        );
         for round in 0..8 {
             let ctx = random_ctx(&mut rng);
             let env = random_env(&mut rng);
@@ -277,7 +658,7 @@ fn fixture_probes_execute_identically() {
     }
 }
 
-/// The real probe programs, run as a stateful stream: both dispatchers
+/// The real probe programs, run as a stateful stream: all dispatchers
 /// process the same 400-event enter/exit sequence against their own
 /// persistent registries, which must stay in lockstep throughout (the
 /// `start` hash map carries state from enter to exit).
@@ -286,10 +667,19 @@ fn backend_probe_programs_execute_identically() {
     let backend = BytecodeBackend::new(1200, SyscallProfile::data_caching(), 6)
         .unwrap_or_else(|e| panic!("generated probe programs must verify: {e}"));
     let (enter, exit) = backend.programs();
+    #[cfg(target_arch = "x86_64")]
+    for (which, prog) in [("enter", enter), ("exit", exit)] {
+        assert!(
+            kscope_ebpf::jit::is_compilable(prog),
+            "the {which} probe program must be JIT-compilable on x86-64"
+        );
+    }
     let mut maps_decoded = backend.map_registry().clone();
     let mut maps_raw = backend.map_registry().clone();
+    let mut maps_jit = backend.map_registry().clone();
     let mut vm_decoded = Vm::new();
     let mut vm_raw = Vm::new().with_raw_dispatch();
+    let mut vm_jit = Vm::new().with_jit();
 
     let profile = SyscallProfile::data_caching();
     let send_no = profile.primary(kscope_syscalls::SyscallRole::Send).raw() as u64;
@@ -325,14 +715,23 @@ fn backend_probe_programs_execute_identically() {
 
         let mut env_decoded = env;
         let mut env_raw = env;
+        let mut env_jit = env;
         let decoded = vm_decoded.execute(prog, &ctx, &mut maps_decoded, &mut env_decoded);
         let raw = vm_raw.execute(prog, &ctx, &mut maps_raw, &mut env_raw);
-        assert_eq!(decoded, raw, "event {i}: probe outcomes diverge");
-        assert_eq!(env_decoded, env_raw, "event {i}: probe env diverges");
+        let jit = vm_jit.execute(prog, &ctx, &mut maps_jit, &mut env_jit);
+        assert_eq!(decoded, raw, "event {i}: decoded vs raw probe outcomes diverge");
+        assert_eq!(decoded, jit, "event {i}: decoded vs jit probe outcomes diverge");
+        assert_eq!(env_decoded, env_raw, "event {i}: decoded vs raw probe env diverges");
+        assert_eq!(env_decoded, env_jit, "event {i}: decoded vs jit probe env diverges");
     }
     assert_eq!(
         format!("{maps_decoded:?}"),
         format!("{maps_raw:?}"),
-        "probe map state diverges after the stream"
+        "raw probe map state diverges after the stream"
+    );
+    assert_eq!(
+        format!("{maps_decoded:?}"),
+        format!("{maps_jit:?}"),
+        "jit probe map state diverges after the stream"
     );
 }

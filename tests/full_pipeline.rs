@@ -1,38 +1,93 @@
 //! End-to-end pipeline tests: workload → kernel tracepoints → probe →
 //! windows → estimators, validated against client ground truth, for one
-//! workload of each threading archetype.
+//! workload of each threading archetype — parameterized over every probe
+//! backend (native Rust, bytecode interpreter, bytecode JIT).
 
-use kscope::core::DEFAULT_SHIFT;
+use kscope::core::{BytecodeBackend, NativeBackend, DEFAULT_SHIFT};
+use kscope::experiments::BackendKind;
 use kscope::prelude::*;
 
-/// Runs one level and returns (ground-truth rps, pooled RPS_obsv,
-/// mean poll duration ns, mean send variance).
-fn observe(spec: &WorkloadSpec, fraction: f64, seed: u64) -> (f64, f64, f64) {
+const ALL_BACKENDS: [BackendKind; 3] = [
+    BackendKind::Native,
+    BackendKind::Bytecode,
+    BackendKind::BytecodeJit,
+];
+
+/// Builds the probe for `backend` observing `pids`.
+fn make_probe(
+    backend: BackendKind,
+    pids: Vec<u32>,
+    profile: SyscallProfile,
+    window: Nanos,
+) -> Box<dyn TracepointProbe> {
+    match backend {
+        BackendKind::Native => Box::new(WindowedObserver::new(
+            NativeBackend::new_multi(pids, profile, DEFAULT_SHIFT),
+            window,
+        )),
+        BackendKind::Bytecode | BackendKind::BytecodeJit => {
+            let mut probe = BytecodeBackend::new_multi(pids, profile, DEFAULT_SHIFT)
+                .expect("generated probe programs must verify");
+            if backend == BackendKind::BytecodeJit {
+                probe = probe.with_jit();
+            }
+            Box::new(WindowedObserver::new(probe, window))
+        }
+    }
+}
+
+/// Detaches the probe and returns its measurement-period windows.
+fn take_windows(
+    backend: BackendKind,
+    mut probe: Box<dyn TracepointProbe>,
+    end: Nanos,
+    warmup_end: Nanos,
+) -> Vec<WindowMetrics> {
+    let windows = match backend {
+        BackendKind::Native => {
+            let observer = probe
+                .as_any_mut()
+                .downcast_mut::<WindowedObserver<NativeBackend>>()
+                .unwrap();
+            observer.finish(end);
+            observer.windows().to_vec()
+        }
+        BackendKind::Bytecode | BackendKind::BytecodeJit => {
+            let observer = probe
+                .as_any_mut()
+                .downcast_mut::<WindowedObserver<BytecodeBackend>>()
+                .unwrap();
+            observer.finish(end);
+            observer.windows().to_vec()
+        }
+    };
+    windows
+        .into_iter()
+        .filter(|w| w.start >= warmup_end)
+        .collect()
+}
+
+/// Runs one level under `backend` and returns (ground-truth rps, pooled
+/// RPS_obsv, mean poll duration ns).
+fn observe(spec: &WorkloadSpec, fraction: f64, seed: u64, backend: BackendKind) -> (f64, f64, f64) {
     let offered = spec.paper_failure_rps * fraction;
     let mut config = RunConfig::new(offered, seed);
     // Enough requests for a stable estimate even for slow workloads.
     config.measure = Nanos::from_secs_f64((1_500.0 / offered).clamp(0.5, 600.0));
     config.warmup = Nanos::from_secs_f64((spec.service_time.mean() / 1e9 * 30.0).max(0.2));
     config.collect_trace = false;
+    let window = config.measure / 4;
     let outcome = run_workload_with(spec, &config, |sim| {
-        vec![Box::new(WindowedObserver::new(
-            NativeBackend::new_multi(sim.server_pids(), spec.profile.clone(), DEFAULT_SHIFT),
-            config.measure / 4,
-        )) as Box<dyn TracepointProbe>]
+        vec![make_probe(
+            backend,
+            sim.server_pids(),
+            spec.profile.clone(),
+            window,
+        )]
     });
     let mut kernel = outcome.kernel;
-    let mut probe = kernel.tracing.detach(outcome.probes[0]).unwrap();
-    let observer = probe
-        .as_any_mut()
-        .downcast_mut::<WindowedObserver<NativeBackend>>()
-        .unwrap();
-    observer.finish(outcome.end);
-    let windows: Vec<WindowMetrics> = observer
-        .windows()
-        .iter()
-        .copied()
-        .filter(|w| w.start >= outcome.warmup_end)
-        .collect();
+    let probe = kernel.tracing.detach(outcome.probes[0]).unwrap();
+    let windows = take_windows(backend, probe, outcome.end, outcome.warmup_end);
     let rps_obsv = RpsEstimator::with_min_samples(64)
         .from_windows(&windows)
         .expect("enough samples");
@@ -42,7 +97,8 @@ fn observe(spec: &WorkloadSpec, fraction: f64, seed: u64) -> (f64, f64, f64) {
 }
 
 /// Eq. 1 tracks ground truth for each threading archetype, after dividing
-/// out the workload's known sends-per-request factor.
+/// out the workload's known sends-per-request factor — under every probe
+/// backend.
 #[test]
 fn rps_obsv_tracks_ground_truth_across_archetypes() {
     for spec in [
@@ -52,41 +108,47 @@ fn rps_obsv_tracks_ground_truth_across_archetypes() {
         kscope::workloads::triton_grpc(),  // dispatch pool
     ] {
         let sends_per_req = kscope::experiments::send_events_per_request(&spec);
-        let (real, obsv, _) = observe(&spec, 0.5, 17);
-        let estimated = obsv / sends_per_req;
-        let err = (estimated - real).abs() / real;
-        assert!(
-            err < 0.15,
-            "{}: RPS_obsv/k = {estimated:.1} vs real {real:.1} (err {err:.3})",
-            spec.name
-        );
+        for backend in ALL_BACKENDS {
+            let (real, obsv, _) = observe(&spec, 0.5, 17, backend);
+            let estimated = obsv / sends_per_req;
+            let err = (estimated - real).abs() / real;
+            assert!(
+                err < 0.15,
+                "{} [{backend:?}]: RPS_obsv/k = {estimated:.1} vs real {real:.1} (err {err:.3})",
+                spec.name
+            );
+        }
     }
 }
 
 /// Poll durations must collapse by an order of magnitude between light
-/// load and the knee, for every archetype.
+/// load and the knee, for every archetype and every probe backend.
 #[test]
 fn poll_durations_collapse_toward_the_knee() {
-    for spec in [
-        kscope::workloads::img_dnn(),
-        kscope::workloads::data_caching(),
-        kscope::workloads::triton_http(),
+    for (spec, backend) in [
+        // Pair each archetype with a different backend (every backend is
+        // still exercised; the full cross product lives in
+        // backend_equivalence.rs, which holds the backends bit-identical).
+        (kscope::workloads::img_dnn(), BackendKind::Native),
+        (kscope::workloads::data_caching(), BackendKind::BytecodeJit),
+        (kscope::workloads::triton_http(), BackendKind::Bytecode),
     ] {
-        let (_, _, poll_light) = observe(&spec, 0.15, 23);
-        let (_, _, poll_heavy) = observe(&spec, 0.95, 23);
+        let (_, _, poll_light) = observe(&spec, 0.15, 23, backend);
+        let (_, _, poll_heavy) = observe(&spec, 0.95, 23, backend);
         assert!(
             poll_light > 3.0 * poll_heavy,
-            "{}: poll {poll_light:.0}ns -> {poll_heavy:.0}ns",
+            "{} [{backend:?}]: poll {poll_light:.0}ns -> {poll_heavy:.0}ns",
             spec.name
         );
     }
 }
 
 /// The agent's saturation signals stay quiet below the knee and fire in
-/// overload.
+/// overload — fed by the JIT-compiled bytecode probe.
 #[test]
 fn agent_flags_overload_but_not_light_load() {
     let spec = kscope::workloads::data_caching();
+    let backend = BackendKind::BytecodeJit;
     let mut agent = Agent::new(
         RpsEstimator::with_min_samples(64),
         SaturationDetector::default(),
@@ -99,24 +161,17 @@ fn agent_flags_overload_but_not_light_load() {
         let mut config = RunConfig::new(offered, 40 + i as u64);
         config.collect_trace = false;
         let outcome = run_workload_with(&spec, &config, |sim| {
-            vec![Box::new(WindowedObserver::new(
-                NativeBackend::new_multi(sim.server_pids(), spec.profile.clone(), DEFAULT_SHIFT),
+            vec![make_probe(
+                backend,
+                sim.server_pids(),
+                spec.profile.clone(),
                 Nanos::from_millis(250),
-            )) as Box<dyn TracepointProbe>]
+            )]
         });
         let mut kernel = outcome.kernel;
-        let mut probe = kernel.tracing.detach(outcome.probes[0]).unwrap();
-        let observer = probe
-            .as_any_mut()
-            .downcast_mut::<WindowedObserver<NativeBackend>>()
-            .unwrap();
-        observer.finish(outcome.end);
-        for w in observer
-            .windows()
-            .iter()
-            .filter(|w| w.start >= outcome.warmup_end)
-        {
-            let report = agent.ingest(*w);
+        let probe = kernel.tracing.detach(outcome.probes[0]).unwrap();
+        for w in take_windows(backend, probe, outcome.end, outcome.warmup_end) {
+            let report = agent.ingest(w);
             if report.any_saturation() {
                 if *fraction <= 0.8 {
                     flagged_light = true;

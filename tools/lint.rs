@@ -47,6 +47,7 @@ const BANNED_EVERYWHERE: &[&str] = &["dbg!(", "todo!("];
 const HOT_PATH_FILES: &[&str] = &[
     "crates/ebpf/src/interp.rs",
     "crates/ebpf/src/decode.rs",
+    "crates/ebpf/src/jit.rs",
     "crates/ebpf/src/maps.rs",
     "crates/core/src/streaming.rs",
 ];
