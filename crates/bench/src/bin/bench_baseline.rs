@@ -21,21 +21,30 @@
 //!   decoded interpreter);
 //! * `map_ops_per_sec` — hash-map update+lookup pairs on the
 //!   zero-allocation inline-key path;
-//! * `probe_events_per_sec` / `probe_events_per_sec_jit` — full
-//!   bytecode-probe `on_event` cost on the send-exit path (the per-event
-//!   figure §VI's overhead argument rests on), interpreted vs. JIT;
+//! * `probe_events_per_sec` / `probe_events_per_sec_jit` /
+//!   `probe_events_per_sec_opt` — full bytecode-probe `on_event` cost on
+//!   the send-exit path (the per-event figure §VI's overhead argument
+//!   rests on), interpreted vs. JIT vs. statically optimized;
+//! * `probe_insns_static_bound` — the certified worst-case instruction
+//!   bound of the core probe (max over its enter/exit programs), from
+//!   the analysis cost certifier;
+//! * `probe_insns_optimized_delta` — total instruction slots the static
+//!   optimizer removes across the core probe's programs (the `--check`
+//!   gate holds this ≥ 0: the optimizer never grows the probe);
 //! * `engine_events_per_sec` — simulation-engine dispatch;
 //! * `sweep_quick_wall_ms` — wall clock of a reduced parallel sweep;
-//! * `hot_path_allocs_per_event` / `hot_path_allocs_per_event_jit` —
-//!   heap allocations per steady-state probe event, counted by this
-//!   binary's global allocator (the zero-allocation claim, measured
-//!   rather than asserted, for both dispatchers).
+//! * `hot_path_allocs_per_event` / `hot_path_allocs_per_event_jit` /
+//!   `hot_path_allocs_per_event_opt` — heap allocations per steady-state
+//!   probe event, counted by this binary's global allocator (the
+//!   zero-allocation claim, measured rather than asserted, for every
+//!   dispatcher including the optimized-program path).
 //!
 //! Flags: `--quick` (shorter samples, for CI smoke), `--out PATH`
 //! (default `BENCH_baseline.json`), `--check PATH` (compare against a
 //! committed baseline; exit 1 if decoded VM throughput regressed more
-//! than 20%, the hot path allocated, or — on JIT-capable targets — the
-//! JIT fails its ≥3× ALU gate or its probe-program tripwire).
+//! than 20%, the hot path allocated — interpreted or optimized — the
+//! static optimizer grew the core probe, or — on JIT-capable targets —
+//! the JIT fails its ≥3× ALU gate or its probe-program tripwire).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -149,25 +158,41 @@ fn main() {
     baseline.set("map_ops_per_sec", map_ops);
     println!("map ops: {:.1}M ops/s", map_ops / 1e6);
 
-    let probe_events = probe_events_per_sec(&criterion, false);
-    let probe_events_jit = probe_events_per_sec(&criterion, true);
+    let probe_events = probe_events_per_sec(&criterion, ProbeMode::Interp);
+    let probe_events_jit = probe_events_per_sec(&criterion, ProbeMode::Jit);
+    let probe_events_opt = probe_events_per_sec(&criterion, ProbeMode::Optimized);
     baseline.set("probe_events_per_sec", probe_events);
     baseline.set("probe_events_per_sec_jit", probe_events_jit);
+    baseline.set("probe_events_per_sec_opt", probe_events_opt);
     println!(
-        "probe events: interp {:.2}M events/s, jit {:.2}M events/s",
+        "probe events: interp {:.2}M events/s, jit {:.2}M events/s, opt {:.2}M events/s",
         probe_events / 1e6,
-        probe_events_jit / 1e6
+        probe_events_jit / 1e6,
+        probe_events_opt / 1e6
+    );
+
+    let (static_bound, opt_delta) = probe_static_analysis();
+    baseline.set("probe_insns_static_bound", static_bound);
+    baseline.set("probe_insns_optimized_delta", opt_delta);
+    println!(
+        "probe static analysis: worst-case bound {static_bound:.0} insns, \
+         optimizer removes {opt_delta:.0} slots"
     );
 
     let engine_events = engine_events_per_sec(&criterion);
     baseline.set("engine_events_per_sec", engine_events);
     println!("engine dispatch: {:.1}M events/s", engine_events / 1e6);
 
-    let allocs = hot_path_allocs_per_event(quick, false);
-    let allocs_jit = hot_path_allocs_per_event(quick, true);
+    let allocs = hot_path_allocs_per_event(quick, ProbeMode::Interp);
+    let allocs_jit = hot_path_allocs_per_event(quick, ProbeMode::Jit);
+    let allocs_opt = hot_path_allocs_per_event(quick, ProbeMode::Optimized);
     baseline.set("hot_path_allocs_per_event", allocs);
     baseline.set("hot_path_allocs_per_event_jit", allocs_jit);
-    println!("hot-path allocations: interp {allocs} per event, jit {allocs_jit} per event");
+    baseline.set("hot_path_allocs_per_event_opt", allocs_opt);
+    println!(
+        "hot-path allocations: interp {allocs} per event, jit {allocs_jit} per event, \
+         opt {allocs_opt} per event"
+    );
 
     let sweep_ms = sweep_quick_wall_ms(quick);
     baseline.set("sweep_quick_wall_ms", sweep_ms);
@@ -235,6 +260,30 @@ fn check_against(path: &str, fresh: &Baseline) {
     if fresh.get("hot_path_allocs_per_event").is_some_and(|a| a > 0.0) {
         eprintln!("bench_baseline: REGRESSION: steady-state probe path allocated");
         failed = true;
+    }
+    if fresh
+        .get("hot_path_allocs_per_event_opt")
+        .is_some_and(|a| a > 0.0)
+    {
+        eprintln!("bench_baseline: REGRESSION: steady-state optimized probe path allocated");
+        failed = true;
+    }
+    match fresh.get("probe_insns_optimized_delta") {
+        Some(delta) if delta < 0.0 => {
+            eprintln!(
+                "bench_baseline: REGRESSION: static optimizer GREW the core probe by \
+                 {:.0} instruction slots",
+                -delta
+            );
+            failed = true;
+        }
+        Some(delta) => {
+            println!("check: static optimizer removes {delta:.0} probe slots (gate: >= 0) — ok");
+        }
+        None => {
+            eprintln!("bench_baseline: missing probe_insns_optimized_delta");
+            failed = true;
+        }
     }
     if fresh.get("vm_jit_supported") == Some(1.0) {
         // The JIT gate is pinned on the pure-ALU dispatch floor, where
@@ -374,11 +423,27 @@ fn bytecode_probe() -> BytecodeBackend {
         .unwrap_or_else(|e| panic!("generated probe programs must verify: {e}"))
 }
 
-fn probe_events_per_sec(criterion: &Criterion, jit: bool) -> f64 {
-    let mut probe = bytecode_probe();
-    if jit {
-        probe = probe.with_jit();
+/// Which execution flavor a probe benchmark runs.
+#[derive(Clone, Copy)]
+enum ProbeMode {
+    Interp,
+    Jit,
+    Optimized,
+}
+
+fn probe_in_mode(mode: ProbeMode) -> BytecodeBackend {
+    let probe = bytecode_probe();
+    match mode {
+        ProbeMode::Interp => probe,
+        ProbeMode::Jit => probe.with_jit(),
+        ProbeMode::Optimized => probe
+            .with_optimizer()
+            .unwrap_or_else(|e| panic!("optimized probe programs must re-verify: {e}")),
     }
+}
+
+fn probe_events_per_sec(criterion: &Criterion, mode: ProbeMode) -> f64 {
+    let mut probe = probe_in_mode(mode);
     let mut i = 0u64;
     let stats = criterion.measure(|| {
         i += 1;
@@ -387,15 +452,35 @@ fn probe_events_per_sec(criterion: &Criterion, jit: bool) -> f64 {
     stats.ops_per_sec(1.0)
 }
 
+/// Static-analysis figures for the core probe: the certified worst-case
+/// instruction bound (max over its programs) and the total slots the
+/// optimizer removes across them.
+fn probe_static_analysis() -> (f64, f64) {
+    let probe = bytecode_probe();
+    let (enter_cost, exit_cost) = probe.cost_reports();
+    let bound = [enter_cost, exit_cost]
+        .into_iter()
+        .flatten()
+        .map(|c| c.max_insns)
+        .max()
+        .unwrap_or_else(|| panic!("shipped probe programs must have a finite cost bound"));
+    let (enter, exit) = probe.programs();
+    let delta: i64 = [enter, exit]
+        .into_iter()
+        .map(|p| match p.optimized() {
+            Some((opt, _)) => p.insns().len() as i64 - opt.insns().len() as i64,
+            None => 0,
+        })
+        .sum();
+    (bound as f64, delta as f64)
+}
+
 /// Steady-state heap allocations per probe event: warm the probe (first
 /// touches populate map cells), then count allocator hits over a long
 /// event run. The hot path is allocation-free, so this is expected to be
 /// exactly zero.
-fn hot_path_allocs_per_event(quick: bool, jit: bool) -> f64 {
-    let mut probe = bytecode_probe();
-    if jit {
-        probe = probe.with_jit();
-    }
+fn hot_path_allocs_per_event(quick: bool, mode: ProbeMode) -> f64 {
+    let mut probe = probe_in_mode(mode);
     let events: u64 = if quick { 20_000 } else { 200_000 };
     for i in 1..=1_000u64 {
         probe.on_event(&send_exit(i));

@@ -22,7 +22,7 @@ use kscope_ebpf::insn::{OP_JLT, R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, SZ_
 use kscope_ebpf::interp::{ExecEnv, Vm};
 use kscope_ebpf::maps::{MapDef, MapFd, MapRegistry};
 use kscope_ebpf::verifier::{Verifier, VerifierConfig};
-use kscope_ebpf::{Helper, Program};
+use kscope_ebpf::{cost_report, CostReport, Helper, Program};
 use kscope_simcore::Nanos;
 use kscope_syscalls::{Pid, SyscallProfile, SyscallRole, TracePhase, TracepointCtx};
 
@@ -45,6 +45,17 @@ pub enum BuildError {
     Asm(kscope_ebpf::asm::AsmError),
     /// The generated program failed verification (a builder bug).
     Verify(kscope_ebpf::verifier::VerifyError),
+    /// The probe's certified worst-case cost exceeds the registration
+    /// budget (or no finite bound exists).
+    CostBudget {
+        /// Name of the offending program.
+        program: String,
+        /// Certified worst-case instruction bound (`None`: no finite
+        /// bound could be certified).
+        bound: Option<u64>,
+        /// The budget the probe was registered against.
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -52,6 +63,14 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::Asm(e) => write!(f, "assembly failed: {e}"),
             BuildError::Verify(e) => write!(f, "verification failed: {e}"),
+            BuildError::CostBudget { program, bound: Some(bound), budget } => write!(
+                f,
+                "probe '{program}' worst-case cost {bound} insns exceeds budget {budget}"
+            ),
+            BuildError::CostBudget { program, bound: None, budget } => write!(
+                f,
+                "probe '{program}' has no finite cost bound (budget {budget})"
+            ),
         }
     }
 }
@@ -90,6 +109,7 @@ pub struct BytecodeBackend {
     shift: u32,
     tgids: Vec<Pid>,
     insns_executed: u64,
+    optimized: bool,
 }
 
 impl BytecodeBackend {
@@ -180,6 +200,7 @@ impl BytecodeBackend {
             shift,
             tgids,
             insns_executed: 0,
+            optimized: false,
         })
     }
 
@@ -199,6 +220,83 @@ impl BytecodeBackend {
     /// True when probe execution goes through the JIT dispatcher.
     pub fn uses_jit(&self) -> bool {
         self.vm.uses_jit()
+    }
+
+    /// Swaps both probe programs for their statically optimized forms
+    /// ([`Program::optimized`]): constant folding, dead-code/dead-store
+    /// elimination, branch pruning and inversion, jump threading. The
+    /// optimized programs are re-verified (attaching fresh access proofs,
+    /// so JIT bounds-check elision still applies under
+    /// [`BytecodeBackend::with_jit`]). Observable behavior is unchanged —
+    /// the four-way differential suite and the fleet's byte-exact rollup
+    /// test hold optimization invisible — only fewer instructions run
+    /// per event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Verify`] if an optimized program fails
+    /// re-verification, which would indicate an optimizer bug.
+    pub fn with_optimizer(mut self) -> Result<BytecodeBackend, BuildError> {
+        let verifier = Verifier::new(VerifierConfig {
+            ctx_size: CTX_SIZE,
+            ..VerifierConfig::default()
+        });
+        // cold path: one-time program swap at registration, not per-event
+        let optimize = |prog: &Program| -> Result<Option<Program>, BuildError> {
+            match prog.optimized() {
+                Some((opt, _)) => {
+                    let opt = opt.clone();
+                    verifier.verify(&opt, &self.maps).map_err(BuildError::Verify)?;
+                    Ok(Some(opt))
+                }
+                None => Ok(None),
+            }
+        };
+        if let Some(opt) = optimize(&self.enter)? {
+            self.enter = opt;
+        }
+        if let Some(opt) = optimize(&self.exit)? {
+            self.exit = opt;
+        }
+        self.optimized = true;
+        Ok(self)
+    }
+
+    /// True when the probe runs statically optimized programs.
+    pub fn uses_optimizer(&self) -> bool {
+        self.optimized
+    }
+
+    /// Certified worst-case cost of the (enter, exit) programs, as the
+    /// probe will execute them (optimized forms when
+    /// [`BytecodeBackend::with_optimizer`] was applied).
+    pub fn cost_reports(&self) -> (Option<CostReport>, Option<CostReport>) {
+        (cost_report(&self.enter), cost_report(&self.exit))
+    }
+
+    /// Registration gate: checks both programs carry a finite certified
+    /// worst-case instruction bound within `budget_insns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::CostBudget`] naming the offending program
+    /// when a bound is missing or exceeds the budget.
+    pub fn check_cost_budget(&self, budget_insns: u64) -> Result<(), BuildError> {
+        for prog in [&self.enter, &self.exit] {
+            let over = |bound| BuildError::CostBudget {
+                program: prog.name().to_string(),
+                bound,
+                budget: budget_insns,
+            };
+            match cost_report(prog) {
+                None => return Err(over(None)),
+                Some(c) if c.max_insns > budget_insns => {
+                    return Err(over(Some(c.max_insns)))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
     }
 
     /// The processes being observed.

@@ -189,6 +189,9 @@ pub struct Vm {
     insn_budget: u64,
     /// Which executor steps the program.
     dispatch: Dispatch,
+    /// Run [`Program::optimized`] streams instead of the originals
+    /// (identical observable behavior, fewer executed instructions).
+    optimize: bool,
     /// Live map-value slots handed out by `map_lookup_elem`, reset per
     /// invocation; owned here so repeated invocations reuse the storage.
     slots: Vec<(MapFd, InlineKey)>,
@@ -400,6 +403,7 @@ impl Vm {
         Vm {
             insn_budget: DEFAULT_INSN_BUDGET,
             dispatch: Dispatch::Decoded,
+            optimize: false,
             slots: Vec::new(),
             scratch: Vec::new(),
         }
@@ -446,6 +450,23 @@ impl Vm {
         self
     }
 
+    /// Runs each program's statically optimized form
+    /// ([`Program::optimized`]) instead of the original stream. The
+    /// optimizer is semantics-preserving (held by the four-way
+    /// differential suite), so opting in never changes observable
+    /// behavior — only the instruction count. Programs the optimizer
+    /// declines run unmodified. Composes with [`Vm::with_jit`]: the
+    /// optimized stream is what gets compiled.
+    pub fn with_optimizer(mut self) -> Vm {
+        self.optimize = true;
+        self
+    }
+
+    /// True when this VM executes optimized program streams.
+    pub fn uses_optimizer(&self) -> bool {
+        self.optimize
+    }
+
     /// True when this VM dispatches on the pre-decoded representation
     /// (directly, or as the JIT's fallback).
     pub fn uses_predecode(&self) -> bool {
@@ -479,9 +500,18 @@ impl Vm {
         let Vm {
             insn_budget,
             dispatch,
+            optimize,
             slots,
             scratch,
         } = self;
+        let program = if *optimize {
+            program
+                .optimized()
+                .map(|(p, _)| p)
+                .unwrap_or(program)
+        } else {
+            program
+        };
         let mut mem = Memory {
             ctx,
             stack: [0; STACK_SIZE],
@@ -893,8 +923,11 @@ pub(crate) fn call_helper(
 
 /// Executes a 64-bit ALU operation (total: invalid encodings were already
 /// rejected as [`Decoded::BadOpcode`] at decode time).
+///
+/// `pub(crate)` so the static analyzer's constant-folding transfer
+/// functions evaluate with the interpreter's exact semantics.
 #[inline(always)]
-fn exec_alu64(op: AluOp, a: u64, b: u64) -> u64 {
+pub(crate) fn exec_alu64(op: AluOp, a: u64, b: u64) -> u64 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -920,7 +953,7 @@ fn exec_alu64(op: AluOp, a: u64, b: u64) -> u64 {
 
 /// Executes a 32-bit ALU operation.
 #[inline(always)]
-fn exec_alu32(op: AluOp, a: u32, b: u32) -> u32 {
+pub(crate) fn exec_alu32(op: AluOp, a: u32, b: u32) -> u32 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -947,7 +980,7 @@ fn exec_alu32(op: AluOp, a: u32, b: u32) -> u32 {
 /// Evaluates a conditional-jump comparison. `w32` compares the low 32 bits
 /// (signed variants sign-extend from bit 31).
 #[inline(always)]
-fn take_branch(op: CmpOp, w32: bool, mut lhs: u64, mut rhs: u64) -> bool {
+pub(crate) fn take_branch(op: CmpOp, w32: bool, mut lhs: u64, mut rhs: u64) -> bool {
     if w32 {
         lhs = lhs as u32 as u64;
         rhs = rhs as u32 as u64;

@@ -13,6 +13,10 @@
 //! * [`insn`] — the real x86-64 eBPF instruction encoding;
 //! * [`decode`] — the pre-decoded representation the interpreter's hot
 //!   loop dispatches on (fields resolved once at program load);
+//! * [`analysis`] — dataflow analyses over the decoded stream, a
+//!   semantics-preserving bytecode optimizer (opt in via
+//!   [`interp::Vm::with_optimizer`]), and a worst-case per-event cost
+//!   certifier ([`analysis::CostReport`]);
 //! * [`asm::Asm`] — a label-resolving builder (the "clang" of this stack);
 //! * [`tnum::Tnum`] — the known-bits (tristate number) abstract domain;
 //! * [`verifier::Verifier`] — bounded size, no back-edges, uninitialized
@@ -60,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 pub mod asm;
 pub mod decode;
 pub mod helpers;
@@ -73,6 +78,7 @@ pub mod text;
 pub mod tnum;
 pub mod verifier;
 
+pub use analysis::{cost_report, helper_weight, optimize, CostReport, OptReport};
 pub use asm::Asm;
 pub use decode::Decoded;
 pub use helpers::Helper;

@@ -2,6 +2,7 @@
 
 use std::sync::OnceLock;
 
+use crate::analysis::OptReport;
 use crate::decode::{decode_program, Decoded};
 use crate::insn::Insn;
 use crate::jit::JitProgram;
@@ -37,6 +38,10 @@ pub struct Program {
     jit_plain: OnceLock<Option<JitProgram>>,
     /// Lazily compiled native code with verifier-proof-driven elision.
     jit_elided: OnceLock<Option<JitProgram>>,
+    /// Lazily computed statically optimized form. `None` inside means the
+    /// optimizer declined (structurally unsound stream) — don't retry.
+    /// Boxed so the recursive type has a finite size.
+    optimized: OnceLock<Option<Box<(Program, OptReport)>>>,
 }
 
 // `decoded` is a pure function of `insns`; identity is (name, insns).
@@ -61,6 +66,8 @@ impl Clone for Program {
             // Native code buffers are not cloneable; recompile on demand.
             jit_plain: OnceLock::new(),
             jit_elided: OnceLock::new(),
+            // Recomputed on demand (pure function of `insns`).
+            optimized: OnceLock::new(),
         }
     }
 }
@@ -76,6 +83,7 @@ impl Program {
             analysis: OnceLock::new(),
             jit_plain: OnceLock::new(),
             jit_elided: OnceLock::new(),
+            optimized: OnceLock::new(),
         }
     }
 
@@ -130,6 +138,18 @@ impl Program {
                 crate::jit::compile(&self.decoded, proofs)
             })
             .as_ref()
+    }
+
+    /// The statically optimized form of this program and the report of
+    /// what changed, computing and caching it on first use. Returns
+    /// `None` when the optimizer declined (the stream is not a
+    /// structurally sound forward DAG); callers fall back to the
+    /// original. The optimized program is semantics-preserving — see
+    /// [`crate::analysis::optimize`].
+    pub fn optimized(&self) -> Option<&(Program, OptReport)> {
+        self.optimized
+            .get_or_init(|| crate::analysis::optimize(self).map(Box::new))
+            .as_deref()
     }
 
     /// Renders a human-readable disassembly listing.

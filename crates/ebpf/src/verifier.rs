@@ -347,6 +347,11 @@ pub struct VerifierReport {
     pub errors: Vec<Diagnostic>,
     /// Advisory findings; only populated when the program has no errors.
     pub warnings: Vec<VerifyWarning>,
+    /// Certified worst-case per-invocation cost
+    /// ([`crate::analysis::cost_report`]); populated for error-free
+    /// programs whose CFG admits a finite bound, which every verified
+    /// program's does. Not part of the `Display` rendering.
+    pub cost: Option<crate::analysis::CostReport>,
 }
 
 impl VerifierReport {
@@ -1337,34 +1342,6 @@ impl AccessProofs {
     }
 }
 
-/// A 512-bit set of live stack bytes.
-#[derive(Debug, Clone, Copy, Default)]
-struct ByteSet([u64; 8]);
-
-impl ByteSet {
-    fn or(&mut self, other: &ByteSet) {
-        for (a, b) in self.0.iter_mut().zip(&other.0) {
-            *a |= b;
-        }
-    }
-
-    fn set_range(&mut self, start: usize, len: usize) {
-        for byte in start..(start + len).min(STACK_SIZE) {
-            self.0[byte / 64] |= 1 << (byte % 64);
-        }
-    }
-
-    fn clear_range(&mut self, start: usize, len: usize) {
-        for byte in start..(start + len).min(STACK_SIZE) {
-            self.0[byte / 64] &= !(1 << (byte % 64));
-        }
-    }
-
-    fn intersects_range(&self, start: usize, len: usize) -> bool {
-        (start..(start + len).min(STACK_SIZE)).any(|byte| self.0[byte / 64] & (1 << (byte % 64)) != 0)
-    }
-}
-
 /// The verifier.
 ///
 /// # Examples
@@ -1577,17 +1554,24 @@ impl Verifier {
             pc += 1;
         }
 
-        // Advisory warnings, only meaningful for accepted programs.
+        // Advisory warnings, only meaningful for accepted programs. Both
+        // analyses live in `crate::analysis` (shared with the optimizer);
+        // the verifier supplies reachability and its abstract access log.
         if report.errors.is_empty() {
-            for pc in 0..insns.len() {
-                if !is_ld_dw_hi[pc] && states[pc].is_none() {
-                    report.warnings.push(VerifyWarning::UnreachableInsn { pc });
-                }
-            }
             let reachable: Vec<bool> = states.iter().map(|s| s.is_some()).collect();
             report
                 .warnings
-                .extend(dead_store_warnings(insns, &is_ld_dw_hi, &reachable, &logs));
+                .extend(crate::analysis::unreachable_warnings(&is_ld_dw_hi, &reachable));
+            report.warnings.extend(crate::analysis::dead_store_warnings(
+                insns,
+                &is_ld_dw_hi,
+                &reachable,
+                |pc| {
+                    let log = &logs[pc];
+                    (log.reads.as_slice(), log.store)
+                },
+            ));
+            report.cost = crate::analysis::cost_report(program);
             // Publish per-pc access proofs for the JIT's bounds-check
             // elision. Sound because the walk above steps each pc exactly
             // once, on the join of every inbound path's state: a region
@@ -2319,83 +2303,6 @@ fn adjust_ptr_range(ptr: RegType, op: u8, s: Scalar) -> RegType {
         }
         other => other,
     }
-}
-
-/// Forward successors of a reachable instruction (the CFG is a DAG, so a
-/// single reverse sweep computes liveness).
-fn successors(pc: usize, insn: Insn, len: usize, out: &mut Vec<usize>) {
-    out.clear();
-    let cls = insn.class();
-    if cls == CLS_JMP || cls == CLS_JMP32 {
-        let op = insn.op();
-        if cls == CLS_JMP && op == OP_EXIT {
-            return;
-        }
-        if cls == CLS_JMP && op == OP_CALL {
-            if pc + 1 < len {
-                out.push(pc + 1);
-            }
-            return;
-        }
-        let target = (pc as i64 + 1 + insn.off as i64) as usize;
-        if cls == CLS_JMP && op == OP_JA {
-            out.push(target);
-            return;
-        }
-        out.push(target);
-        if pc + 1 < len {
-            out.push(pc + 1);
-        }
-        return;
-    }
-    let next = if insn.is_ld_dw() { pc + 2 } else { pc + 1 };
-    if next < len {
-        out.push(next);
-    }
-}
-
-/// Reverse byte-granular liveness over the stack: an exact store whose
-/// bytes are never read on any path to `exit` is a dead store.
-fn dead_store_warnings(
-    insns: &[Insn],
-    is_ld_dw_hi: &[bool],
-    reachable: &[bool],
-    logs: &[AccessLog],
-) -> Vec<VerifyWarning> {
-    let len = insns.len();
-    let mut live: Vec<ByteSet> = vec![ByteSet::default(); len];
-    let mut warnings = Vec::new();
-    let mut succ = Vec::new();
-    for pc in (0..len).rev() {
-        if is_ld_dw_hi[pc] || !reachable[pc] {
-            continue;
-        }
-        successors(pc, insns[pc], len, &mut succ);
-        let mut cur = ByteSet::default();
-        for &s in &succ {
-            if s < len {
-                let other = live[s];
-                cur.or(&other);
-            }
-        }
-        let log = &logs[pc];
-        if let Some((start, size)) = log.store {
-            if !cur.intersects_range(start, size) {
-                warnings.push(VerifyWarning::DeadStore {
-                    pc,
-                    off: start as i64 - STACK_SIZE as i64,
-                    size,
-                });
-            }
-            cur.clear_range(start, size);
-        }
-        for &(start, size) in &log.reads {
-            cur.set_range(start, size);
-        }
-        live[pc] = cur;
-    }
-    warnings.reverse(); // report in pc order
-    warnings
 }
 
 #[derive(Debug)]

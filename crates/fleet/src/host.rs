@@ -111,8 +111,16 @@ impl SimHost {
         let pid: Pid = 1_000 + id;
         let mut backend =
             BytecodeBackend::new_with_histogram(pid, SyscallProfile::data_caching(), config.shift)?;
+        if config.optimized_probes {
+            backend = backend.with_optimizer()?;
+        }
         if config.jit_probes {
             backend = backend.with_jit();
+        }
+        // Registration gate: a probe without a finite certified cost
+        // bound inside the budget never joins the fleet.
+        if let Some(budget) = config.probe_cost_budget {
+            backend.check_cost_budget(budget)?;
         }
         let observer = WindowedObserver::new(backend, config.window);
         let mut kernel = Kernel::for_host(HostSpec::amd_epyc_7302(), SchedConfig::default());

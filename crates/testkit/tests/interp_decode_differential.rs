@@ -43,11 +43,11 @@ use kscope_ebpf::insn::{
     Insn, OP_ADD, OP_ARSH, OP_DIV, OP_JEQ, OP_JGT, OP_JSET, OP_JSGT, OP_JSLT, OP_LSH, OP_MOD,
     OP_MOV, OP_MUL, OP_NEG, OP_RSH, SZ_B, SZ_DW, SZ_H, SZ_W,
 };
-use kscope_ebpf::interp::{ExecEnv, Vm};
+use kscope_ebpf::interp::{ExecEnv, ExecError, Vm};
 use kscope_ebpf::maps::{MapDef, MapRegistry};
 use kscope_ebpf::text::parse_program;
 use kscope_ebpf::verifier::Verifier;
-use kscope_ebpf::Program;
+use kscope_ebpf::{cost_report, Program};
 use kscope_simcore::SimRng;
 use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile};
 use kscope_testkit::ebpf_gen::{
@@ -55,11 +55,36 @@ use kscope_testkit::ebpf_gen::{
 };
 use kscope_testkit::{check, gen, Config};
 
-/// Runs `prog` through all four dispatchers from identical starting
+/// Maps an optimized-program error back into original-program
+/// coordinates through the optimizer's provenance table, so trap pcs
+/// compare against the unoptimized run.
+fn remap_error(e: &ExecError, provenance: &[usize]) -> ExecError {
+    let m = |pc: usize| provenance.get(pc).copied().unwrap_or(pc);
+    match *e {
+        ExecError::BadMemAccess { pc, addr, size } => ExecError::BadMemAccess {
+            pc: m(pc),
+            addr,
+            size,
+        },
+        ExecError::BadOpcode { pc, code } => ExecError::BadOpcode { pc: m(pc), code },
+        ExecError::BadJumpTarget { pc, target } => ExecError::BadJumpTarget { pc: m(pc), target },
+        ExecError::UnknownHelper { pc, id } => ExecError::UnknownHelper { pc: m(pc), id },
+        ExecError::MalformedLdDw { pc } => ExecError::MalformedLdDw { pc: m(pc) },
+        ref other => other.clone(),
+    }
+}
+
+/// Runs `prog` through all six dispatch arms from identical starting
 /// states and asserts the observable results are equal: the `Result`
 /// itself (outcome or error), the mutated helper environment, and the
 /// full map registry state. The decoded interpreter is the pivot; raw,
-/// JIT-with-elision, and JIT-without-elision are each held to it.
+/// JIT-with-elision, and JIT-without-elision are each held strictly to
+/// it. The optimized and optimized+JIT arms are held to the optimizer's
+/// contract: identical return/trace/env/map observables, never *more*
+/// executed instructions, and traps at the provenance-equivalent pc —
+/// with budget exhaustion on the pivot releasing the optimized arms
+/// (fewer instructions may legitimately make more progress). Also
+/// asserts the static cost certificate bounds every successful run.
 fn assert_dispatch_identical(
     label: &str,
     prog: &Program,
@@ -85,6 +110,17 @@ fn assert_dispatch_identical(
     let mut env_decoded = env;
     let decoded = vm_decoded.execute(prog, ctx, &mut maps_decoded, &mut env_decoded);
 
+    // Soundness of the cost certificate: no successful run may exceed it.
+    if let (Some(cost), Ok(out)) = (cost_report(prog), &decoded) {
+        assert!(
+            out.insns_executed <= cost.max_insns,
+            "{label}: executed {} insns > certified bound {}\n{}",
+            out.insns_executed,
+            cost.max_insns,
+            prog.disassemble()
+        );
+    }
+
     for (arm, vm) in [
         ("raw", &mut vm_raw),
         ("jit", &mut vm_jit),
@@ -108,6 +144,93 @@ fn assert_dispatch_identical(
             format!("{maps_other:?}"),
             "{label}: decoded vs {arm} map state diverges\n{}",
             prog.disassemble()
+        );
+    }
+
+    // The optimized arms. `Vm::with_optimizer` runs `prog.optimized()`
+    // when the optimizer accepted the program, and the original stream
+    // (strict identity, like the arms above) when it declined.
+    let opt_info = prog.optimized();
+    for (arm, vm) in [
+        ("opt", &mut make_vm().with_optimizer()),
+        ("opt-jit", &mut make_vm().with_optimizer().with_jit()),
+    ] {
+        assert!(vm.uses_optimizer());
+        let mut maps_other = base.clone();
+        let mut env_other = env;
+        let other = vm.execute(prog, ctx, &mut maps_other, &mut env_other);
+        let Some((opt_prog, report)) = opt_info else {
+            assert_eq!(
+                decoded,
+                other,
+                "{label}: decoded vs {arm} (optimizer declined) outcomes diverge\n{}",
+                prog.disassemble()
+            );
+            assert_eq!(env_decoded, env_other, "{label}: {arm} helper env diverges");
+            assert_eq!(
+                format!("{maps_decoded:?}"),
+                format!("{maps_other:?}"),
+                "{label}: {arm} map state diverges"
+            );
+            continue;
+        };
+        assert!(
+            opt_prog.len() <= prog.len(),
+            "{label}: optimizer grew the program ({} -> {} slots)",
+            prog.len(),
+            opt_prog.len()
+        );
+        if matches!(decoded, Err(ExecError::BudgetExhausted { .. })) {
+            // The optimized stream executes fewer instructions, so it may
+            // legitimately get further (finish, or reach a later trap)
+            // under the same budget. Nothing more to compare.
+            continue;
+        }
+        let diverged = || {
+            format!(
+                "{label}: decoded {decoded:?} vs {arm} {other:?} diverge\noriginal:\n{}optimized:\n{}",
+                prog.disassemble(),
+                opt_prog.disassemble()
+            )
+        };
+        match (&decoded, &other) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.ret, b.ret, "{}", diverged());
+                assert_eq!(a.trace_output, b.trace_output, "{}", diverged());
+                assert!(
+                    b.insns_executed <= a.insns_executed,
+                    "{label}: {arm} executed more instructions ({} > {})\n{}",
+                    b.insns_executed,
+                    a.insns_executed,
+                    diverged()
+                );
+                if let Some(cost) = cost_report(opt_prog) {
+                    assert!(
+                        b.insns_executed <= cost.max_insns,
+                        "{label}: {arm} executed {} insns > optimized bound {}",
+                        b.insns_executed,
+                        cost.max_insns
+                    );
+                }
+            }
+            (Err(ea), Err(eb)) => {
+                // Optimized code never executes more instructions, so it
+                // cannot exhaust a budget the original survived to a trap.
+                assert!(
+                    !matches!(eb, ExecError::BudgetExhausted { .. }),
+                    "{}",
+                    diverged()
+                );
+                assert_eq!(*ea, remap_error(eb, &report.provenance), "{}", diverged());
+            }
+            _ => panic!("{}", diverged()),
+        }
+        assert_eq!(env_decoded, env_other, "{label}: {arm} helper env diverges");
+        assert_eq!(
+            format!("{maps_decoded:?}"),
+            format!("{maps_other:?}"),
+            "{label}: {arm} map state diverges\n{}",
+            diverged()
         );
     }
 }

@@ -13,13 +13,18 @@
 //! * `dbg!(` and `todo!(` are banned everywhere under `src/`, including
 //!   test modules — they are debugging residue, not shipping code.
 //! * `.to_vec()` and `.clone()` are banned in the interpreter/map/stream
-//!   hot-path modules (`crates/ebpf/src/{interp,decode,maps}.rs` and
-//!   `crates/core/src/streaming.rs`): the
+//!   hot-path modules (`crates/ebpf/src/{interp,decode,maps,analysis}.rs`
+//!   and `crates/core/src/streaming.rs`): the
 //!   per-event path is allocation-free by measurement
 //!   (`hot_path_allocs_per_event` in `BENCH_baseline.json`), and this
 //!   keeps it that way by construction. Deliberate off-path allocations
 //!   carry a `// cold path: ...` comment on the same line, which exempts
 //!   that line.
+//! * Bare slice indexing (`expr[i]`, including range slicing) is banned
+//!   in the non-test code of the static-analysis module
+//!   (`crates/ebpf/src/analysis.rs`): every lookup there goes through
+//!   `.get()`/`.get_mut()`/iterators, so a pass bug surfaces as a
+//!   handled `None`, never as a panic inside the optimizer.
 //!
 //! `#[cfg(test)]` items (and everything nested inside them) are exempt
 //! from the unwrap/expect ban, as are doc comments, line/block
@@ -49,8 +54,14 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/ebpf/src/decode.rs",
     "crates/ebpf/src/jit.rs",
     "crates/ebpf/src/maps.rs",
+    "crates/ebpf/src/analysis.rs",
     "crates/core/src/streaming.rs",
 ];
+
+/// Modules whose non-test code may not use bare slice indexing: a
+/// malformed program must never panic the analysis, so every lookup is a
+/// checked `.get()` or an iterator.
+const NO_SLICE_INDEX_FILES: &[&str] = &["crates/ebpf/src/analysis.rs"];
 
 /// Allocation patterns banned in hot-path modules outside annotated cold
 /// paths and test code.
@@ -124,10 +135,73 @@ fn is_hot_path(path: &Path) -> bool {
     HOT_PATH_FILES.iter().any(|f| normalized.ends_with(f))
 }
 
+/// True when `path` bans bare slice indexing in non-test code.
+fn is_no_slice_index(path: &Path) -> bool {
+    let normalized = path.to_string_lossy().replace('\\', "/");
+    NO_SLICE_INDEX_FILES.iter().any(|f| normalized.ends_with(f))
+}
+
+/// Keywords that can legally precede a `[` without forming an index
+/// expression (`&mut [Insn]`, `x as [u8; 4]`, `return [0; 2]`, ...).
+const PRE_BRACKET_KEYWORDS: &[&str] = &[
+    "mut", "dyn", "ref", "as", "in", "return", "break", "else", "match", "if", "impl", "where",
+    "const", "static",
+];
+
+/// Count bare index/slice expressions on a stripped line: a `[` whose
+/// nearest preceding non-space token ends an expression (identifier,
+/// literal, `)`, `]`, or `?`). Array literals/types (`[0u8; 4]`,
+/// `&[u64]`, `&mut [Insn]`, `&'a [u8]`), attributes (`#[...]`), and
+/// generic args are preceded by punctuation, a keyword, or a lifetime
+/// and don't match.
+fn count_index_exprs(line: &str) -> usize {
+    let bytes = line.as_bytes();
+    let mut count = 0usize;
+    for (i, b) in bytes.iter().enumerate() {
+        if *b != b'[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        let Some(&prev) = j.checked_sub(1).and_then(|k| bytes.get(k)) else {
+            continue;
+        };
+        if prev == b')' || prev == b']' || prev == b'?' {
+            count += 1;
+            continue;
+        }
+        if !(prev.is_ascii_alphanumeric() || prev == b'_') {
+            continue;
+        }
+        // Walk back over the word; keywords and `'a`-style lifetimes
+        // before a `[` introduce types, not index expressions.
+        let mut start = j;
+        while start > 0
+            && bytes
+                .get(start - 1)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            start -= 1;
+        }
+        if start > 0 && bytes.get(start - 1) == Some(&b'\'') {
+            continue;
+        }
+        let word = &line[start..j];
+        if PRE_BRACKET_KEYWORDS.contains(&word) {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
 /// Scan one file; print each violation and return how many fired.
 fn scan_file(path: &Path, text: &str) -> usize {
     let stripped = strip_comments_and_strings(text);
     let hot = is_hot_path(path);
+    let no_index = is_no_slice_index(path);
     let mut count = 0usize;
     let mut in_test_item = false;
     let mut pending_cfg_test = false;
@@ -193,6 +267,19 @@ fn scan_file(path: &Path, text: &str) -> usize {
             }
         }
 
+        if no_index && !exempt {
+            for _ in 0..count_index_exprs(line) {
+                println!(
+                    "{}:{}: banned slice indexing in the analysis module (use \
+                     `.get()`/`.get_mut()`/iterators so a malformed program \
+                     cannot panic the pass)",
+                    path.display(),
+                    lineno + 1
+                );
+                count += 1;
+            }
+        }
+
         depth = depth + opens - closes.min(depth + opens);
         if in_test_item && depth <= depth_at_entry && closes > 0 {
             in_test_item = false;
@@ -241,7 +328,15 @@ fn strip_comments_and_strings(text: &str) -> String {
                 while i < bytes.len() {
                     match bytes[i] {
                         b'\\' => {
-                            out.extend_from_slice(b"  ");
+                            // An escaped newline (string continuation) must
+                            // keep its line break, or every line number
+                            // reported after it drifts.
+                            out.push(b' ');
+                            out.push(if bytes.get(i + 1) == Some(&b'\n') {
+                                b'\n'
+                            } else {
+                                b' '
+                            });
                             i += 2;
                         }
                         b'"' => {

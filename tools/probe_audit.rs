@@ -1,0 +1,139 @@
+//! `probe_audit` — static-analysis audit of every shipped probe program.
+//!
+//! Builds each probe configuration the repo ships (every syscall profile,
+//! the histogram variant the fleet runs, and the multi-process probe),
+//! then for each generated program reports:
+//!
+//! * the certified worst-case cost bound ([`kscope_ebpf::CostReport`]):
+//!   instructions, helper calls, and weighted cost per event;
+//! * what the optimizer did ([`kscope_ebpf::OptReport`]) and the
+//!   optimized program's own cost bound.
+//!
+//! Exit status is non-zero when any audit invariant fails:
+//!
+//! * a program has no finite cost bound;
+//! * the optimizer *increases* a program's slot count;
+//! * an optimized program fails re-verification, or its cost bound
+//!   exceeds the original's (optimization must never certify worse).
+//!
+//! CI runs this as the `analysis-smoke` job. Usage: `probe_audit [-v]`
+//! (`-v` additionally prints disassemblies of programs the optimizer
+//! changed).
+
+use kscope_core::{BytecodeBackend, CTX_SIZE};
+use kscope_ebpf::verifier::{Verifier, VerifierConfig};
+use kscope_ebpf::{cost_report, Program};
+use kscope_syscalls::SyscallProfile;
+
+fn shipped_backends() -> Vec<(String, BytecodeBackend)> {
+    let profiles: [(&str, SyscallProfile); 5] = [
+        ("tailbench", SyscallProfile::tailbench()),
+        ("data_caching", SyscallProfile::data_caching()),
+        ("web_search", SyscallProfile::web_search()),
+        ("triton_grpc", SyscallProfile::triton_grpc()),
+        ("triton_http", SyscallProfile::triton_http()),
+    ];
+    let mut out = Vec::new();
+    for (name, profile) in profiles {
+        let backend = BytecodeBackend::new(1_000, profile.clone(), 10)
+            .unwrap_or_else(|e| panic!("building probe for {name}: {e}"));
+        out.push((name.to_string(), backend));
+    }
+    // The fleet's configuration: histogram variant (register-offset map
+    // access), data_caching profile.
+    let hist = BytecodeBackend::new_with_histogram(1_000, SyscallProfile::data_caching(), 10)
+        .unwrap_or_else(|e| panic!("building histogram probe: {e}"));
+    out.push(("data_caching+hist".to_string(), hist));
+    // Multi-process probe (Web Search aggregates every stage).
+    let multi = BytecodeBackend::new_multi(vec![1_000, 1_001, 1_002], SyscallProfile::web_search(), 10)
+        .unwrap_or_else(|e| panic!("building multi-tgid probe: {e}"));
+    out.push(("web_search+multi".to_string(), multi));
+    out
+}
+
+fn audit_program(
+    label: &str,
+    prog: &Program,
+    backend: &BytecodeBackend,
+    verbose: bool,
+) -> Result<(), String> {
+    let cost = cost_report(prog)
+        .ok_or_else(|| format!("{label}: no finite cost bound for '{}'", prog.name()))?;
+    println!("  {} [{} slots]", prog.name(), prog.len());
+    println!("    cost:      {cost}");
+    let Some((opt, report)) = prog.optimized() else {
+        return Err(format!(
+            "{label}: optimizer declined shipped program '{}'",
+            prog.name()
+        ));
+    };
+    println!("    optimizer: {}", report.summary());
+    if opt.len() > prog.len() {
+        return Err(format!(
+            "{label}: optimizer grew '{}' from {} to {} slots",
+            prog.name(),
+            prog.len(),
+            opt.len()
+        ));
+    }
+    let opt_cost = cost_report(opt)
+        .ok_or_else(|| format!("{label}: optimized '{}' has no finite bound", prog.name()))?;
+    println!("    optimized: {opt_cost}");
+    if opt_cost.max_insns > cost.max_insns {
+        return Err(format!(
+            "{label}: optimization raised the certified bound of '{}' ({} -> {})",
+            prog.name(),
+            cost.max_insns,
+            opt_cost.max_insns
+        ));
+    }
+    let verifier = Verifier::new(VerifierConfig {
+        ctx_size: CTX_SIZE,
+        ..VerifierConfig::default()
+    });
+    let verdict = verifier.verify_report(opt, backend.map_registry());
+    if !verdict.is_ok() {
+        return Err(format!(
+            "{label}: optimized '{}' failed re-verification:\n{verdict}",
+            prog.name()
+        ));
+    }
+    if verbose && report.changed() {
+        println!("--- optimized disassembly ---\n{}", opt.disassemble());
+    }
+    Ok(())
+}
+
+fn main() {
+    let verbose = std::env::args().any(|a| a == "-v" || a == "--verbose");
+    let mut failures: Vec<String> = Vec::new();
+    let mut audited = 0usize;
+    let mut reduced = 0usize;
+    for (label, backend) in shipped_backends() {
+        println!("probe configuration: {label}");
+        let (enter, exit) = backend.programs();
+        for prog in [enter, exit] {
+            match audit_program(&label, prog, &backend, verbose) {
+                Ok(()) => {
+                    audited += 1;
+                    if prog.optimized().is_some_and(|(opt, _)| opt.len() < prog.len()) {
+                        reduced += 1;
+                    }
+                }
+                Err(e) => failures.push(e),
+            }
+        }
+    }
+    println!("\naudited {audited} programs; optimizer reduced {reduced}");
+    if reduced == 0 {
+        failures.push("optimizer reduced no shipped program (regression)".to_string());
+    }
+    if failures.is_empty() {
+        println!("probe audit: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("probe audit FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
