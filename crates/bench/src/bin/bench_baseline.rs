@@ -39,12 +39,22 @@
 //!   zero-allocation claim, measured rather than asserted, for every
 //!   dispatcher including the optimized-program path).
 //!
+//! Every throughput metric is the **best of `bench_repeats` repeats**
+//! (min-of-N on time): on a shared single-vCPU runner, host contention
+//! only ever *slows* a run, so the max throughput across repeats is the
+//! least-contended estimate. The observed spread (`(best - worst) /
+//! best`) is printed per metric and its maximum is recorded as
+//! `bench_spread_max_pct`; the repeat policy itself is recorded as
+//! `bench_repeats` so a committed baseline says how it was measured.
+//!
 //! Flags: `--quick` (shorter samples, for CI smoke), `--out PATH`
 //! (default `BENCH_baseline.json`), `--check PATH` (compare against a
 //! committed baseline; exit 1 if decoded VM throughput regressed more
 //! than 20%, the hot path allocated — interpreted or optimized — the
-//! static optimizer grew the core probe, or — on JIT-capable targets —
-//! the JIT fails its ≥3× ALU gate or its probe-program tripwire).
+//! static optimizer grew the core probe, the pre-decoded interpreter
+//! fell below the raw-word reference (`vm_decode_speedup < 1`), or — on
+//! JIT-capable targets — the JIT fails its ≥3× ALU gate or the ≥2×
+//! probe-event gate helper inlining is pinned by).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -114,12 +124,38 @@ fn main() {
 
     let mut baseline = Baseline::new();
 
+    // Best-of-N repeats: contention on a shared runner only slows runs
+    // down, so the max across repeats is the cleanest estimate.
+    let repeats: usize = 3;
+    let mut max_spread = 0.0f64;
+
     let jit_supported = kscope_ebpf::jit::supported();
     baseline.set("vm_jit_supported", if jit_supported { 1.0 } else { 0.0 });
 
-    let raw = vm_probe_insns_per_sec(&criterion, Vm::new().with_raw_dispatch());
-    let decoded = vm_probe_insns_per_sec(&criterion, Vm::new());
-    let jit = vm_probe_insns_per_sec(&criterion, Vm::new().with_jit());
+    // raw vs decoded feeds the vm_decode_speedup >= 1 gate, so the two
+    // sides are measured in alternating rounds (contention on a shared
+    // runner then biases both equally) with extra repeats for the ratio.
+    let ratio_rounds = repeats + 2;
+    let mut raw = 0.0f64;
+    let mut raw_lo = f64::MAX;
+    let mut decoded = 0.0f64;
+    let mut decoded_lo = f64::MAX;
+    for _ in 0..ratio_rounds {
+        let r = vm_probe_insns_per_sec(&criterion, Vm::new().with_raw_dispatch());
+        raw = raw.max(r);
+        raw_lo = raw_lo.min(r);
+        let d = vm_probe_insns_per_sec(&criterion, Vm::new());
+        decoded = decoded.max(d);
+        decoded_lo = decoded_lo.min(d);
+    }
+    for (label, hi, lo) in [("vm raw", raw, raw_lo), ("vm decoded", decoded, decoded_lo)] {
+        let spread = if hi > 0.0 { (hi - lo) / hi * 100.0 } else { 0.0 };
+        println!("  [{label}: best of {ratio_rounds} interleaved, spread {spread:.1}%]");
+        max_spread = max_spread.max(spread);
+    }
+    let jit = best_of("vm jit", repeats, &mut max_spread, || {
+        vm_probe_insns_per_sec(&criterion, Vm::new().with_jit())
+    });
     baseline.set("vm_insns_per_sec_raw", raw);
     baseline.set("vm_insns_per_sec_decoded", decoded);
     baseline.set("vm_insns_per_sec_jit", jit);
@@ -135,9 +171,15 @@ fn main() {
         if decoded > 0.0 { jit / decoded } else { 0.0 }
     );
 
-    let alu_raw = vm_alu_insns_per_sec(&criterion, Vm::new().with_raw_dispatch());
-    let alu_decoded = vm_alu_insns_per_sec(&criterion, Vm::new());
-    let alu_jit = vm_alu_insns_per_sec(&criterion, Vm::new().with_jit());
+    let alu_raw = best_of("alu raw", repeats, &mut max_spread, || {
+        vm_alu_insns_per_sec(&criterion, Vm::new().with_raw_dispatch())
+    });
+    let alu_decoded = best_of("alu decoded", repeats, &mut max_spread, || {
+        vm_alu_insns_per_sec(&criterion, Vm::new())
+    });
+    let alu_jit = best_of("alu jit", repeats, &mut max_spread, || {
+        vm_alu_insns_per_sec(&criterion, Vm::new().with_jit())
+    });
     baseline.set("vm_alu_insns_per_sec_raw", alu_raw);
     baseline.set("vm_alu_insns_per_sec_decoded", alu_decoded);
     baseline.set("vm_alu_insns_per_sec_jit", alu_jit);
@@ -154,13 +196,21 @@ fn main() {
         if alu_decoded > 0.0 { alu_jit / alu_decoded } else { 0.0 }
     );
 
-    let map_ops = map_ops_per_sec(&criterion);
+    let map_ops = best_of("map ops", repeats, &mut max_spread, || {
+        map_ops_per_sec(&criterion)
+    });
     baseline.set("map_ops_per_sec", map_ops);
     println!("map ops: {:.1}M ops/s", map_ops / 1e6);
 
-    let probe_events = probe_events_per_sec(&criterion, ProbeMode::Interp);
-    let probe_events_jit = probe_events_per_sec(&criterion, ProbeMode::Jit);
-    let probe_events_opt = probe_events_per_sec(&criterion, ProbeMode::Optimized);
+    let probe_events = best_of("probe interp", repeats, &mut max_spread, || {
+        probe_events_per_sec(&criterion, ProbeMode::Interp)
+    });
+    let probe_events_jit = best_of("probe jit", repeats, &mut max_spread, || {
+        probe_events_per_sec(&criterion, ProbeMode::Jit)
+    });
+    let probe_events_opt = best_of("probe opt", repeats, &mut max_spread, || {
+        probe_events_per_sec(&criterion, ProbeMode::Optimized)
+    });
     baseline.set("probe_events_per_sec", probe_events);
     baseline.set("probe_events_per_sec_jit", probe_events_jit);
     baseline.set("probe_events_per_sec_opt", probe_events_opt);
@@ -179,7 +229,9 @@ fn main() {
          optimizer removes {opt_delta:.0} slots"
     );
 
-    let engine_events = engine_events_per_sec(&criterion);
+    let engine_events = best_of("engine", repeats, &mut max_spread, || {
+        engine_events_per_sec(&criterion)
+    });
     baseline.set("engine_events_per_sec", engine_events);
     println!("engine dispatch: {:.1}M events/s", engine_events / 1e6);
 
@@ -198,6 +250,10 @@ fn main() {
     baseline.set("sweep_quick_wall_ms", sweep_ms);
     println!("parallel quick sweep: {sweep_ms:.1} ms wall ({} jobs)", default_jobs());
 
+    baseline.set("bench_repeats", repeats as f64);
+    baseline.set("bench_spread_max_pct", max_spread);
+    println!("repeat policy: best of {repeats}, worst observed spread {max_spread:.1}%");
+
     if let Err(e) = std::fs::write(&out_path, baseline.to_json()) {
         eprintln!("bench_baseline: cannot write {out_path}: {e}");
         std::process::exit(2);
@@ -207,6 +263,23 @@ fn main() {
     if let Some(path) = check_path {
         check_against(&path, &baseline);
     }
+}
+
+/// Runs `f` `repeats` times and keeps the best (max-throughput) sample:
+/// min-of-N on time. Reports the relative spread and folds it into the
+/// run-wide maximum so the emitted baseline carries a noise figure.
+fn best_of(label: &str, repeats: usize, max_spread: &mut f64, mut f: impl FnMut() -> f64) -> f64 {
+    let mut hi = 0.0f64;
+    let mut lo = f64::MAX;
+    for _ in 0..repeats {
+        let v = f();
+        hi = hi.max(v);
+        lo = lo.min(v);
+    }
+    let spread = if hi > 0.0 { (hi - lo) / hi * 100.0 } else { 0.0 };
+    println!("  [{label}: best of {repeats}, spread {spread:.1}%]");
+    *max_spread = max_spread.max(spread);
+    hi
 }
 
 /// Extracts `--flag VALUE` from the argument list.
@@ -257,6 +330,18 @@ fn check_against(path: &str, fresh: &Baseline) {
             was / 1e6
         );
     }
+    // Decode must pay for itself: predecoded dispatch below the raw-word
+    // reference means the decode cache has regressed into pure overhead.
+    let decode_speedup = fresh.get("vm_decode_speedup").unwrap_or(0.0);
+    if decode_speedup < 1.0 {
+        eprintln!(
+            "bench_baseline: REGRESSION: decoded dispatch is {decode_speedup:.2}x the \
+             raw-word interpreter — predecoding must never lose to re-decoding"
+        );
+        failed = true;
+    } else {
+        println!("check: decoded dispatch {decode_speedup:.2}x raw (gate: >= 1.0) — ok");
+    }
     if fresh.get("hot_path_allocs_per_event").is_some_and(|a| a > 0.0) {
         eprintln!("bench_baseline: REGRESSION: steady-state probe path allocated");
         failed = true;
@@ -301,18 +386,28 @@ fn check_against(path: &str, fresh: &Baseline) {
         } else {
             println!("check: JIT ALU speedup {alu_speedup:.2}x over decoded (gate: 3x) — ok");
         }
-        // Gross-regression tripwire only: the probe program is dominated
-        // by helper/map trampolines shared with the interpreter, and
-        // shared-runner noise swamps bounds much tighter than this.
-        let probe_speedup = fresh.get("vm_jit_speedup").unwrap_or(0.0);
-        if probe_speedup < 0.5 {
+        // With env helpers and map lookups emitted inline the end-to-end
+        // probe path must clear 2x the decoded interpreter: the program is
+        // no longer trampoline-dominated, so the gate is on real event
+        // dispatch, not the synthetic ALU floor.
+        let ev_interp = fresh.get("probe_events_per_sec").unwrap_or(0.0);
+        let ev_jit = fresh.get("probe_events_per_sec_jit").unwrap_or(0.0);
+        let ev_ratio = if ev_interp > 0.0 { ev_jit / ev_interp } else { 0.0 };
+        if ev_ratio < 2.0 {
             eprintln!(
-                "bench_baseline: REGRESSION: JIT probe-program throughput is \
-                 {probe_speedup:.2}x decoded — far below the interpreter"
+                "bench_baseline: REGRESSION: JIT probe events/s is only {ev_ratio:.2}x the \
+                 interpreter ({:.2}M vs {:.2}M) — helper inlining gate is 2x",
+                ev_jit / 1e6,
+                ev_interp / 1e6
             );
             failed = true;
         } else {
-            println!("check: JIT probe-program throughput {probe_speedup:.2}x decoded — ok");
+            println!(
+                "check: JIT probe events/s {ev_ratio:.2}x interpreter \
+                 ({:.2}M vs {:.2}M, gate: 2x) — ok",
+                ev_jit / 1e6,
+                ev_interp / 1e6
+            );
         }
         if fresh.get("hot_path_allocs_per_event_jit").is_some_and(|a| a > 0.0) {
             eprintln!("bench_baseline: REGRESSION: steady-state JIT probe path allocated");
@@ -443,13 +538,20 @@ fn probe_in_mode(mode: ProbeMode) -> BytecodeBackend {
 }
 
 fn probe_events_per_sec(criterion: &Criterion, mode: ProbeMode) -> f64 {
+    // Batch events per timed iteration: a JIT-dispatched event is tens
+    // of nanoseconds, so per-iteration harness overhead would otherwise
+    // flatten the very ratio the ≥2× gate pins.
+    const BATCH: u64 = 64;
     let mut probe = probe_in_mode(mode);
     let mut i = 0u64;
     let stats = criterion.measure(|| {
-        i += 1;
-        probe.on_event(&send_exit(i))
+        for _ in 0..BATCH {
+            i += 1;
+            probe.on_event(&send_exit(i));
+        }
+        i
     });
-    stats.ops_per_sec(1.0)
+    stats.ops_per_sec(BATCH as f64)
 }
 
 /// Static-analysis figures for the core probe: the certified worst-case

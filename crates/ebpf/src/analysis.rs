@@ -45,7 +45,7 @@ use crate::insn::{
     OP_JLE, OP_JLT, OP_JNE, OP_JSGE, OP_JSGT, OP_JSLE, OP_JSLT, OP_MOV, REG_COUNT, SRC_X,
     STACK_SIZE,
 };
-use crate::interp::{exec_alu32, exec_alu64, take_branch, CTX_BASE, STACK_BASE};
+use crate::interp::{exec_alu32, exec_alu64, take_branch, CTX_BASE, MAP_HANDLE_BASE, STACK_BASE};
 use crate::program::Program;
 use crate::tnum::Tnum;
 use crate::verifier::VerifyWarning;
@@ -77,16 +77,38 @@ pub struct CostReport {
     /// Maximum helper invocations on any path.
     pub max_helper_calls: u64,
     /// Maximum weighted cost on any path: one unit per executed
-    /// instruction plus [`helper_weight`] units per helper call.
+    /// instruction plus [`helper_weight`] units per helper call. This is
+    /// the universal (interpreter/trampoline) bound; it also covers JIT
+    /// runs whose inline fast paths fall back at run time.
     pub max_weighted_cost: u64,
+    /// Maximum helper invocations on any path that the JIT inline plan
+    /// ([`helper_inline_plan`]) covers — env helpers plus provably
+    /// inlineable map lookups. Maximized independently of
+    /// `max_trampolined_calls`, so the two need not sum to
+    /// `max_helper_calls`.
+    pub max_inlined_calls: u64,
+    /// Maximum helper invocations on any path that still round-trip
+    /// through the sysv64 trampoline under the inline plan.
+    pub max_trampolined_calls: u64,
+    /// Maximum weighted cost on any path with
+    /// [`inlined_helper_weight`] applied at plan-covered call sites —
+    /// the JIT fast-path bound. Runtime guard failures fall back to the
+    /// trampoline, for which `max_weighted_cost` remains the bound.
+    pub max_weighted_cost_jit: u64,
 }
 
 impl std::fmt::Display for CostReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "worst case: {} insns, {} helper calls, weighted cost {}",
-            self.max_insns, self.max_helper_calls, self.max_weighted_cost
+            "worst case: {} insns, {} helper calls ({} inlined / {} trampolined), \
+             weighted cost {} (jit fast path {})",
+            self.max_insns,
+            self.max_helper_calls,
+            self.max_inlined_calls,
+            self.max_trampolined_calls,
+            self.max_weighted_cost,
+            self.max_weighted_cost_jit
         )
     }
 }
@@ -111,6 +133,24 @@ pub fn helper_weight(helper: Helper) -> u64 {
     }
 }
 
+/// Relative cost of one helper invocation when the JIT inlines it
+/// (DESIGN §6f), replacing [`helper_weight`] at call sites the inline
+/// plan covers.
+///
+/// Env helpers collapse to a context-field load (weight 1); prandom
+/// additionally runs its xorshift update inline (weight 2); an inlined
+/// map lookup is a short guard chain plus an index probe — far from
+/// free, but nowhere near the spill + trampoline + hash round-trip the
+/// trampolined weight (10) prices in.
+pub fn inlined_helper_weight(helper: Helper) -> u64 {
+    match helper {
+        Helper::KtimeGetNs | Helper::GetCurrentPidTgid => 1,
+        Helper::GetPrandomU32 => 2,
+        Helper::MapLookupElem => 5,
+        other => helper_weight(other),
+    }
+}
+
 /// Certifies the worst-case per-invocation cost of `program`, or `None`
 /// when the program is not a structurally sound forward DAG (in which
 /// case no finite bound can be promised).
@@ -125,9 +165,13 @@ pub fn cost_report(program: &Program) -> Option<CostReport> {
     let len = insns.len();
     // Reverse dynamic programs over the forward DAG; index `len` is the
     // virtual fall-off-the-end terminator with zero residual cost.
+    let plan = inline_plan(decoded);
     let mut dp_insns = vec![0u64; len + 1];
     let mut dp_helpers = vec![0u64; len + 1];
     let mut dp_weighted = vec![0u64; len + 1];
+    let mut dp_inlined = vec![0u64; len + 1];
+    let mut dp_tramp = vec![0u64; len + 1];
+    let mut dp_weighted_jit = vec![0u64; len + 1];
     let mut succ = Vec::new();
     for pc in (0..len).rev() {
         if is_hi.get(pc).copied().unwrap_or(true) {
@@ -142,13 +186,25 @@ pub fn cost_report(program: &Program) -> Option<CostReport> {
                 .max()
                 .unwrap_or(0)
         };
-        let (helper_inc, weight) = match d {
-            Decoded::Call { helper } => (1, 1 + helper_weight(*helper)),
-            _ => (0, 1),
+        let (helper_inc, weight, inl_inc, tramp_inc, weight_jit) = match d {
+            Decoded::Call { helper } => {
+                let inlined = plan.site(pc).is_some_and(|c| c != HelperInline::Trampoline);
+                let wj = if inlined {
+                    1 + inlined_helper_weight(*helper)
+                } else {
+                    1 + helper_weight(*helper)
+                };
+                let (i, t) = if inlined { (1, 0) } else { (0, 1) };
+                (1, 1 + helper_weight(*helper), i, t, wj)
+            }
+            _ => (0, 1, 0, 0, 1),
         };
         let i = 1 + best(&dp_insns);
         let h = helper_inc + best(&dp_helpers);
         let w = weight + best(&dp_weighted);
+        let il = inl_inc + best(&dp_inlined);
+        let tr = tramp_inc + best(&dp_tramp);
+        let wj = weight_jit + best(&dp_weighted_jit);
         if let Some(slot) = dp_insns.get_mut(pc) {
             *slot = i;
         }
@@ -158,12 +214,358 @@ pub fn cost_report(program: &Program) -> Option<CostReport> {
         if let Some(slot) = dp_weighted.get_mut(pc) {
             *slot = w;
         }
+        if let Some(slot) = dp_inlined.get_mut(pc) {
+            *slot = il;
+        }
+        if let Some(slot) = dp_tramp.get_mut(pc) {
+            *slot = tr;
+        }
+        if let Some(slot) = dp_weighted_jit.get_mut(pc) {
+            *slot = wj;
+        }
     }
     Some(CostReport {
         max_insns: dp_insns.first().copied().unwrap_or(0),
         max_helper_calls: dp_helpers.first().copied().unwrap_or(0),
         max_weighted_cost: dp_weighted.first().copied().unwrap_or(0),
+        max_inlined_calls: dp_inlined.first().copied().unwrap_or(0),
+        max_trampolined_calls: dp_tramp.first().copied().unwrap_or(0),
+        max_weighted_cost_jit: dp_weighted_jit.first().copied().unwrap_or(0),
     })
+}
+
+// ---------------------------------------------------------------------------
+// JIT helper-inline plan
+// ---------------------------------------------------------------------------
+
+/// How the x86-64 template JIT treats one helper-call site (DESIGN §6f).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelperInline {
+    /// Inlined unconditionally: the helper only reads/updates the
+    /// environment snapshot in the JIT context (`ktime`, `pid_tgid`,
+    /// prandom state).
+    Env,
+    /// Inlined guarded fast path: the lookup's fd and key address are
+    /// compile-time facts, so the JIT probes the map's runtime
+    /// descriptor directly and falls back to the trampoline only when a
+    /// runtime guard fails.
+    MapLookupFast,
+    /// Full sysv64 trampoline round-trip.
+    Trampoline,
+}
+
+/// A `MapLookupElem` site the dataflow proved inlineable: the fd is a
+/// compile-time constant and the key pointer is a fixed stack offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LookupSite {
+    /// The constant map fd (`ld_map_fd` handle, low 32 bits).
+    pub fd: u32,
+    /// Key offset from the bottom of the stack frame
+    /// (`0..STACK_SIZE - key_size`).
+    pub key_off: u32,
+    /// Key bytes readable as a 4-byte array index (`key_off + 4` fits).
+    pub array_ok: bool,
+    /// Key bytes readable as an 8-byte hash key (`key_off + 8` fits).
+    pub hash8_ok: bool,
+}
+
+/// The per-program inline plan: one entry per helper-call site. Shared
+/// by the JIT emitter (which implements exactly this plan on x86-64),
+/// the cost certifier, and `probe_audit` — so the accounting stays
+/// platform-independent and in lockstep with what the emitter does.
+#[derive(Debug, Clone, Default)]
+pub struct InlinePlan {
+    sites: Vec<(usize, Helper, HelperInline)>,
+    lookups: Vec<Option<LookupSite>>,
+}
+
+impl InlinePlan {
+    /// Every helper-call site as `(pc, helper, treatment)`.
+    pub fn sites(&self) -> &[(usize, Helper, HelperInline)] {
+        &self.sites
+    }
+
+    /// The treatment of the call site at `pc`, if `pc` is one.
+    pub fn site(&self, pc: usize) -> Option<HelperInline> {
+        self.sites
+            .iter()
+            .find(|(p, _, _)| *p == pc)
+            .map(|(_, _, c)| *c)
+    }
+
+    /// Number of call sites the JIT inlines.
+    pub fn inlined(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|(_, _, c)| *c != HelperInline::Trampoline)
+            .count()
+    }
+
+    /// Number of call sites that keep the trampoline round-trip.
+    pub fn trampolined(&self) -> usize {
+        self.sites.len() - self.inlined()
+    }
+
+    /// The proven lookup facts for a [`HelperInline::MapLookupFast`]
+    /// site (the JIT emitter's input).
+    pub(crate) fn lookup_site(&self, pc: usize) -> Option<LookupSite> {
+        self.lookups.get(pc).copied().flatten()
+    }
+}
+
+/// Computes the JIT inline plan of a program: which helper-call sites
+/// the x86-64 emitter inlines and which keep the trampoline. The plan is
+/// derived purely from the decoded instruction stream (a must-dataflow
+/// over register values), so it is identical on every platform — on
+/// non-x86-64 hosts it still describes what the JIT *would* emit.
+pub fn helper_inline_plan(program: &Program) -> InlinePlan {
+    inline_plan(program.decoded())
+}
+
+/// Largest constant fd the lookup fast path will specialize on; keeps
+/// `fd * 32` comfortably inside a signed displacement and the fd inside
+/// a guard's 32-bit immediate. Real registries hold a handful of maps.
+const MAX_INLINE_FD: u64 = 0xFFFF;
+
+pub(crate) fn inline_plan(decoded: &[Decoded]) -> InlinePlan {
+    let states = abs_states(decoded);
+    let mut plan = InlinePlan {
+        sites: Vec::new(),
+        lookups: vec![None; decoded.len()],
+    };
+    for (pc, d) in decoded.iter().enumerate() {
+        let Decoded::Call { helper } = d else { continue };
+        let class = match helper {
+            h if h.is_env() => HelperInline::Env,
+            Helper::MapLookupElem => {
+                let site = states
+                    .get(pc)
+                    .and_then(|s| s.as_ref())
+                    .and_then(|regs| lookup_site_from_state(regs));
+                match site {
+                    Some(site) => {
+                        if let Some(slot) = plan.lookups.get_mut(pc) {
+                            *slot = Some(site);
+                        }
+                        HelperInline::MapLookupFast
+                    }
+                    None => HelperInline::Trampoline,
+                }
+            }
+            _ => HelperInline::Trampoline,
+        };
+        plan.sites.push((pc, *helper, class));
+    }
+    plan
+}
+
+/// Derives an inlineable-lookup fact from the must-state at a
+/// `MapLookupElem` site: `r1` must be a constant map handle and `r2` a
+/// fixed in-bounds stack address. Either the 4-byte (array index) or the
+/// 8-byte (hash key) read window must fit the frame; the emitter guards
+/// the actual map shape at run time.
+fn lookup_site_from_state(regs: &[AbsVal; REG_COUNT]) -> Option<LookupSite> {
+    let AbsVal::Const(handle) = regs.get(1).copied()? else {
+        return None;
+    };
+    if handle & MAP_HANDLE_BASE != MAP_HANDLE_BASE {
+        return None;
+    }
+    let fd = handle & 0xFFFF_FFFF;
+    if fd > MAX_INLINE_FD {
+        return None;
+    }
+    let AbsVal::Stack(delta) = regs.get(2).copied()? else {
+        return None;
+    };
+    let key_off = (STACK_SIZE as i64).checked_add(delta)?;
+    if key_off < 0 {
+        return None;
+    }
+    let array_ok = key_off + 4 <= STACK_SIZE as i64;
+    let hash8_ok = key_off + 8 <= STACK_SIZE as i64;
+    if !array_ok && !hash8_ok {
+        return None;
+    }
+    Some(LookupSite {
+        fd: fd as u32,
+        key_off: key_off as u32,
+        array_ok,
+        hash8_ok,
+    })
+}
+
+/// Abstract register value for the inline-plan must-dataflow. `Stack(d)`
+/// means the register provably holds `STACK_BASE + STACK_SIZE + d` (the
+/// interpreter's `r10` entry value plus a known delta) on every path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// No single value holds on all paths.
+    Unknown,
+    /// The exact runtime value on every path.
+    Const(u64),
+    /// Stack-top-relative address with a known delta.
+    Stack(i64),
+}
+
+impl AbsVal {
+    fn merge(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            self
+        } else {
+            AbsVal::Unknown
+        }
+    }
+}
+
+/// Forward must-dataflow over [`AbsVal`]; `None` marks unreachable
+/// slots. Sound on arbitrary (even loopy, hostile) instruction streams:
+/// the lattice has height 2 and merges only move values toward
+/// `Unknown`, so the worklist terminates, and transfer functions reuse
+/// the interpreter's own ALU evaluators so `Const` facts are exact.
+fn abs_states(decoded: &[Decoded]) -> Vec<Option<[AbsVal; REG_COUNT]>> {
+    let len = decoded.len();
+    let mut states: Vec<Option<[AbsVal; REG_COUNT]>> = vec![None; len];
+    if len == 0 {
+        return states;
+    }
+    let mut entry = [AbsVal::Const(0); REG_COUNT];
+    if let Some(r1) = entry.get_mut(1) {
+        *r1 = AbsVal::Const(CTX_BASE);
+    }
+    if let Some(r10) = entry.get_mut(10) {
+        *r10 = AbsVal::Stack(0);
+    }
+    if let Some(slot) = states.get_mut(0) {
+        *slot = Some(entry);
+    }
+    let mut work = vec![0usize];
+    let mut succ = Vec::new();
+    while let Some(pc) = work.pop() {
+        let Some(Some(state)) = states.get(pc).copied() else {
+            continue;
+        };
+        let Some(d) = decoded.get(pc) else { continue };
+        let mut out = state;
+        abs_step(d, &mut out);
+        decoded_succs(pc, d, len, &mut succ);
+        for &s in &succ {
+            let Some(slot) = states.get_mut(s) else { continue };
+            let merged = match *slot {
+                None => out,
+                Some(prev) => {
+                    let mut m = prev;
+                    for (mv, ov) in m.iter_mut().zip(out.iter()) {
+                        *mv = mv.merge(*ov);
+                    }
+                    m
+                }
+            };
+            if slot.as_ref() != Some(&merged) {
+                *slot = Some(merged);
+                work.push(s);
+            }
+        }
+    }
+    states
+}
+
+/// Transfer function of one decoded slot, mirroring
+/// `interp::run_decoded` exactly on the facts it tracks.
+fn abs_step(d: &Decoded, regs: &mut [AbsVal; REG_COUNT]) {
+    let get = |regs: &[AbsVal; REG_COUNT], r: u8| {
+        regs.get(r as usize).copied().unwrap_or(AbsVal::Unknown)
+    };
+    let set = |regs: &mut [AbsVal; REG_COUNT], r: u8, v: AbsVal| {
+        if let Some(slot) = regs.get_mut(r as usize) {
+            *slot = v;
+        }
+    };
+    match d {
+        Decoded::LdImm64 { dst, value } => set(regs, *dst, AbsVal::Const(*value)),
+        Decoded::Load { dst, .. } => set(regs, *dst, AbsVal::Unknown),
+        Decoded::StoreReg { .. } | Decoded::StoreImm { .. } => {}
+        Decoded::Alu64Imm { op, dst, imm } => {
+            let v = if *op == AluOp::Mov {
+                AbsVal::Const(*imm)
+            } else {
+                match get(regs, *dst) {
+                    AbsVal::Const(a) => AbsVal::Const(exec_alu64(*op, a, *imm)),
+                    AbsVal::Stack(delta) => match op {
+                        AluOp::Add => AbsVal::Stack(delta.wrapping_add(*imm as i64)),
+                        AluOp::Sub => AbsVal::Stack(delta.wrapping_sub(*imm as i64)),
+                        _ => AbsVal::Unknown,
+                    },
+                    AbsVal::Unknown => AbsVal::Unknown,
+                }
+            };
+            set(regs, *dst, v);
+        }
+        Decoded::Alu64Reg { op, dst, src } => {
+            let s = get(regs, *src);
+            let v = if *op == AluOp::Mov {
+                s
+            } else {
+                match (get(regs, *dst), s) {
+                    (AbsVal::Const(a), AbsVal::Const(b)) => {
+                        AbsVal::Const(exec_alu64(*op, a, b))
+                    }
+                    (AbsVal::Stack(delta), AbsVal::Const(c)) if *op == AluOp::Add => {
+                        AbsVal::Stack(delta.wrapping_add(c as i64))
+                    }
+                    (AbsVal::Stack(delta), AbsVal::Const(c)) if *op == AluOp::Sub => {
+                        AbsVal::Stack(delta.wrapping_sub(c as i64))
+                    }
+                    (AbsVal::Const(c), AbsVal::Stack(delta)) if *op == AluOp::Add => {
+                        AbsVal::Stack(delta.wrapping_add(c as i64))
+                    }
+                    (AbsVal::Stack(a), AbsVal::Stack(b)) if *op == AluOp::Sub => {
+                        AbsVal::Const(a.wrapping_sub(b) as u64)
+                    }
+                    _ => AbsVal::Unknown,
+                }
+            };
+            set(regs, *dst, v);
+        }
+        Decoded::Alu32Imm { op, dst, imm } => {
+            let v = if *op == AluOp::Mov {
+                AbsVal::Const(*imm as u64)
+            } else {
+                match get(regs, *dst) {
+                    AbsVal::Const(a) => {
+                        AbsVal::Const(exec_alu32(*op, a as u32, *imm) as u64)
+                    }
+                    _ => AbsVal::Unknown,
+                }
+            };
+            set(regs, *dst, v);
+        }
+        Decoded::Alu32Reg { op, dst, src } => {
+            let v = match (get(regs, *dst), get(regs, *src)) {
+                (AbsVal::Const(a), AbsVal::Const(b)) => {
+                    AbsVal::Const(exec_alu32(*op, a as u32, b as u32) as u64)
+                }
+                (_, AbsVal::Const(b)) if *op == AluOp::Mov => {
+                    AbsVal::Const(b as u32 as u64)
+                }
+                _ => AbsVal::Unknown,
+            };
+            set(regs, *dst, v);
+        }
+        Decoded::Call { .. } => {
+            set(regs, 0, AbsVal::Unknown);
+            for r in 1..=5u8 {
+                set(regs, r, AbsVal::Const(CLOBBER));
+            }
+        }
+        Decoded::Ja { .. }
+        | Decoded::JmpImm { .. }
+        | Decoded::JmpReg { .. }
+        | Decoded::Exit
+        | Decoded::MalformedLdDw
+        | Decoded::UnknownHelper { .. }
+        | Decoded::BadOpcode { .. } => {}
+    }
 }
 
 // ---------------------------------------------------------------------------

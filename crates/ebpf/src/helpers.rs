@@ -85,6 +85,18 @@ impl Helper {
         }
     }
 
+    /// True for zero-argument helpers that only read execution-environment
+    /// state (clock, current task, PRNG). The JIT inlines these as loads
+    /// from scratch fields seeded out of `ExecEnv` before entry, with no
+    /// trampoline round-trip; the interpreter and the trampoline fallback
+    /// observe the exact same values, including the PRNG draw sequence.
+    pub fn is_env(self) -> bool {
+        matches!(
+            self,
+            Helper::KtimeGetNs | Helper::GetCurrentPidTgid | Helper::GetPrandomU32
+        )
+    }
+
     /// What the helper leaves in `r0`.
     pub fn return_class(self) -> RetClass {
         match self {
@@ -168,6 +180,27 @@ mod tests {
             Helper::RingbufOutput,
         ] {
             assert_eq!(helper.signature().len(), helper.arg_count(), "{helper:?}");
+        }
+    }
+
+    #[test]
+    fn env_helpers_are_exactly_the_zero_arg_state_readers() {
+        for helper in [
+            Helper::KtimeGetNs,
+            Helper::GetPrandomU32,
+            Helper::GetCurrentPidTgid,
+        ] {
+            assert!(helper.is_env(), "{helper:?}");
+            assert_eq!(helper.arg_count(), 0, "{helper:?}");
+        }
+        for helper in [
+            Helper::MapLookupElem,
+            Helper::MapUpdateElem,
+            Helper::MapDeleteElem,
+            Helper::TracePrintk,
+            Helper::RingbufOutput,
+        ] {
+            assert!(!helper.is_env(), "{helper:?}");
         }
     }
 

@@ -33,7 +33,8 @@ use crate::insn::{
     CLS_ALU, CLS_ALU64, CLS_JMP, CLS_JMP32, CLS_LD, CLS_LDX, CLS_ST, CLS_STX, OP_CALL, OP_EXIT,
     OP_JA, PSEUDO_MAP_FD, REG_COUNT, STACK_SIZE,
 };
-use crate::maps::{InlineKey, MapFd, MapRegistry, MAX_KEY_SIZE};
+use crate::mapindex::SlotEntry;
+use crate::maps::{MapFd, MapRegistry, MAX_KEY_SIZE};
 use crate::program::Program;
 
 /// Base address of the read-only context region.
@@ -194,7 +195,9 @@ pub struct Vm {
     optimize: bool,
     /// Live map-value slots handed out by `map_lookup_elem`, reset per
     /// invocation; owned here so repeated invocations reuse the storage.
-    slots: Vec<(MapFd, InlineKey)>,
+    /// `#[repr(C)]` entries because the JIT's inline lookup fast path
+    /// appends to this vector directly (within its reserved capacity).
+    slots: Vec<SlotEntry>,
     /// Reusable buffer for helper value transfers (`map_update_elem`
     /// payloads, ring-buffer records).
     scratch: Vec<u8>,
@@ -233,7 +236,7 @@ pub(crate) struct Memory<'a> {
     pub(crate) maps: &'a mut MapRegistry,
     /// Live map-value slots: `(fd, key)` resolved on each access so writes
     /// land in the registry directly.
-    pub(crate) slots: &'a mut Vec<(MapFd, InlineKey)>,
+    pub(crate) slots: &'a mut Vec<SlotEntry>,
 }
 
 impl Memory<'_> {
@@ -256,10 +259,10 @@ impl Memory<'_> {
         let bad = |size: usize| ExecError::BadMemAccess { pc, addr, size };
         let slot = ((addr - MAP_SLOT_BASE) / MAP_SLOT_STRIDE) as usize;
         let off = ((addr - MAP_SLOT_BASE) % MAP_SLOT_STRIDE) as usize;
-        let &(fd, key) = self.slots.get(slot).ok_or_else(|| bad(0))?;
+        let entry = *self.slots.get(slot).ok_or_else(|| bad(0))?;
         let value = self
             .maps
-            .lookup(fd, key.as_slice())
+            .lookup(MapFd(entry.fd), entry.key_bytes())
             .ok()
             .flatten()
             .ok_or_else(|| bad(0))?;
@@ -283,10 +286,10 @@ impl Memory<'_> {
         let bad = || ExecError::BadMemAccess { pc, addr, size };
         let slot = ((addr - MAP_SLOT_BASE) / MAP_SLOT_STRIDE) as usize;
         let off = ((addr - MAP_SLOT_BASE) % MAP_SLOT_STRIDE) as usize;
-        let &(fd, key) = self.slots.get(slot).ok_or_else(bad)?;
+        let entry = *self.slots.get(slot).ok_or_else(bad)?;
         let dest = self
             .maps
-            .lookup_mut(fd, key.as_slice())
+            .lookup_mut(MapFd(entry.fd), entry.key_bytes())
             .ok()
             .flatten()
             .ok_or_else(bad)?;
@@ -328,10 +331,10 @@ impl Memory<'_> {
             // Slot-resolution failures report size 0: the access never
             // reached a concrete value (historical fault shape, relied on
             // by golden error fixtures).
-            let &(fd, key) = self.slots.get(slot).ok_or_else(|| bad(0))?;
+            let entry = *self.slots.get(slot).ok_or_else(|| bad(0))?;
             let value = self
                 .maps
-                .lookup(fd, key.as_slice())
+                .lookup(MapFd(entry.fd), entry.key_bytes())
                 .ok()
                 .flatten()
                 .ok_or_else(|| bad(0))?;
@@ -376,10 +379,10 @@ impl Memory<'_> {
         } else if (MAP_SLOT_BASE..MAP_HANDLE_BASE).contains(&addr) {
             let slot = ((addr - MAP_SLOT_BASE) / MAP_SLOT_STRIDE) as usize;
             let off = ((addr - MAP_SLOT_BASE) % MAP_SLOT_STRIDE) as usize;
-            let &(fd, key) = self.slots.get(slot).ok_or_else(bad)?;
+            let entry = *self.slots.get(slot).ok_or_else(bad)?;
             let value = self
                 .maps
-                .lookup_mut(fd, key.as_slice())
+                .lookup_mut(MapFd(entry.fd), entry.key_bytes())
                 .ok()
                 .flatten()
                 .ok_or_else(bad)?;
@@ -497,6 +500,11 @@ impl Vm {
         env: &mut ExecEnv,
     ) -> Result<ExecOutcome, ExecError> {
         self.slots.clear();
+        if self.slots.capacity() < 64 {
+            // One-time growth: the JIT's inline lookup fast path appends
+            // into spare capacity and must never be the first to allocate.
+            self.slots.reserve(64 - self.slots.capacity());
+        }
         let Vm {
             insn_budget,
             dispatch,
@@ -549,21 +557,27 @@ fn run_decoded(
     env: &mut ExecEnv,
 ) -> Result<ExecOutcome, ExecError> {
     let code = program.decoded();
+    // Hoisted: `mem` is mutably borrowed across the loop, so reloading
+    // `code.len()` on every taken branch is not optimized away for free.
+    let code_len = code.len();
     let mut regs = [0u64; REG_COUNT];
     regs[1] = CTX_BASE;
     regs[10] = STACK_BASE + STACK_SIZE as u64;
     let mut trace_output = Vec::new();
-    let mut executed: u64 = 0;
+    // Count the budget down instead of up: the hot-loop guard becomes a
+    // test against zero (no second live `budget` operand), and
+    // `insns_executed` is recovered on exit.
+    let mut remaining: u64 = budget;
     let mut pc: usize = 0;
 
     loop {
-        if executed >= budget {
+        if remaining == 0 {
             return Err(ExecError::BudgetExhausted { budget });
         }
         let Some(&step) = code.get(pc) else {
             return Err(ExecError::FellOffEnd);
         };
-        executed += 1;
+        remaining -= 1;
 
         match step {
             Decoded::LdImm64 { dst, value } => {
@@ -602,7 +616,7 @@ fn run_decoded(
                 *dst = exec_alu32(op, *dst as u32, rhs) as u64;
             }
             Decoded::Ja { target } => {
-                if target < 0 || target as usize > code.len() {
+                if target < 0 || target as usize > code_len {
                     return Err(ExecError::BadJumpTarget { pc, target });
                 }
                 pc = target as usize;
@@ -616,7 +630,7 @@ fn run_decoded(
                 target,
             } => {
                 if take_branch(op, w32, regs[dst as usize], rhs) {
-                    if target < 0 || target as usize > code.len() {
+                    if target < 0 || target as usize > code_len {
                         return Err(ExecError::BadJumpTarget { pc, target });
                     }
                     pc = target as usize;
@@ -631,7 +645,7 @@ fn run_decoded(
                 target,
             } => {
                 if take_branch(op, w32, regs[dst as usize], regs[src as usize]) {
-                    if target < 0 || target as usize > code.len() {
+                    if target < 0 || target as usize > code_len {
                         return Err(ExecError::BadJumpTarget { pc, target });
                     }
                     pc = target as usize;
@@ -644,7 +658,7 @@ fn run_decoded(
             Decoded::Exit => {
                 return Ok(ExecOutcome {
                     ret: regs[0],
-                    insns_executed: executed,
+                    insns_executed: budget - remaining,
                     trace_output,
                 });
             }
@@ -836,7 +850,7 @@ pub(crate) fn call_helper(
             match mem.maps.lookup(fd, key) {
                 Ok(Some(_)) => {
                     let slot = mem.slots.len() as u64;
-                    mem.slots.push((fd, InlineKey::new(key)));
+                    mem.slots.push(SlotEntry::new(fd.0, key));
                     MAP_SLOT_BASE + slot * MAP_SLOT_STRIDE
                 }
                 _ => 0,

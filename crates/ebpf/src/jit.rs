@@ -53,10 +53,16 @@ pub use stub::*;
 
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 mod imp {
+    use crate::analysis::{inline_plan, HelperInline, InlinePlan, LookupSite};
     use crate::decode::{AluOp, CmpOp, Decoded};
+    use crate::helpers::Helper;
     use crate::insn::{MAX_INSNS, REG_COUNT, STACK_SIZE};
     use crate::interp::{
-        call_helper, ExecEnv, ExecError, ExecOutcome, Memory, CTX_BASE, STACK_BASE,
+        call_helper, ExecEnv, ExecError, ExecOutcome, Memory, CTX_BASE, MAP_SLOT_BASE,
+        MAP_SLOT_STRIDE, STACK_BASE,
+    };
+    use crate::mapindex::{
+        DESC_KIND_ARRAY, DESC_KIND_HASH, INDEX_OCCUPIED, INDEX_SEED, MIX64_MUL1, MIX64_MUL2,
     };
     use crate::program::Program;
     use crate::verifier::{AccessProofs, ProvenRegion};
@@ -101,6 +107,22 @@ mod imp {
     #[allow(dead_code)]
     const OFF_STATE: i32 = 0xA0;
     const OFF_BUDGET: i32 = 0xA8;
+    // Environment snapshot for inlined helpers (DESIGN §6f).
+    const OFF_ENV_KTIME: i32 = 0xB0;
+    const OFF_ENV_PID_TGID: i32 = 0xB8;
+    const OFF_ENV_PRANDOM: i32 = 0xC0;
+    // Map-value slot vector (base/len/cap of `Vm::slots`' spare-capacity
+    // buffer) and the registry's runtime map descriptors, for the inline
+    // map-lookup fast path.
+    const OFF_SLOTS_BASE: i32 = 0xC8;
+    const OFF_SLOTS_LEN: i32 = 0xD0;
+    const OFF_SLOTS_CAP: i32 = 0xD8;
+    const OFF_DESCS_BASE: i32 = 0xE0;
+    const OFF_DESCS_LEN: i32 = 0xE8;
+
+    /// Poison written into r1–r5 after every helper call (the
+    /// interpreter's clobber value, reproduced by inlined helpers).
+    const CLOBBER: u64 = 0xDEAD_BEEF_DEAD_BEEF;
 
     const STATUS_OK: i32 = 0;
     const STATUS_TRAMP_FAULT: i32 = 1;
@@ -128,6 +150,27 @@ mod imp {
         tramp_helper: u64,
         state: u64,
         budget: u64,
+        /// `ExecEnv::ktime_ns`, loaded directly by inlined `ktime_get_ns`.
+        env_ktime: u64,
+        /// `ExecEnv::pid_tgid`, loaded directly by inlined
+        /// `get_current_pid_tgid`.
+        env_pid_tgid: u64,
+        /// `ExecEnv::prandom_state`; inlined `get_prandom_u32` advances it
+        /// in place and [`run`] writes it back on every exit path.
+        env_prandom: u64,
+        /// `Vm::slots` buffer: inlined lookups append `SlotEntry` records
+        /// at `slots_base + slots_len * 24` while `slots_len < slots_cap`
+        /// (never allocating); trampolines re-sync all three around any
+        /// Rust-side `Vec` use.
+        slots_base: u64,
+        slots_len: u64,
+        slots_cap: u64,
+        /// `MapRegistry::refresh_runtime_descs` table: one 32-byte
+        /// `MapRuntimeDesc` per fd, rechecked at run time by every
+        /// inlined lookup (nothing about map shape is baked at compile
+        /// time).
+        descs_base: u64,
+        descs_len: u64,
     }
 
     /// Lifetime-erased pointers to the interpreter-side execution state,
@@ -151,10 +194,31 @@ mod imp {
     ///
     /// Called only from JIT-compiled code with the `JitCtx` built by
     /// [`run`]; all pointers are live for the duration of the call.
+    /// Publishes JIT-side slot pushes to the Rust `Vec` before any
+    /// interpreter code resolves slot handles.
+    ///
+    /// # Safety
+    ///
+    /// `ctx.slots_len` only grows past the `Vec`'s own length via inline
+    /// pushes that wrote complete `SlotEntry` records into spare
+    /// capacity, and never exceeds `slots_cap` (== the `Vec` capacity).
+    unsafe fn slots_sync_in(ctx: &JitCtx, mem: &mut Memory<'_>) {
+        mem.slots.set_len(ctx.slots_len as usize);
+    }
+
+    /// Re-captures the slot vector after Rust-side pushes (which may
+    /// have reallocated the buffer).
+    fn slots_sync_out(ctx: &mut JitCtx, mem: &mut Memory<'_>) {
+        ctx.slots_base = mem.slots.as_mut_ptr() as u64;
+        ctx.slots_len = mem.slots.len() as u64;
+        ctx.slots_cap = mem.slots.capacity() as u64;
+    }
+
     unsafe extern "sysv64" fn tramp_load(ctx: *mut JitCtx, addr: u64, meta: u32) -> u32 {
         let ctx = &mut *ctx;
         let st = &mut *(ctx.state as *mut TrampState);
         let mem = &mut *st.mem;
+        slots_sync_in(ctx, mem);
         let dst = (meta & 0x1f) as usize;
         let size = ((meta >> 8) & 0xf) as usize;
         let pc = (meta >> 16) as usize;
@@ -187,6 +251,7 @@ mod imp {
         let ctx = &mut *ctx;
         let st = &mut *(ctx.state as *mut TrampState);
         let mem = &mut *st.mem;
+        slots_sync_in(ctx, mem);
         let size = ((meta >> 8) & 0xf) as usize;
         let pc = (meta >> 16) as usize;
         let result = if meta & (1 << 14) != 0 {
@@ -221,7 +286,12 @@ mod imp {
             // resolved at decode time.
             None => unreachable!("JIT emitted a call to an unknown helper id"),
         };
-        match call_helper(pc, helper, &mut ctx.regs, mem, scratch, env, trace_output) {
+        slots_sync_in(ctx, mem);
+        let result = call_helper(pc, helper, &mut ctx.regs, mem, scratch, env, trace_output);
+        // `map_lookup_elem` may have pushed (and reallocated) the slot
+        // vector; republish it for subsequent inline pushes.
+        slots_sync_out(ctx, mem);
+        match result {
             Ok(()) => 0,
             Err(e) => {
                 st.fault = Some(e);
@@ -329,6 +399,11 @@ mod imp {
         min_ctx_len: usize,
         /// Number of memory accesses compiled without bounds checks.
         elided: usize,
+        /// Helper-call sites compiled to inline code (env helpers plus
+        /// guarded map-lookup fast paths).
+        inlined_calls: usize,
+        /// Helper-call sites that kept the full trampoline round-trip.
+        trampolined_calls: usize,
     }
 
     impl std::fmt::Debug for JitProgram {
@@ -337,6 +412,8 @@ mod imp {
                 .field("code_bytes", &self.buf.len)
                 .field("min_ctx_len", &self.min_ctx_len)
                 .field("elided", &self.elided)
+                .field("inlined_calls", &self.inlined_calls)
+                .field("trampolined_calls", &self.trampolined_calls)
                 .finish()
         }
     }
@@ -350,6 +427,16 @@ mod imp {
         /// Number of memory accesses compiled without bounds checks.
         pub fn elided_accesses(&self) -> usize {
             self.elided
+        }
+
+        /// Helper-call sites compiled to inline code.
+        pub fn inlined_calls(&self) -> usize {
+            self.inlined_calls
+        }
+
+        /// Helper-call sites that kept the trampoline round-trip.
+        pub fn trampolined_calls(&self) -> usize {
+            self.trampolined_calls
         }
     }
 
@@ -517,9 +604,67 @@ mod imp {
 
         /// `mov qword [r12 + disp], imm32` (sign-extended).
         fn mov_ctxmem_imm(&mut self, disp: i32, imm: i32) {
-            self.rex(true, 0, R12);
+            self.mov_mi(R12, disp, imm);
+        }
+
+        /// `mov qword [base + disp], imm32` (sign-extended).
+        fn mov_mi(&mut self, base: u8, disp: i32, imm: i32) {
+            self.rex(true, 0, base);
             self.b(0xC7);
-            self.modrm_mem(0, R12, disp);
+            self.modrm_mem(0, base, disp);
+            self.imm32(imm as u32);
+        }
+
+        /// `mov reg32, [base + disp]` (zero-extends).
+        fn mov32_rm(&mut self, reg: u8, base: u8, disp: i32) {
+            self.rex(false, reg, base);
+            self.b(0x8B);
+            self.modrm_mem(reg, base, disp);
+        }
+
+        /// `cmp reg, [base + disp]` (64- or 32-bit by `w`).
+        fn cmp_rm(&mut self, w: bool, reg: u8, base: u8, disp: i32) {
+            self.rex(w, reg, base);
+            self.b(0x3B);
+            self.modrm_mem(reg, base, disp);
+        }
+
+        /// `cmp dword [base + disp], imm32`.
+        fn cmp32_mi(&mut self, base: u8, disp: i32, imm: i32) {
+            self.rex(false, 0, base);
+            self.b(0x81);
+            self.modrm_mem(7, base, disp);
+            self.imm32(imm as u32);
+        }
+
+        /// `and reg, [base + disp]` (64-bit).
+        fn and_rm(&mut self, reg: u8, base: u8, disp: i32) {
+            self.rex(true, reg, base);
+            self.b(0x23);
+            self.modrm_mem(reg, base, disp);
+        }
+
+        /// Shift by a constant: `ext` 4 = shl, 5 = shr, 7 = sar.
+        fn shift_ri(&mut self, w: bool, ext: u8, reg: u8, count: u8) {
+            self.rex(w, 0, reg);
+            self.b(0xC1);
+            self.modrm_reg(ext, reg);
+            self.b(count);
+        }
+
+        /// `imul dst, src` (64-bit; low bits match unsigned wrap).
+        fn imul_rr(&mut self, dst: u8, src: u8) {
+            self.rex(true, dst, src);
+            self.b(0x0F);
+            self.b(0xAF);
+            self.modrm_reg(dst, src);
+        }
+
+        /// `imul dst, src, imm32` (64-bit).
+        fn imul_rri(&mut self, dst: u8, src: u8, imm: i32) {
+            self.rex(true, dst, src);
+            self.b(0x69);
+            self.modrm_reg(dst, src);
             self.imm32(imm as u32);
         }
 
@@ -627,6 +772,28 @@ mod imp {
             self.code[pos] = rel as u8;
         }
 
+        /// Forward near jump with a rel32 patch site (for the long
+        /// inline-lookup sequences where rel8 cannot reach); returns the
+        /// rel32 position for [`Emitter::patch32`].
+        fn jcc32_fwd(&mut self, cc: u8) -> usize {
+            self.b(0x0F);
+            self.b(0x80 | cc);
+            self.imm32(0);
+            self.code.len() - 4
+        }
+
+        fn jmp32_fwd(&mut self) -> usize {
+            self.b(0xE9);
+            self.imm32(0);
+            self.code.len() - 4
+        }
+
+        fn patch32(&mut self, pos: usize) {
+            let rel = self.code.len() as i64 - (pos as i64 + 4);
+            let bytes = (rel as i32).to_le_bytes();
+            self.code[pos..pos + 4].copy_from_slice(&bytes);
+        }
+
         /// `call [r12 + disp]`.
         fn call_ctxmem(&mut self, disp: i32) {
             self.b(0x41); // REX.B for r12
@@ -691,6 +858,15 @@ mod imp {
             self.b(0xC0);
             self.jcc(CC_NZ, Label::TrampFault);
         }
+
+        /// Writes the interpreter's clobber poison into r1–r5 (rax/r0
+        /// holds the helper result and is preserved).
+        fn poison_caller_saved(&mut self) {
+            self.mov_ri(RDI, CLOBBER);
+            for r in 2..6 {
+                self.alu_rr(true, 0x89, RDI, X86[r]);
+            }
+        }
     }
 
     // ---------------------------------------------------------------
@@ -709,6 +885,9 @@ mod imp {
             return None;
         }
         let len = decoded.len();
+        // Which helper-call sites inline (the platform-independent plan
+        // the cost certifier and probe_audit report against).
+        let plan = inline_plan(decoded);
         let mut e = Emitter::new(len);
         let mut elided = 0usize;
         let mut needs_ctx_len = false;
@@ -735,7 +914,7 @@ mod imp {
             e.slot_offsets[pc] = e.code.len();
             e.budget_check();
             let proven = proofs.and_then(|p| p.proven(pc));
-            emit_slot(&mut e, pc, *d, len, proven, &mut elided, &mut needs_ctx_len);
+            emit_slot(&mut e, pc, *d, len, proven, &plan, &mut elided, &mut needs_ctx_len);
         }
 
         // Fell-off-the-end pseudo-slot: the interpreter checks the budget
@@ -788,17 +967,21 @@ mod imp {
             buf: ExecBuf::new(&e.code)?,
             min_ctx_len,
             elided,
+            inlined_calls: plan.inlined(),
+            trampolined_calls: plan.trampolined(),
         })
     }
 
     /// Emits one decoded slot. Fallthrough continues into the next slot's
     /// budget check, exactly mirroring `pc += 1` in the interpreter.
+    #[allow(clippy::too_many_arguments)]
     fn emit_slot(
         e: &mut Emitter,
         pc: usize,
         d: Decoded,
         len: usize,
         proven: Option<ProvenRegion>,
+        plan: &InlinePlan,
         elided: &mut usize,
         needs_ctx_len: &mut bool,
     ) {
@@ -826,45 +1009,33 @@ mod imp {
                     *elided += 1;
                     *needs_ctx_len = true;
                 }
-                region => emit_tramp_load(
-                    e,
-                    pc,
-                    size,
-                    dst,
-                    src,
-                    off,
-                    matches!(region, Some(ProvenRegion::MapValue)),
-                ),
+                Some(ProvenRegion::MapValue) => {
+                    emit_map_value_fast(e, pc, size, src, off, MapAccess::Load { dst });
+                    *elided += 1;
+                }
+                None => emit_tramp_load(e, pc, size, dst, src, off, false),
             },
             Decoded::StoreReg { size, dst, src, off } => match proven {
                 Some(ProvenRegion::Stack) => {
                     emit_direct_store(e, size, dst, off, StoreVal::Reg(src));
                     *elided += 1;
                 }
-                region => emit_tramp_store(
-                    e,
-                    pc,
-                    size,
-                    dst,
-                    off,
-                    StoreVal::Reg(src),
-                    matches!(region, Some(ProvenRegion::MapValue)),
-                ),
+                Some(ProvenRegion::MapValue) => {
+                    emit_map_value_fast(e, pc, size, dst, off, MapAccess::Store(StoreVal::Reg(src)));
+                    *elided += 1;
+                }
+                _ => emit_tramp_store(e, pc, size, dst, off, StoreVal::Reg(src), false),
             },
             Decoded::StoreImm { size, dst, off, imm } => match proven {
                 Some(ProvenRegion::Stack) => {
                     emit_direct_store(e, size, dst, off, StoreVal::Imm(imm));
                     *elided += 1;
                 }
-                region => emit_tramp_store(
-                    e,
-                    pc,
-                    size,
-                    dst,
-                    off,
-                    StoreVal::Imm(imm),
-                    matches!(region, Some(ProvenRegion::MapValue)),
-                ),
+                Some(ProvenRegion::MapValue) => {
+                    emit_map_value_fast(e, pc, size, dst, off, MapAccess::Store(StoreVal::Imm(imm)));
+                    *elided += 1;
+                }
+                _ => emit_tramp_store(e, pc, size, dst, off, StoreVal::Imm(imm), false),
             },
             Decoded::Alu64Imm { op, dst, imm } => emit_alu_imm(e, true, op, dst, imm),
             Decoded::Alu32Imm { op, dst, imm } => emit_alu_imm(e, false, op, dst, imm as u64),
@@ -909,19 +1080,204 @@ mod imp {
                 e.alu_rr(!w32, opcode, xs, xd);
                 emit_branch(e, pc, cmp_cc(op), target, len);
             }
-            Decoded::Call { helper } => {
-                e.spill_all();
-                // mov rdi, r12
-                e.b(0x4C);
-                e.b(0x89);
-                e.b(0xE7);
-                let meta = (helper.id() as u32 & 0xffff) | ((pc as u32) << 16);
-                e.mov_ri32(RSI, meta);
-                e.call_ctxmem(OFF_TRAMP_HELPER);
-                e.check_tramp_result();
-                e.reload_all();
+            Decoded::Call { helper } => match plan.site(pc) {
+                Some(HelperInline::Env) => emit_env_helper(e, helper),
+                Some(HelperInline::MapLookupFast) => match plan.lookup_site(pc) {
+                    Some(site) => emit_lookup_fast(e, pc, helper, site),
+                    // The plan only classifies MapLookupFast when it has
+                    // a site; keep the safe fallback anyway.
+                    None => {
+                        e.spill_all();
+                        emit_helper_tramp_body(e, pc, helper);
+                    }
+                },
+                _ => {
+                    e.spill_all();
+                    emit_helper_tramp_body(e, pc, helper);
+                }
+            },
+        }
+    }
+
+    /// The sysv64 round-trip into [`tramp_helper`]. Expects the register
+    /// file already spilled (`spill_all`); reloads everything on return.
+    fn emit_helper_tramp_body(e: &mut Emitter, pc: usize, helper: Helper) {
+        // mov rdi, r12
+        e.b(0x4C);
+        e.b(0x89);
+        e.b(0xE7);
+        let meta = (helper.id() as u32 & 0xffff) | ((pc as u32) << 16);
+        e.mov_ri32(RSI, meta);
+        e.call_ctxmem(OFF_TRAMP_HELPER);
+        e.check_tramp_result();
+        e.reload_all();
+    }
+
+    /// Inlined environment helper: reads (and for prandom, advances) the
+    /// `ExecEnv` snapshot in the `JitCtx` without leaving native code.
+    /// Register effects match `call_helper` exactly: result in r0,
+    /// clobber poison in r1–r5, r6–r10 untouched.
+    fn emit_env_helper(e: &mut Emitter, helper: Helper) {
+        match helper {
+            Helper::KtimeGetNs => e.mov_rm(RAX, R12, OFF_ENV_KTIME),
+            Helper::GetCurrentPidTgid => e.mov_rm(RAX, R12, OFF_ENV_PID_TGID),
+            Helper::GetPrandomU32 => {
+                // xorshift64*, bit-for-bit the interpreter's sequence.
+                e.mov_rm(RAX, R12, OFF_ENV_PRANDOM);
+                for (shift, left) in [(12u8, false), (25, true), (27, false)] {
+                    e.alu_rr(true, 0x89, RAX, R9); // mov r9, rax
+                    e.shift_ri(true, if left { 4 } else { 5 }, R9, shift);
+                    e.alu_rr(true, 0x31, R9, RAX); // xor rax, r9
+                }
+                e.mov_mr(R12, OFF_ENV_PRANDOM, RAX);
+                e.mov_ri(R9, 0x2545_F491_4F6C_DD1D);
+                e.imul_rr(RAX, R9);
+                e.shift_ri(true, 5, RAX, 32); // shr rax, 32
+            }
+            // inline_plan only classifies the three env helpers as Env.
+            _ => unreachable!("helper {helper:?} is not an env helper"),
+        }
+        e.poison_caller_saved();
+    }
+
+    /// Host address of the (statically in-bounds) stack key into r9,
+    /// then the key word into rax: 32-bit for array indices, 64-bit for
+    /// hash keys.
+    fn emit_stack_key_load(e: &mut Emitter, key_off: u32, wide: bool) {
+        e.mov_rm(R9, R12, OFF_STACK_BIAS);
+        e.mov_ri(RDI, STACK_BASE + key_off as u64);
+        e.alu_rr(true, 0x01, RDI, R9); // add r9, rdi
+        if wide {
+            e.mov_rm(RAX, R9, 0);
+        } else {
+            e.mov32_rm(RAX, R9, 0);
+        }
+    }
+
+    /// The splitmix64 finalizer over `reg` (must not be rax or r9),
+    /// mirroring `mapindex::mix64`.
+    fn emit_mix64(e: &mut Emitter, reg: u8) {
+        for (shift, mul) in [(30u8, Some(MIX64_MUL1)), (27, Some(MIX64_MUL2)), (31, None)] {
+            e.alu_rr(true, 0x89, reg, R9); // mov r9, reg
+            e.shift_ri(true, 5, R9, shift); // shr r9, shift
+            e.alu_rr(true, 0x31, R9, reg); // xor reg, r9
+            if let Some(mul) = mul {
+                e.mov_ri(R9, mul);
+                e.imul_rr(reg, R9);
             }
         }
+    }
+
+    /// Appends a `SlotEntry { fd, key_len, key: rax (zero-padded) }` at
+    /// `slots_base + slots_len * 24`, bumps the length, and leaves the
+    /// slot handle (`MAP_SLOT_BASE + old_len << 20`) in rax. Falls back
+    /// when the reserved capacity is exhausted (the trampoline's `Vec`
+    /// push reallocates and re-syncs). Clobbers rsi/rdx/rcx.
+    fn emit_slot_push(e: &mut Emitter, fd: u32, key_len: u32, to_fb: &mut Vec<usize>) {
+        e.mov_rm(RSI, R12, OFF_SLOTS_LEN);
+        e.cmp_rm(true, RSI, R12, OFF_SLOTS_CAP);
+        to_fb.push(e.jcc32_fwd(CC_AE));
+        e.imul_rri(RDX, RSI, 24);
+        e.add_rm(RDX, R12, OFF_SLOTS_BASE);
+        e.mov_ri(RCX, fd as u64 | ((key_len as u64) << 32));
+        e.mov_mr(RDX, 0, RCX); // fd + key_len
+        e.mov_mr(RDX, 8, RAX); // key bytes 0..8 (zero-padded past key_len)
+        e.mov_mi(RDX, 16, 0); // key bytes 8..16
+        e.lea(RCX, RSI, 1);
+        e.mov_mr(R12, OFF_SLOTS_LEN, RCX);
+        e.shift_ri(true, 4, RSI, 20); // shl rsi, 20 (slot -> address stride)
+        e.mov_ri(RAX, MAP_SLOT_BASE);
+        e.alu_rr(true, 0x01, RSI, RAX); // add rax, rsi
+    }
+
+    /// Inlined `map_lookup_elem` fast path (DESIGN §6f).
+    ///
+    /// The compile-time facts are only the constant fd and the key's
+    /// stack offset; everything about the map's *shape* (kind, key size,
+    /// bounds, index placement) is guarded against the runtime
+    /// descriptor table, so compiled code stays correct against any
+    /// registry. Guard failures take the unmodified trampoline path;
+    /// definitive hits push a slot record and return its handle;
+    /// definitive misses return 0. Either way the register effects match
+    /// `call_helper` (result in r0, poison in r1–r5).
+    fn emit_lookup_fast(e: &mut Emitter, pc: usize, helper: Helper, site: LookupSite) {
+        let doff = site.fd as i32 * 32;
+        // Spill first: the fallback trampoline reads argument registers
+        // from the spilled file, and the fast path may clobber them.
+        e.spill_all();
+        let mut to_fb: Vec<usize> = Vec::new();
+        let mut to_miss: Vec<usize> = Vec::new();
+        let mut to_done: Vec<usize> = Vec::new();
+
+        // Guard: fd < descs_len (a descriptor exists for this fd).
+        e.mov_rm(R10, R12, OFF_DESCS_LEN);
+        e.alu_ri(true, 7, R10, site.fd); // cmp r10, fd
+        to_fb.push(e.jcc32_fwd(CC_BE));
+        e.mov_rm(R10, R12, OFF_DESCS_BASE);
+
+        let mut hash_entry: Option<usize> = None;
+        if site.array_ok {
+            e.cmp32_mi(R10, doff, DESC_KIND_ARRAY as i32);
+            if site.hash8_ok {
+                hash_entry = Some(e.jcc32_fwd(CC_NZ));
+            } else {
+                to_fb.push(e.jcc32_fwd(CC_NZ));
+            }
+            e.cmp32_mi(R10, doff + 4, 4); // key_size == 4
+            to_fb.push(e.jcc32_fwd(CC_NZ));
+            emit_stack_key_load(e, site.key_off, false); // eax = index
+            e.cmp_rm(false, RAX, R10, doff + 12); // index vs max_entries
+            to_miss.push(e.jcc32_fwd(CC_AE)); // out of bounds -> NULL
+            emit_slot_push(e, site.fd, 4, &mut to_fb);
+            to_done.push(e.jmp32_fwd());
+        }
+        if site.hash8_ok {
+            if let Some(p) = hash_entry {
+                e.patch32(p);
+            }
+            e.cmp32_mi(R10, doff, DESC_KIND_HASH as i32);
+            to_fb.push(e.jcc32_fwd(CC_NZ));
+            e.cmp32_mi(R10, doff + 4, 8); // key_size == 8
+            to_fb.push(e.jcc32_fwd(CC_NZ));
+            emit_stack_key_load(e, site.key_off, true); // rax = key word
+            // rdi = mix64((INDEX_SEED ^ 8) ^ w0): the home slot hash.
+            e.mov_ri(RDI, INDEX_SEED ^ 8);
+            e.alu_rr(true, 0x31, RAX, RDI); // xor rdi, rax
+            emit_mix64(e, RDI);
+            e.and_rm(RDI, R10, doff + 24); // & index mask (desc.aux)
+            e.imul_rri(RDX, RDI, 24);
+            e.add_rm(RDX, R10, doff + 16); // entry = base + slot * 24
+            // Single-probe soundness (DESIGN §6f): an EMPTY home slot is
+            // a definitive miss, an OCCUPIED home slot with the exact
+            // key is a definitive hit, anything else falls back.
+            e.cmp32_mi(RDX, 20, 0); // state == INDEX_EMPTY
+            to_miss.push(e.jcc32_fwd(CC_Z));
+            e.cmp32_mi(RDX, 20, INDEX_OCCUPIED as i32);
+            to_fb.push(e.jcc32_fwd(CC_NZ));
+            e.cmp32_mi(RDX, 16, 8); // key_len == 8
+            to_fb.push(e.jcc32_fwd(CC_NZ));
+            e.cmp_rm(true, RAX, RDX, 0); // key word match
+            to_fb.push(e.jcc32_fwd(CC_NZ));
+            emit_slot_push(e, site.fd, 8, &mut to_fb);
+            to_done.push(e.jmp32_fwd());
+        }
+        // Miss: the interpreter returns 0 (NULL) without pushing a slot.
+        for p in to_miss {
+            e.patch32(p);
+        }
+        e.alu_rr(false, 0x31, RAX, RAX); // xor eax, eax
+        // Done: clobber r1-r5 exactly like a real helper call.
+        for p in to_done {
+            e.patch32(p);
+        }
+        e.poison_caller_saved();
+        let end = e.jmp32_fwd();
+        // Fallback: full trampoline (registers were spilled above).
+        for p in to_fb {
+            e.patch32(p);
+        }
+        emit_helper_tramp_body(e, pc, helper);
+        e.patch32(end);
     }
 
     /// Conditional-branch tail: jump to `target` when the condition
@@ -1066,6 +1422,176 @@ mod imp {
         e.call_ctxmem(OFF_TRAMP_STORE);
         e.check_tramp_result();
         e.reload_caller_saved();
+    }
+
+    /// What a proven map-value access does once the host pointer is in
+    /// hand.
+    enum MapAccess {
+        Load { dst: u8 },
+        Store(StoreVal),
+    }
+
+    /// Reads BPF register `reg` into native register `dst` after
+    /// `spill_caller_saved`: r0–r5 live in the spill file, r6–r10 still
+    /// live in callee-saved native registers.
+    fn emit_bpf_reg_read(e: &mut Emitter, dst: u8, reg: u8) {
+        if (reg as usize) < 6 {
+            e.mov_rm(dst, R12, OFF_REGS + 8 * reg as i32);
+        } else {
+            e.alu_rr(true, 0x89, X86[reg as usize], dst);
+        }
+    }
+
+    /// Proven map-value access: inline array-map fast path with the
+    /// trampoline as the fallback for every guard failure (DESIGN §6f).
+    ///
+    /// The verifier proved the *offset* stays inside the value, but the
+    /// slot, map shape, and index are runtime facts, so the emitted code
+    /// re-derives them from the JIT context exactly as
+    /// `Memory::read_map_value` would: resolve the slot entry, require a
+    /// live array-map desc with a 4-byte key, bounds-check the index and
+    /// the access end against the desc, then touch the value arena
+    /// directly. Any mismatch (hash map, stale slot, OOB) jumps to the
+    /// trampoline whose fault shapes are the interpreter's own — the
+    /// fast path can only skip work, never change an outcome.
+    fn emit_map_value_fast(
+        e: &mut Emitter,
+        pc: usize,
+        size: u8,
+        base: u8,
+        off: i16,
+        action: MapAccess,
+    ) {
+        let mut to_fb: Vec<usize> = Vec::new();
+        e.spill_caller_saved();
+        // rdi = tagged addr - MAP_SLOT_BASE (wrapping, as in release interp).
+        emit_bpf_reg_read(e, RDI, base);
+        if off != 0 {
+            e.lea(RDI, RDI, off as i32);
+        }
+        e.mov_ri(R9, MAP_SLOT_BASE);
+        e.alu_rr(true, 0x29, R9, RDI); // sub rdi, r9
+        e.alu_rr(true, 0x89, RDI, RDX); // mov rdx, rdi
+        e.shift_ri(true, 5, RDX, 20); // rdx = slot index
+        e.alu_ri(true, 4, RDI, (MAP_SLOT_STRIDE - 1) as u32); // rdi = value offset
+        e.cmp_rm(true, RDX, R12, OFF_SLOTS_LEN);
+        to_fb.push(e.jcc32_fwd(CC_AE)); // slot not live -> fallback
+        e.imul_rri(RDX, RDX, 24);
+        e.add_rm(RDX, R12, OFF_SLOTS_BASE); // rdx = &slots[slot]
+        e.mov32_rm(RAX, RDX, 0); // rax = entry.fd (zero-extended)
+        e.cmp_rm(true, RAX, R12, OFF_DESCS_LEN);
+        to_fb.push(e.jcc32_fwd(CC_AE)); // fd outside desc table
+        e.cmp32_mi(RDX, 4, 4); // entry.key_len == 4
+        to_fb.push(e.jcc32_fwd(CC_NZ));
+        e.mov32_rm(R8, RDX, 8); // r8 = array index (key word)
+        e.imul_rri(RAX, RAX, 32);
+        e.add_rm(RAX, R12, OFF_DESCS_BASE); // rax = &descs[fd]
+        e.cmp32_mi(RAX, 0, DESC_KIND_ARRAY as i32);
+        to_fb.push(e.jcc32_fwd(CC_NZ));
+        e.cmp32_mi(RAX, 4, 4); // desc.key_size == 4
+        to_fb.push(e.jcc32_fwd(CC_NZ));
+        e.cmp_rm(false, R8, RAX, 12); // index vs max_entries
+        to_fb.push(e.jcc32_fwd(CC_AE));
+        e.mov32_rm(RCX, RAX, 8); // rcx = value_size
+        e.lea(RSI, RDI, size as i32); // rsi = access end
+        e.alu_rr(true, 0x39, RCX, RSI); // cmp rsi, rcx
+        to_fb.push(e.jcc32_fwd(CC_A)); // end past the value -> fallback
+        e.imul_rr(R8, RCX);
+        e.add_rm(R8, RAX, 16); // + desc.base (arena rows are value_size apart)
+        e.alu_rr(true, 0x01, RDI, R8); // + value offset -> host pointer
+        match action {
+            MapAccess::Load { dst } => {
+                match size {
+                    1 => {
+                        e.rex(false, R9, R8);
+                        e.b(0x0F);
+                        e.b(0xB6); // movzx r32, m8
+                        e.modrm_mem(R9, R8, 0);
+                    }
+                    2 => {
+                        e.rex(false, R9, R8);
+                        e.b(0x0F);
+                        e.b(0xB7); // movzx r32, m16
+                        e.modrm_mem(R9, R8, 0);
+                    }
+                    4 => {
+                        e.rex(false, R9, R8);
+                        e.b(0x8B); // mov r32, m32 zero-extends
+                        e.modrm_mem(R9, R8, 0);
+                    }
+                    _ => e.mov_rm(R9, R8, 0),
+                }
+                // Land the result in the spill file; the common tail
+                // below moves it into dst's native register.
+                e.mov_mr(R12, OFF_REGS + 8 * dst as i32, R9);
+            }
+            MapAccess::Store(ref val) => {
+                match *val {
+                    StoreVal::Reg(src) => emit_bpf_reg_read(e, R10, src),
+                    StoreVal::Imm(imm) => e.mov_ri(R10, imm),
+                }
+                match size {
+                    1 => {
+                        e.rex(false, R10, R8);
+                        e.b(0x88);
+                        e.modrm_mem(R10, R8, 0);
+                    }
+                    2 => {
+                        e.b(0x66);
+                        e.rex(false, R10, R8);
+                        e.b(0x89);
+                        e.modrm_mem(R10, R8, 0);
+                    }
+                    4 => {
+                        e.rex(false, R10, R8);
+                        e.b(0x89);
+                        e.modrm_mem(R10, R8, 0);
+                    }
+                    _ => e.mov_mr(R8, 0, R10),
+                }
+            }
+        }
+        let done = e.jmp32_fwd();
+        // Fallback: the checked trampoline. Caller-saved registers were
+        // spilled (and then clobbered) above, so every operand is re-read
+        // spill-aware rather than from native registers.
+        for p in to_fb {
+            e.patch32(p);
+        }
+        emit_bpf_reg_read(e, R9, base);
+        if off != 0 {
+            e.lea(R9, R9, off as i32);
+        }
+        // mov rdi, r12
+        e.b(0x4C);
+        e.b(0x89);
+        e.b(0xE7);
+        // mov rsi, r9
+        e.b(0x4C);
+        e.b(0x89);
+        e.b(0xCE);
+        match action {
+            MapAccess::Load { dst } => {
+                e.mov_ri32(RDX, load_store_meta(dst, size, true, pc));
+                e.call_ctxmem(OFF_TRAMP_LOAD);
+            }
+            MapAccess::Store(ref val) => {
+                match *val {
+                    StoreVal::Reg(src) => emit_bpf_reg_read(e, RDX, src),
+                    StoreVal::Imm(imm) => e.mov_ri(RDX, imm),
+                }
+                e.mov_ri32(RCX, load_store_meta(0, size, true, pc));
+                e.call_ctxmem(OFF_TRAMP_STORE);
+            }
+        }
+        e.check_tramp_result();
+        e.patch32(done);
+        e.reload_caller_saved();
+        if let MapAccess::Load { dst } = action {
+            // Both paths parked the result in regs[dst]; dst may live in
+            // a callee-saved register the generic reload didn't touch.
+            e.mov_rm(X86[dst as usize], R12, OFF_REGS + 8 * dst as i32);
+        }
     }
 
     /// ALU with an immediate operand. For the 64-bit form `imm` is the
@@ -1244,6 +1770,17 @@ mod imp {
         scratch: &mut Vec<u8>,
         env: &mut ExecEnv,
     ) -> Result<ExecOutcome, ExecError> {
+        // Refresh the runtime map descriptors (stable for the duration
+        // of the run: helpers mutate map *contents*, never the arena or
+        // index allocations the descriptors point at) and snapshot the
+        // env + slot-vector state the inlined helpers operate on.
+        let (descs_base, descs_len) = mem.maps.refresh_runtime_descs();
+        let slots_base = mem.slots.as_mut_ptr() as u64;
+        let slots_len = mem.slots.len() as u64;
+        let slots_cap = mem.slots.capacity() as u64;
+        let env_ktime = env.ktime_ns;
+        let env_pid_tgid = env.pid_tgid;
+        let env_prandom = env.prandom_state;
         let mut trace_output: Vec<Vec<u8>> = Vec::new();
         let mem_ptr = mem as *mut Memory<'_>;
         let mut state = TrampState {
@@ -1278,6 +1815,14 @@ mod imp {
             tramp_helper: tramp_helper as *const () as u64,
             state: &mut state as *mut TrampState as u64,
             budget,
+            env_ktime,
+            env_pid_tgid,
+            env_prandom,
+            slots_base,
+            slots_len,
+            slots_cap,
+            descs_base: descs_base as u64,
+            descs_len: descs_len as u64,
         };
         ctx.regs[1] = CTX_BASE;
         ctx.regs[10] = STACK_BASE + STACK_SIZE as u64;
@@ -1290,6 +1835,18 @@ mod imp {
             let entry: unsafe extern "sysv64" fn(*mut JitCtx) =
                 std::mem::transmute(jit.buf.ptr);
             entry(&mut ctx);
+        }
+
+        // Publish inline-pushed slots and the advanced prandom state on
+        // every exit path (success and fault alike, matching the
+        // interpreter's in-place mutation).
+        // SAFETY: slots_len only grew via complete in-capacity inline
+        // pushes or trampoline-side Vec pushes that re-synced it; both
+        // keep it <= the Vec's capacity. The raw pointers are the same
+        // live borrows this function started with.
+        unsafe {
+            (*mem_ptr).slots.set_len(ctx.slots_len as usize);
+            (*state.env).prandom_state = ctx.env_prandom;
         }
 
         match ctx.status {
@@ -1347,6 +1904,14 @@ mod imp {
             assert_eq!(offset_of!(JitCtx, tramp_helper), OFF_TRAMP_HELPER as usize);
             assert_eq!(offset_of!(JitCtx, state), OFF_STATE as usize);
             assert_eq!(offset_of!(JitCtx, budget), OFF_BUDGET as usize);
+            assert_eq!(offset_of!(JitCtx, env_ktime), OFF_ENV_KTIME as usize);
+            assert_eq!(offset_of!(JitCtx, env_pid_tgid), OFF_ENV_PID_TGID as usize);
+            assert_eq!(offset_of!(JitCtx, env_prandom), OFF_ENV_PRANDOM as usize);
+            assert_eq!(offset_of!(JitCtx, slots_base), OFF_SLOTS_BASE as usize);
+            assert_eq!(offset_of!(JitCtx, slots_len), OFF_SLOTS_LEN as usize);
+            assert_eq!(offset_of!(JitCtx, slots_cap), OFF_SLOTS_CAP as usize);
+            assert_eq!(offset_of!(JitCtx, descs_base), OFF_DESCS_BASE as usize);
+            assert_eq!(offset_of!(JitCtx, descs_len), OFF_DESCS_LEN as usize);
         }
 
         #[test]
@@ -1404,6 +1969,16 @@ mod stub {
 
         /// Number of memory accesses compiled without bounds checks.
         pub fn elided_accesses(&self) -> usize {
+            match self._never {}
+        }
+
+        /// Helper-call sites compiled to inline code.
+        pub fn inlined_calls(&self) -> usize {
+            match self._never {}
+        }
+
+        /// Helper-call sites that kept the trampoline round-trip.
+        pub fn trampolined_calls(&self) -> usize {
             match self._never {}
         }
     }

@@ -72,13 +72,17 @@ pub mod insn;
 pub mod interp;
 #[allow(unsafe_code)]
 pub mod jit;
+pub mod mapindex;
 pub mod maps;
 pub mod program;
 pub mod text;
 pub mod tnum;
 pub mod verifier;
 
-pub use analysis::{cost_report, helper_weight, optimize, CostReport, OptReport};
+pub use analysis::{
+    cost_report, helper_inline_plan, helper_weight, inlined_helper_weight, optimize, CostReport,
+    HelperInline, InlinePlan, OptReport,
+};
 pub use asm::Asm;
 pub use decode::Decoded;
 pub use helpers::Helper;

@@ -30,10 +30,31 @@
 //! standard library's `RandomState`, so iteration and dump order are
 //! reproducible across runs and platforms — a requirement for golden
 //! fixtures, not just a nicety.
+//!
+//! # JIT-visible storage (DESIGN §6f)
+//!
+//! Two pieces of storage are laid out so the template JIT can address
+//! them directly, without trampolining into this module:
+//!
+//! * array-map values live in one contiguous [`ArrayArena`] allocation
+//!   (entry `i` at byte `i * value_size`), fixed at creation;
+//! * each hash map maintains a fixed-size open-addressed
+//!   [`HashIndex`] mirroring its key set, kept in sync by
+//!   [`MapRegistry::update_in_place`] / [`MapRegistry::delete`].
+//!
+//! Neither allocation ever moves or resizes after creation, which is the
+//! pointer-stability argument that lets
+//! [`MapRegistry::refresh_runtime_descs`] hand base pointers to a JIT
+//! context once per program entry: in-place updates, deletes (tombstones),
+//! and even index rebuilds rewrite the same allocation.
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, Hasher};
+
+use crate::mapindex::{
+    ArrayArena, HashIndex, MapRuntimeDesc, DESC_KIND_ARRAY, DESC_KIND_HASH,
+};
 
 /// Maximum key size (bytes) of hash maps: keys are stored inline, never on
 /// the heap. Every probe map in the methodology uses 4- or 8-byte keys.
@@ -295,8 +316,11 @@ enum MapStorage {
         /// store/delete cycle of the `start` map allocates only on its
         /// very first insertions.
         free: Vec<Box<[u8]>>,
+        /// Open-addressed key index the JIT's inline lookup probes;
+        /// mirrors `entries`' key set exactly (see DESIGN §6f).
+        index: HashIndex,
     },
-    Array(Vec<Vec<u8>>),
+    Array(ArrayArena),
     RingBuf {
         records: std::collections::VecDeque<Vec<u8>>,
         /// Record buffers recycled by `ring_consume` — the ring-buffer
@@ -328,9 +352,25 @@ struct MapEntry {
 /// let value = maps.lookup(fd, &7u64.to_le_bytes()).unwrap().unwrap();
 /// assert_eq!(value, 99u64.to_le_bytes());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct MapRegistry {
     maps: Vec<MapEntry>,
+    /// Per-fd runtime shape descriptors for the JIT's inline guards,
+    /// rebuilt by [`MapRegistry::refresh_runtime_descs`] before each JIT
+    /// entry (pointers in here are only meaningful right after a
+    /// refresh — cloning the registry moves the storage they point at).
+    descs: Vec<MapRuntimeDesc>,
+}
+
+// Manual impl: `descs` is an ephemeral per-run cache (host pointers that
+// differ between otherwise-identical registries), so it must not leak
+// into debug dumps the differential suite compares.
+impl std::fmt::Debug for MapRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapRegistry")
+            .field("maps", &self.maps)
+            .finish_non_exhaustive()
+    }
 }
 
 impl MapRegistry {
@@ -369,11 +409,15 @@ impl MapRegistry {
                         DetState,
                     ),
                     free: Vec::new(),
+                    index: HashIndex::new(def.max_entries),
                 }
             }
             MapKind::Array => {
                 assert_eq!(def.key_size, 4, "array maps use u32 keys");
-                MapStorage::Array(vec![vec![0; def.value_size as usize]; def.max_entries as usize])
+                MapStorage::Array(ArrayArena::new(
+                    def.value_size as usize,
+                    def.max_entries as usize,
+                ))
             }
             MapKind::RingBuf => MapStorage::RingBuf {
                 records: std::collections::VecDeque::new(),
@@ -463,12 +507,9 @@ impl MapRegistry {
         Self::check_key(&entry.def, key)?;
         match &entry.storage {
             MapStorage::Hash { entries, .. } => Ok(entries.get(key).map(|v| &v[..])),
-            MapStorage::Array(values) => {
-                let index = Self::array_index(key);
-                if index >= entry.def.max_entries {
-                    return Ok(None); // Matches kernel semantics: OOB lookup is NULL.
-                }
-                Ok(Some(values[index as usize].as_slice()))
+            MapStorage::Array(arena) => {
+                // Matches kernel semantics: OOB lookup is NULL (None).
+                Ok(arena.get(Self::array_index(key) as usize))
             }
             MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
         }
@@ -485,16 +526,9 @@ impl MapRegistry {
     pub fn lookup_mut(&mut self, fd: MapFd, key: &[u8]) -> Result<Option<&mut [u8]>, MapError> {
         let entry = self.entry_mut(fd)?;
         Self::check_key(&entry.def, key)?;
-        let max_entries = entry.def.max_entries;
         match &mut entry.storage {
             MapStorage::Hash { entries, .. } => Ok(entries.get_mut(key).map(|v| &mut v[..])),
-            MapStorage::Array(values) => {
-                let index = Self::array_index(key);
-                if index >= max_entries {
-                    return Ok(None);
-                }
-                Ok(Some(values[index as usize].as_mut_slice()))
-            }
+            MapStorage::Array(arena) => Ok(arena.get_mut(Self::array_index(key) as usize)),
             MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
         }
     }
@@ -530,7 +564,11 @@ impl MapRegistry {
         Self::check_value(&entry.def, value)?;
         let def = entry.def;
         match &mut entry.storage {
-            MapStorage::Hash { entries, free } => {
+            MapStorage::Hash {
+                entries,
+                free,
+                index,
+            } => {
                 if let Some(slot) = entries.get_mut(key) {
                     slot.copy_from_slice(value);
                     return Ok(());
@@ -548,18 +586,21 @@ impl MapRegistry {
                     None => Box::from(value),
                 };
                 entries.insert(InlineKey::new(key), cell);
+                index.insert(key);
                 Ok(())
             }
-            MapStorage::Array(values) => {
+            MapStorage::Array(arena) => {
                 let index = Self::array_index(key);
-                if index >= def.max_entries {
-                    return Err(MapError::IndexOutOfBounds {
+                match arena.get_mut(index as usize) {
+                    Some(slot) => {
+                        slot.copy_from_slice(value);
+                        Ok(())
+                    }
+                    None => Err(MapError::IndexOutOfBounds {
                         index,
                         len: def.max_entries,
-                    });
+                    }),
                 }
-                values[index as usize].copy_from_slice(value);
-                Ok(())
             }
             MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
         }
@@ -578,9 +619,19 @@ impl MapRegistry {
         let entry = self.entry_mut(fd)?;
         Self::check_key(&entry.def, key)?;
         match &mut entry.storage {
-            MapStorage::Hash { entries, free } => match entries.remove(key) {
+            MapStorage::Hash {
+                entries,
+                free,
+                index,
+            } => match entries.remove(key) {
                 Some(cell) => {
                     free.push(cell);
+                    index.remove(key);
+                    if index.needs_rebuild() {
+                        // In place (same allocation): base pointers held
+                        // by an in-flight JIT context stay valid.
+                        index.rebuild(entries.keys().map(|k| k.as_slice()));
+                    }
                     Ok(true)
                 }
                 None => Ok(false),
@@ -724,9 +775,43 @@ impl MapRegistry {
         let entry = self.entry(fd)?;
         Ok(match &entry.storage {
             MapStorage::Hash { entries, .. } => entries.len() as u32,
-            MapStorage::Array(values) => values.len() as u32,
+            MapStorage::Array(arena) => arena.len() as u32,
             MapStorage::RingBuf { records, .. } => records.len() as u32,
         })
+    }
+
+    /// Rebuilds the per-fd [`MapRuntimeDesc`] table and returns its base
+    /// pointer and length, for a JIT context to guard inline map accesses
+    /// against. Called once per JIT program entry; the descriptors (and
+    /// the base pointers inside them) stay valid for the registry's
+    /// lifetime because every storage allocation they reference is fixed
+    /// at map creation and only ever rewritten in place.
+    pub fn refresh_runtime_descs(&mut self) -> (*const MapRuntimeDesc, usize) {
+        self.descs.clear();
+        self.descs.reserve(self.maps.len());
+        for entry in &self.maps {
+            let desc = match &entry.storage {
+                MapStorage::Array(arena) => MapRuntimeDesc {
+                    kind: DESC_KIND_ARRAY,
+                    key_size: entry.def.key_size,
+                    value_size: entry.def.value_size,
+                    max_entries: entry.def.max_entries,
+                    base: arena.base_ptr() as u64,
+                    aux: 0,
+                },
+                MapStorage::Hash { index, .. } => MapRuntimeDesc {
+                    kind: DESC_KIND_HASH,
+                    key_size: entry.def.key_size,
+                    value_size: entry.def.value_size,
+                    max_entries: entry.def.max_entries,
+                    base: index.base_ptr() as u64,
+                    aux: index.mask(),
+                },
+                MapStorage::RingBuf { .. } => MapRuntimeDesc::none(),
+            };
+            self.descs.push(desc);
+        }
+        (self.descs.as_ptr(), self.descs.len())
     }
 
     /// Convenience: reads a `u64` from an array map slot.
@@ -898,6 +983,66 @@ mod tests {
             maps.delete(fd, &0u32.to_le_bytes()),
             Err(MapError::WrongKind(MapKind::Array))
         ));
+    }
+
+    #[test]
+    #[allow(unsafe_code)] // reads the raw descriptor table like JIT code does
+    fn runtime_descs_report_shapes_and_stable_bases() {
+        use crate::mapindex::{DESC_KIND_ARRAY, DESC_KIND_HASH, DESC_KIND_NONE};
+        let mut maps = MapRegistry::new();
+        let h = maps.create("h", MapDef::hash(8, 8, 1024));
+        let a = maps.create("a", MapDef::array(8, 4));
+        let r = maps.create("r", MapDef::ring_buf(8, 2));
+        let (ptr, len) = maps.refresh_runtime_descs();
+        assert_eq!(len, 3);
+        let descs: Vec<MapRuntimeDesc> =
+            (0..len).map(|i| unsafe { *ptr.add(i) }).collect();
+        assert_eq!(descs[h.0 as usize].kind, DESC_KIND_HASH);
+        assert_eq!(descs[h.0 as usize].key_size, 8);
+        assert!(descs[h.0 as usize].aux >= 2047, "mask covers 2x entries");
+        assert_eq!(descs[a.0 as usize].kind, DESC_KIND_ARRAY);
+        assert_eq!(descs[a.0 as usize].value_size, 8);
+        assert_eq!(descs[a.0 as usize].max_entries, 4);
+        assert_eq!(descs[r.0 as usize].kind, DESC_KIND_NONE);
+        // In-place churn must not move any base pointer.
+        for i in 0..1000u64 {
+            maps.update(h, &i.to_le_bytes(), &i.to_le_bytes()).unwrap();
+            maps.delete(h, &i.to_le_bytes()).unwrap();
+            maps.set_array_u64(a, (i % 4) as u32, i).unwrap();
+        }
+        let (ptr2, len2) = maps.refresh_runtime_descs();
+        assert_eq!(len2, 3);
+        let descs2: Vec<MapRuntimeDesc> =
+            (0..len2).map(|i| unsafe { *ptr2.add(i) }).collect();
+        assert_eq!(descs[h.0 as usize].base, descs2[h.0 as usize].base);
+        assert_eq!(descs[a.0 as usize].base, descs2[a.0 as usize].base);
+    }
+
+    #[test]
+    fn hash_index_mirrors_entries_under_churn() {
+        use crate::mapindex::HomeProbe;
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("start", MapDef::hash(8, 8, 64));
+        let probe = |maps: &MapRegistry, key: &[u8]| {
+            let Some(MapEntry {
+                storage: MapStorage::Hash { index, .. },
+                ..
+            }) = maps.maps.first()
+            else {
+                panic!("hash map expected");
+            };
+            index.home_probe(key)
+        };
+        for i in 0..2000u64 {
+            let key = (i % 96).to_le_bytes();
+            maps.update(fd, &key, &i.to_le_bytes()).unwrap();
+            // Present keys must never probe as a definitive miss...
+            assert_ne!(probe(&maps, &key), HomeProbe::Miss, "key {i}");
+            maps.delete(fd, &key).unwrap();
+            // ...and deleted keys must never probe as a definitive hit.
+            assert_ne!(probe(&maps, &key), HomeProbe::Hit, "key {i}");
+        }
+        assert_eq!(maps.len(fd).unwrap(), 0);
     }
 
     #[test]

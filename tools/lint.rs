@@ -54,14 +54,20 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/ebpf/src/decode.rs",
     "crates/ebpf/src/jit.rs",
     "crates/ebpf/src/maps.rs",
+    "crates/ebpf/src/mapindex.rs",
     "crates/ebpf/src/analysis.rs",
     "crates/core/src/streaming.rs",
 ];
 
 /// Modules whose non-test code may not use bare slice indexing: a
 /// malformed program must never panic the analysis, so every lookup is a
-/// checked `.get()` or an iterator.
-const NO_SLICE_INDEX_FILES: &[&str] = &["crates/ebpf/src/analysis.rs"];
+/// checked `.get()` or an iterator. `mapindex.rs` is held to the same
+/// bar — the JIT reads its tables from native code, so the Rust side
+/// must stay panic-free on any fd/key shape.
+const NO_SLICE_INDEX_FILES: &[&str] = &[
+    "crates/ebpf/src/analysis.rs",
+    "crates/ebpf/src/mapindex.rs",
+];
 
 /// Allocation patterns banned in hot-path modules outside annotated cold
 /// paths and test code.

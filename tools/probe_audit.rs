@@ -6,6 +6,9 @@
 //!
 //! * the certified worst-case cost bound ([`kscope_ebpf::CostReport`]):
 //!   instructions, helper calls, and weighted cost per event;
+//! * the JIT helper-inline plan ([`kscope_ebpf::helper_inline_plan`]):
+//!   how many call sites compile to inline fast paths versus the sysv64
+//!   trampoline round-trip;
 //! * what the optimizer did ([`kscope_ebpf::OptReport`]) and the
 //!   optimized program's own cost bound.
 //!
@@ -14,7 +17,9 @@
 //! * a program has no finite cost bound;
 //! * the optimizer *increases* a program's slot count;
 //! * an optimized program fails re-verification, or its cost bound
-//!   exceeds the original's (optimization must never certify worse).
+//!   exceeds the original's (optimization must never certify worse);
+//! * the shipped probes' inline plans regress: fewer than three env
+//!   helper sites or no map lookup compiles to an inline fast path.
 //!
 //! CI runs this as the `analysis-smoke` job. Usage: `probe_audit [-v]`
 //! (`-v` additionally prints disassemblies of programs the optimizer
@@ -22,8 +27,16 @@
 
 use kscope_core::{BytecodeBackend, CTX_SIZE};
 use kscope_ebpf::verifier::{Verifier, VerifierConfig};
-use kscope_ebpf::{cost_report, Program};
+use kscope_ebpf::{cost_report, helper_inline_plan, HelperInline, Program};
 use kscope_syscalls::SyscallProfile;
+
+/// Inline-plan tallies accumulated across every audited program.
+#[derive(Default)]
+struct InlineTally {
+    env: usize,
+    lookup_fast: usize,
+    trampolined: usize,
+}
 
 fn shipped_backends() -> Vec<(String, BytecodeBackend)> {
     let profiles: [(&str, SyscallProfile); 5] = [
@@ -56,11 +69,31 @@ fn audit_program(
     prog: &Program,
     backend: &BytecodeBackend,
     verbose: bool,
+    tally: &mut InlineTally,
 ) -> Result<(), String> {
     let cost = cost_report(prog)
         .ok_or_else(|| format!("{label}: no finite cost bound for '{}'", prog.name()))?;
     println!("  {} [{} slots]", prog.name(), prog.len());
     println!("    cost:      {cost}");
+    let plan = helper_inline_plan(prog);
+    let mut env = 0usize;
+    let mut fast = 0usize;
+    let mut tramp = 0usize;
+    for (_, _, treatment) in plan.sites() {
+        match treatment {
+            HelperInline::Env => env += 1,
+            HelperInline::MapLookupFast => fast += 1,
+            HelperInline::Trampoline => tramp += 1,
+        }
+    }
+    println!(
+        "    inline:    {} of {} helper sites inlined ({env} env, {fast} map-lookup fast path), {tramp} trampolined",
+        plan.inlined(),
+        plan.sites().len(),
+    );
+    tally.env += env;
+    tally.lookup_fast += fast;
+    tally.trampolined += tramp;
     let Some((opt, report)) = prog.optimized() else {
         return Err(format!(
             "{label}: optimizer declined shipped program '{}'",
@@ -109,11 +142,12 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
     let mut audited = 0usize;
     let mut reduced = 0usize;
+    let mut tally = InlineTally::default();
     for (label, backend) in shipped_backends() {
         println!("probe configuration: {label}");
         let (enter, exit) = backend.programs();
         for prog in [enter, exit] {
-            match audit_program(&label, prog, &backend, verbose) {
+            match audit_program(&label, prog, &backend, verbose, &mut tally) {
                 Ok(()) => {
                     audited += 1;
                     if prog.optimized().is_some_and(|(opt, _)| opt.len() < prog.len()) {
@@ -124,9 +158,22 @@ fn main() {
             }
         }
     }
-    println!("\naudited {audited} programs; optimizer reduced {reduced}");
+    println!(
+        "\naudited {audited} programs; optimizer reduced {reduced}; \
+         inline plan: {} env + {} map-lookup fast path, {} trampolined",
+        tally.env, tally.lookup_fast, tally.trampolined
+    );
     if reduced == 0 {
         failures.push("optimizer reduced no shipped program (regression)".to_string());
+    }
+    if tally.env < 3 {
+        failures.push(format!(
+            "inline plan covers only {} env helper sites (expected >= 3)",
+            tally.env
+        ));
+    }
+    if tally.lookup_fast == 0 {
+        failures.push("no shipped map lookup compiles to the inline fast path".to_string());
     }
     if failures.is_empty() {
         println!("probe audit: PASS");
