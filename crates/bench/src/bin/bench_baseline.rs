@@ -39,22 +39,29 @@
 //!   zero-allocation claim, measured rather than asserted, for every
 //!   dispatcher including the optimized-program path).
 //!
-//! Every throughput metric is the **best of `bench_repeats` repeats**
-//! (min-of-N on time): on a shared single-vCPU runner, host contention
-//! only ever *slows* a run, so the max throughput across repeats is the
-//! least-contended estimate. The observed spread (`(best - worst) /
-//! best`) is printed per metric and its maximum is recorded as
-//! `bench_spread_max_pct`; the repeat policy itself is recorded as
-//! `bench_repeats` so a committed baseline says how it was measured.
+//! Every throughput metric is measured as **one discarded warm-up run
+//! followed by the median of `bench_repeats` repeats**. The warm-up
+//! pays the one-time costs (page faults, branch-predictor and cache
+//! training, first-touch map population) that otherwise land inside the
+//! first timed repeat and inflate the spread; the median then rejects
+//! the occasional contention outlier a shared runner injects in either
+//! direction. The observed spread (`(best - worst) / best` over the
+//! central samples — min and max dropped, mirroring what the median
+//! actually draws from) is printed per metric and its maximum is
+//! recorded as `bench_spread_max_pct`;
+//! `--check` gates it at ≤25%, so a noisy measurement fails loudly
+//! instead of silently blessing a bad baseline. The repeat policy
+//! itself is recorded as `bench_repeats`.
 //!
 //! Flags: `--quick` (shorter samples, for CI smoke), `--out PATH`
 //! (default `BENCH_baseline.json`), `--check PATH` (compare against a
 //! committed baseline; exit 1 if decoded VM throughput regressed more
 //! than 20%, the hot path allocated — interpreted or optimized — the
 //! static optimizer grew the core probe, the pre-decoded interpreter
-//! fell below the raw-word reference (`vm_decode_speedup < 1`), or — on
-//! JIT-capable targets — the JIT fails its ≥3× ALU gate or the ≥2×
-//! probe-event gate helper inlining is pinned by).
+//! fell below the raw-word reference (`vm_decode_speedup < 1`), the
+//! repeat spread exceeded 25%, or — on JIT-capable targets — the JIT
+//! fails its ≥3× ALU gate or the ≥2× probe-event gate helper inlining
+//! is pinned by).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -124,9 +131,9 @@ fn main() {
 
     let mut baseline = Baseline::new();
 
-    // Best-of-N repeats: contention on a shared runner only slows runs
-    // down, so the max across repeats is the cleanest estimate.
-    let repeats: usize = 3;
+    // Warm-up + median-of-N repeats: the discarded warm-up run absorbs
+    // one-time costs, the median rejects contention outliers.
+    let repeats: usize = 5;
     let mut max_spread = 0.0f64;
 
     let jit_supported = kscope_ebpf::jit::supported();
@@ -136,24 +143,18 @@ fn main() {
     // sides are measured in alternating rounds (contention on a shared
     // runner then biases both equally) with extra repeats for the ratio.
     let ratio_rounds = repeats + 2;
-    let mut raw = 0.0f64;
-    let mut raw_lo = f64::MAX;
-    let mut decoded = 0.0f64;
-    let mut decoded_lo = f64::MAX;
+    // Discarded warm-up pair before the timed rounds.
+    let _ = vm_probe_insns_per_sec(&criterion, Vm::new().with_raw_dispatch());
+    let _ = vm_probe_insns_per_sec(&criterion, Vm::new());
+    let mut raw_samples = Vec::with_capacity(ratio_rounds);
+    let mut decoded_samples = Vec::with_capacity(ratio_rounds);
     for _ in 0..ratio_rounds {
-        let r = vm_probe_insns_per_sec(&criterion, Vm::new().with_raw_dispatch());
-        raw = raw.max(r);
-        raw_lo = raw_lo.min(r);
-        let d = vm_probe_insns_per_sec(&criterion, Vm::new());
-        decoded = decoded.max(d);
-        decoded_lo = decoded_lo.min(d);
+        raw_samples.push(vm_probe_insns_per_sec(&criterion, Vm::new().with_raw_dispatch()));
+        decoded_samples.push(vm_probe_insns_per_sec(&criterion, Vm::new()));
     }
-    for (label, hi, lo) in [("vm raw", raw, raw_lo), ("vm decoded", decoded, decoded_lo)] {
-        let spread = if hi > 0.0 { (hi - lo) / hi * 100.0 } else { 0.0 };
-        println!("  [{label}: best of {ratio_rounds} interleaved, spread {spread:.1}%]");
-        max_spread = max_spread.max(spread);
-    }
-    let jit = best_of("vm jit", repeats, &mut max_spread, || {
+    let raw = median_and_spread("vm raw", &mut raw_samples, &mut max_spread);
+    let decoded = median_and_spread("vm decoded", &mut decoded_samples, &mut max_spread);
+    let jit = median_of("vm jit", repeats, &mut max_spread, || {
         vm_probe_insns_per_sec(&criterion, Vm::new().with_jit())
     });
     baseline.set("vm_insns_per_sec_raw", raw);
@@ -171,13 +172,13 @@ fn main() {
         if decoded > 0.0 { jit / decoded } else { 0.0 }
     );
 
-    let alu_raw = best_of("alu raw", repeats, &mut max_spread, || {
+    let alu_raw = median_of("alu raw", repeats, &mut max_spread, || {
         vm_alu_insns_per_sec(&criterion, Vm::new().with_raw_dispatch())
     });
-    let alu_decoded = best_of("alu decoded", repeats, &mut max_spread, || {
+    let alu_decoded = median_of("alu decoded", repeats, &mut max_spread, || {
         vm_alu_insns_per_sec(&criterion, Vm::new())
     });
-    let alu_jit = best_of("alu jit", repeats, &mut max_spread, || {
+    let alu_jit = median_of("alu jit", repeats, &mut max_spread, || {
         vm_alu_insns_per_sec(&criterion, Vm::new().with_jit())
     });
     baseline.set("vm_alu_insns_per_sec_raw", alu_raw);
@@ -196,19 +197,19 @@ fn main() {
         if alu_decoded > 0.0 { alu_jit / alu_decoded } else { 0.0 }
     );
 
-    let map_ops = best_of("map ops", repeats, &mut max_spread, || {
+    let map_ops = median_of("map ops", repeats, &mut max_spread, || {
         map_ops_per_sec(&criterion)
     });
     baseline.set("map_ops_per_sec", map_ops);
     println!("map ops: {:.1}M ops/s", map_ops / 1e6);
 
-    let probe_events = best_of("probe interp", repeats, &mut max_spread, || {
+    let probe_events = median_of("probe interp", repeats, &mut max_spread, || {
         probe_events_per_sec(&criterion, ProbeMode::Interp)
     });
-    let probe_events_jit = best_of("probe jit", repeats, &mut max_spread, || {
+    let probe_events_jit = median_of("probe jit", repeats, &mut max_spread, || {
         probe_events_per_sec(&criterion, ProbeMode::Jit)
     });
-    let probe_events_opt = best_of("probe opt", repeats, &mut max_spread, || {
+    let probe_events_opt = median_of("probe opt", repeats, &mut max_spread, || {
         probe_events_per_sec(&criterion, ProbeMode::Optimized)
     });
     baseline.set("probe_events_per_sec", probe_events);
@@ -229,7 +230,7 @@ fn main() {
          optimizer removes {opt_delta:.0} slots"
     );
 
-    let engine_events = best_of("engine", repeats, &mut max_spread, || {
+    let engine_events = median_of("engine", repeats, &mut max_spread, || {
         engine_events_per_sec(&criterion)
     });
     baseline.set("engine_events_per_sec", engine_events);
@@ -252,7 +253,9 @@ fn main() {
 
     baseline.set("bench_repeats", repeats as f64);
     baseline.set("bench_spread_max_pct", max_spread);
-    println!("repeat policy: best of {repeats}, worst observed spread {max_spread:.1}%");
+    println!(
+        "repeat policy: warm-up + median of {repeats}, worst observed spread {max_spread:.1}%"
+    );
 
     if let Err(e) = std::fs::write(&out_path, baseline.to_json()) {
         eprintln!("bench_baseline: cannot write {out_path}: {e}");
@@ -265,21 +268,40 @@ fn main() {
     }
 }
 
-/// Runs `f` `repeats` times and keeps the best (max-throughput) sample:
-/// min-of-N on time. Reports the relative spread and folds it into the
-/// run-wide maximum so the emitted baseline carries a noise figure.
-fn best_of(label: &str, repeats: usize, max_spread: &mut f64, mut f: impl FnMut() -> f64) -> f64 {
-    let mut hi = 0.0f64;
-    let mut lo = f64::MAX;
-    for _ in 0..repeats {
-        let v = f();
-        hi = hi.max(v);
-        lo = lo.min(v);
-    }
+/// Runs `f` once discarded (warm-up: page faults, predictor and cache
+/// training, first-touch map population) and then `repeats` timed
+/// times, keeping the median sample. Reports the relative spread of the
+/// timed samples and folds it into the run-wide maximum so the emitted
+/// baseline carries a noise figure.
+fn median_of(label: &str, repeats: usize, max_spread: &mut f64, mut f: impl FnMut() -> f64) -> f64 {
+    let _ = f();
+    let mut samples: Vec<f64> = (0..repeats).map(|_| f()).collect();
+    median_and_spread(label, &mut samples, max_spread)
+}
+
+/// The median of `samples` (sorted in place); prints the spread and
+/// folds it into `max_spread`.
+///
+/// With five or more samples the spread is computed over the central
+/// samples (best and worst dropped): the median already rejects a
+/// single contention outlier, so the noise gate should measure the
+/// stability of the samples the median is drawn from, not the one
+/// spike a shared runner injects. A genuinely unstable (bimodal or
+/// drifting) measurement still spreads its central samples wide and
+/// fails the gate.
+fn median_and_spread(label: &str, samples: &mut [f64], max_spread: &mut f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let core = if samples.len() >= 5 {
+        &samples[1..samples.len() - 1]
+    } else {
+        &samples[..]
+    };
+    let lo = core.first().copied().unwrap_or(0.0);
+    let hi = core.last().copied().unwrap_or(0.0);
     let spread = if hi > 0.0 { (hi - lo) / hi * 100.0 } else { 0.0 };
-    println!("  [{label}: best of {repeats}, spread {spread:.1}%]");
+    println!("  [{label}: median of {}, spread {spread:.1}%]", samples.len());
     *max_spread = max_spread.max(spread);
-    hi
+    samples[samples.len() / 2]
 }
 
 /// Extracts `--flag VALUE` from the argument list.
@@ -341,6 +363,18 @@ fn check_against(path: &str, fresh: &Baseline) {
         failed = true;
     } else {
         println!("check: decoded dispatch {decode_speedup:.2}x raw (gate: >= 1.0) — ok");
+    }
+    // A noisy measurement can't bless (or damn) anything: the warm-up +
+    // median policy must hold repeat spread within 25%.
+    let spread = fresh.get("bench_spread_max_pct").unwrap_or(f64::MAX);
+    if spread > 25.0 {
+        eprintln!(
+            "bench_baseline: NOISY MEASUREMENT: worst repeat spread {spread:.1}% exceeds \
+             the 25% gate — rerun on a quieter machine before trusting this baseline"
+        );
+        failed = true;
+    } else {
+        println!("check: worst repeat spread {spread:.1}% (gate: <= 25%) — ok");
     }
     if fresh.get("hot_path_allocs_per_event").is_some_and(|a| a > 0.0) {
         eprintln!("bench_baseline: REGRESSION: steady-state probe path allocated");

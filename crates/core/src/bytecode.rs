@@ -106,6 +106,7 @@ pub struct BytecodeBackend {
     exit: Program,
     stats_fd: MapFd,
     hist_fd: Option<MapFd>,
+    sketch_fd: Option<MapFd>,
     shift: u32,
     tgids: Vec<Pid>,
     insns_executed: u64,
@@ -120,7 +121,7 @@ impl BytecodeBackend {
     /// Returns [`BuildError`] if assembly or verification fails — which
     /// would indicate a bug in the program generator, not bad input.
     pub fn new(tgid: Pid, profile: SyscallProfile, shift: u32) -> Result<BytecodeBackend, BuildError> {
-        BytecodeBackend::build(vec![tgid], profile, shift, false)
+        BytecodeBackend::build(vec![tgid], profile, shift, false, None)
     }
 
     /// Like [`BytecodeBackend::new`], but the exit program additionally
@@ -139,7 +140,27 @@ impl BytecodeBackend {
         profile: SyscallProfile,
         shift: u32,
     ) -> Result<BytecodeBackend, BuildError> {
-        BytecodeBackend::build(vec![tgid], profile, shift, true)
+        BytecodeBackend::build(vec![tgid], profile, shift, true, None)
+    }
+
+    /// Like [`BytecodeBackend::new_with_histogram`], but the exit
+    /// program additionally folds each completed request (send exit)
+    /// into a Top-K sketch map keyed by `pid_tgid` — the in-probe
+    /// per-entity heavy-hitter structure whose bounded summary the
+    /// fleet's O(K) reports carry. `sketch_capacity` is the candidate
+    /// table size (the map's `max_entries`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on generator bugs, as for
+    /// [`BytecodeBackend::new`].
+    pub fn new_with_histogram_and_sketch(
+        tgid: Pid,
+        profile: SyscallProfile,
+        shift: u32,
+        sketch_capacity: u32,
+    ) -> Result<BytecodeBackend, BuildError> {
+        BytecodeBackend::build(vec![tgid], profile, shift, true, Some(sketch_capacity))
     }
 
     /// Builds a probe observing several processes at once (multi-stage
@@ -159,7 +180,7 @@ impl BytecodeBackend {
         profile: SyscallProfile,
         shift: u32,
     ) -> Result<BytecodeBackend, BuildError> {
-        BytecodeBackend::build(tgids, profile, shift, false)
+        BytecodeBackend::build(tgids, profile, shift, false, None)
     }
 
     fn build(
@@ -167,6 +188,7 @@ impl BytecodeBackend {
         profile: SyscallProfile,
         shift: u32,
         histogram: bool,
+        sketch_capacity: Option<u32>,
     ) -> Result<BytecodeBackend, BuildError> {
         assert!(!tgids.is_empty(), "observe at least one process");
         let mut maps = MapRegistry::new();
@@ -174,14 +196,18 @@ impl BytecodeBackend {
         let stats_fd = maps.create("stats", MapDef::array(offsets::VALUE_SIZE as u32, 1));
         let hist_fd = histogram
             .then(|| maps.create("poll_hist", MapDef::array((HIST_BUCKETS * 8) as u32, 1)));
+        let sketch_fd =
+            sketch_capacity.map(|cap| maps.create("topk", MapDef::topk_sketch(8, cap)));
 
         let send_no = profile.primary(SyscallRole::Send).raw() as i32;
         let recv_no = profile.primary(SyscallRole::Receive).raw() as i32;
         let poll_no = profile.primary(SyscallRole::Poll).raw() as i32;
 
         let enter = build_enter(&tgids, poll_no, start_fd).map_err(BuildError::Asm)?;
-        let exit = build_exit(&tgids, send_no, recv_no, poll_no, shift, start_fd, stats_fd, hist_fd)
-            .map_err(BuildError::Asm)?;
+        let exit = build_exit(
+            &tgids, send_no, recv_no, poll_no, shift, start_fd, stats_fd, hist_fd, sketch_fd,
+        )
+        .map_err(BuildError::Asm)?;
 
         let verifier = Verifier::new(VerifierConfig {
             ctx_size: CTX_SIZE,
@@ -197,6 +223,7 @@ impl BytecodeBackend {
             exit,
             stats_fd,
             hist_fd,
+            sketch_fd,
             shift,
             tgids,
             insns_executed: 0,
@@ -361,6 +388,18 @@ impl BytecodeBackend {
         }
         Some(out)
     }
+
+    /// The in-probe Top-K entity sketch, or `None` when the backend was
+    /// built without one. The sketch is cumulative across windows (it
+    /// is never reset by `reset_window`), matching the cumulative
+    /// counters the fleet's report envelopes carry.
+    pub fn entity_sketch(&self) -> Option<&kscope_ebpf::SketchState> {
+        let fd = self.sketch_fd?;
+        match self.maps.sketch_state(fd) {
+            Ok(state) => Some(state),
+            Err(e) => unreachable!("backend-owned sketch map missing: {e:?}"),
+        }
+    }
 }
 
 impl MetricBackend for BytecodeBackend {
@@ -472,6 +511,7 @@ fn build_exit(
     start_fd: MapFd,
     stats_fd: MapFd,
     hist_fd: Option<MapFd>,
+    sketch_fd: Option<MapFd>,
 ) -> Result<Program, kscope_ebpf::asm::AsmError> {
     let asm = Asm::new("kscope_sys_exit")
         .mov64_reg(R9, R1) // save ctx
@@ -508,8 +548,24 @@ fn build_exit(
         let ok = format!("{label}_ok");
         let delta = format!("{label}_delta");
         let fin = format!("{label}_done");
+        asm = asm.label(label);
+        if label == "send" {
+            if let Some(sketch_fd) = sketch_fd {
+                // Fold this request's entity (pid_tgid, still live in
+                // R6) into the Top-K sketch with weight 1. One helper
+                // call per completed request; the stats section below
+                // starts fresh from R6/R10, so nothing it needs is
+                // clobbered here.
+                asm = asm
+                    .store_reg(SZ_DW, R10, R6, -16)
+                    .ld_map_fd(R1, sketch_fd)
+                    .mov64_reg(R2, R10)
+                    .add64_imm(R2, -16)
+                    .mov64_imm(R3, 1)
+                    .call(Helper::SketchUpdate);
+            }
+        }
         asm = asm
-            .label(label)
             // stats value pointer -> R7
             .store_imm(SZ_W, R10, -4, 0)
             .ld_map_fd(R1, stats_fd)
@@ -785,6 +841,71 @@ mod tests {
         p.reset_window();
         let hist = p.poll_histogram().expect("histogram enabled");
         assert_eq!(hist.iter().sum::<u64>(), 0);
+    }
+
+    fn sketch_probe(capacity: u32) -> BytecodeBackend {
+        BytecodeBackend::new_with_histogram_and_sketch(
+            1200,
+            SyscallProfile::data_caching(),
+            0,
+            capacity,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sketch_counts_send_exits_per_entity() {
+        let mut p = sketch_probe(8);
+        // tid 1 completes three requests, tid 2 one; a recv and a poll
+        // exit must not touch the sketch.
+        for (tid, t) in [(1, 100), (1, 200), (1, 300), (2, 400)] {
+            p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, tid, t));
+        }
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::RECVMSG, 1, 500));
+        p.on_event(&ctx(TracePhase::Enter, SyscallNo::EPOLL_WAIT, 1, 600));
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::EPOLL_WAIT, 1, 700));
+
+        let sketch = p.entity_sketch().expect("sketch enabled");
+        assert_eq!(sketch.update_count(), 4, "only send exits update it");
+        assert_eq!(sketch.total_weight(), 4);
+        let heavy = pid_tgid(1200, 1).to_le_bytes();
+        let light = pid_tgid(1200, 2).to_le_bytes();
+        assert!(sketch.estimate(&heavy) >= 3);
+        assert!(sketch.estimate(&light) >= 1);
+        assert!(sketch.candidate_keys().any(|k| k == heavy));
+        assert!(sketch.candidate_keys().any(|k| k == light));
+    }
+
+    #[test]
+    fn sketch_is_cumulative_across_windows() {
+        let mut p = sketch_probe(8);
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 100));
+        p.reset_window();
+        p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 200));
+        let sketch = p.entity_sketch().expect("sketch enabled");
+        assert_eq!(sketch.update_count(), 2, "reset_window leaves the sketch");
+        // While the windowed counters did reset (only the post-reset
+        // delta remains).
+        assert_eq!(p.counters().send.count, 1);
+    }
+
+    #[test]
+    fn sketch_absent_without_opt_in() {
+        assert!(probe().entity_sketch().is_none());
+    }
+
+    #[test]
+    fn sketch_probe_matches_userspace_replay() {
+        let mut p = sketch_probe(16);
+        let tids: Vec<u32> = (0..24).map(|i| 1 + i % 6).collect();
+        for (i, &tid) in tids.iter().enumerate() {
+            p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, tid, 100 * (i as u64 + 1)));
+        }
+        let mut replay = kscope_ebpf::SketchState::new(8, 16);
+        for &tid in &tids {
+            replay.update(&pid_tgid(1200, tid).to_le_bytes(), 1);
+        }
+        assert_eq!(p.entity_sketch().expect("sketch enabled"), &replay);
     }
 
     #[test]

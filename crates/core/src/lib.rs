@@ -66,6 +66,7 @@ mod fixed;
 mod hist;
 mod native;
 mod observer;
+pub mod sketch;
 pub mod streaming;
 pub mod timeline;
 
@@ -80,3 +81,4 @@ pub use fixed::{ScaledAcc, DEFAULT_SHIFT};
 pub use hist::Log2Hist;
 pub use native::{NativeBackend, FILTER_COST, UPDATE_COST};
 pub use observer::{MetricBackend, WindowedObserver};
+pub use sketch::TopKSketch;

@@ -128,6 +128,10 @@ pub fn helper_weight(helper: Helper) -> u64 {
         Helper::MapLookupElem => 10,
         Helper::MapDeleteElem => 10,
         Helper::MapUpdateElem => 12,
+        // A sketch update hashes the key SKETCH_ROWS + SKETCH_STAGES
+        // times and touches a bounded set of cells/slots: a bit more
+        // than one hash-map update, less than a ringbuf copy.
+        Helper::SketchUpdate => 14,
         Helper::RingbufOutput => 15,
         Helper::TracePrintk => 25,
     }
@@ -341,7 +345,7 @@ pub(crate) fn inline_plan(decoded: &[Decoded]) -> InlinePlan {
                 let site = states
                     .get(pc)
                     .and_then(|s| s.as_ref())
-                    .and_then(|regs| lookup_site_from_state(regs));
+                    .and_then(lookup_site_from_state);
                 match site {
                     Some(site) => {
                         if let Some(slot) = plan.lookups.get_mut(pc) {

@@ -24,6 +24,12 @@ pub enum Helper {
     GetCurrentPidTgid = 14,
     /// `long bpf_ringbuf_output(ringbuf, data, size, flags)` — id 130.
     RingbufOutput = 130,
+    /// `long bpf_sketch_update(sketch, key, weight)` — id 200.
+    ///
+    /// This runtime's extension (ids ≥ 200 are outside the Linux helper
+    /// range): folds `weight` for `key` into a `TopkSketch` map — the
+    /// in-probe heavy-hitter structure the fleet's O(K) reports carry.
+    SketchUpdate = 200,
 }
 
 impl Helper {
@@ -38,6 +44,7 @@ impl Helper {
             7 => Helper::GetPrandomU32,
             14 => Helper::GetCurrentPidTgid,
             130 => Helper::RingbufOutput,
+            200 => Helper::SketchUpdate,
             _ => return None,
         })
     }
@@ -58,6 +65,7 @@ impl Helper {
             Helper::GetPrandomU32 => "bpf_get_prandom_u32",
             Helper::GetCurrentPidTgid => "bpf_get_current_pid_tgid",
             Helper::RingbufOutput => "bpf_ringbuf_output",
+            Helper::SketchUpdate => "bpf_sketch_update",
         }
     }
 
@@ -66,6 +74,7 @@ impl Helper {
         match self {
             Helper::KtimeGetNs | Helper::GetPrandomU32 | Helper::GetCurrentPidTgid => 0,
             Helper::MapLookupElem | Helper::MapDeleteElem | Helper::TracePrintk => 2,
+            Helper::SketchUpdate => 3,
             Helper::MapUpdateElem | Helper::RingbufOutput => 4,
         }
     }
@@ -82,6 +91,7 @@ impl Helper {
             Helper::GetPrandomU32 => &[],
             Helper::GetCurrentPidTgid => &[],
             Helper::RingbufOutput => &[Map, MemPtr, Scalar, Scalar],
+            Helper::SketchUpdate => &[Map, MapKeyPtr, Scalar],
         }
     }
 
@@ -104,7 +114,8 @@ impl Helper {
             Helper::MapUpdateElem
             | Helper::MapDeleteElem
             | Helper::TracePrintk
-            | Helper::RingbufOutput => RetClass::Scalar,
+            | Helper::RingbufOutput
+            | Helper::SketchUpdate => RetClass::Scalar,
             Helper::KtimeGetNs | Helper::GetPrandomU32 | Helper::GetCurrentPidTgid => {
                 RetClass::Scalar
             }
@@ -148,6 +159,8 @@ mod tests {
         assert_eq!(Helper::KtimeGetNs.id(), 5);
         assert_eq!(Helper::GetCurrentPidTgid.id(), 14);
         assert_eq!(Helper::RingbufOutput.id(), 130);
+        // This runtime's extension lives outside the Linux range.
+        assert_eq!(Helper::SketchUpdate.id(), 200);
     }
 
     #[test]
@@ -161,6 +174,7 @@ mod tests {
             Helper::GetPrandomU32,
             Helper::GetCurrentPidTgid,
             Helper::RingbufOutput,
+            Helper::SketchUpdate,
         ] {
             assert_eq!(Helper::from_id(helper.id()), Some(helper));
         }
@@ -178,6 +192,7 @@ mod tests {
             Helper::GetPrandomU32,
             Helper::GetCurrentPidTgid,
             Helper::RingbufOutput,
+            Helper::SketchUpdate,
         ] {
             assert_eq!(helper.signature().len(), helper.arg_count(), "{helper:?}");
         }
@@ -199,6 +214,7 @@ mod tests {
             Helper::MapDeleteElem,
             Helper::TracePrintk,
             Helper::RingbufOutput,
+            Helper::SketchUpdate,
         ] {
             assert!(!helper.is_env(), "{helper:?}");
         }

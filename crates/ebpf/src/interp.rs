@@ -904,6 +904,21 @@ pub(crate) fn call_helper(
             trace_output.push(buf);
             0
         }
+        Helper::SketchUpdate => {
+            let fd = map_fd(regs[1])?;
+            let key_size = mem
+                .maps
+                .def(fd)
+                .map_err(|_| ExecError::NotAMapHandle { pc, value: regs[1] })?
+                .key_size as usize;
+            let mut key_buf = [0u8; MAX_KEY_SIZE];
+            let key = &mut key_buf[..key_size];
+            mem.read_bytes(pc, regs[2], key)?;
+            match mem.maps.sketch_update(fd, key, regs[3]) {
+                Ok(()) => 0,
+                Err(_) => (-1i64) as u64,
+            }
+        }
         Helper::RingbufOutput => {
             let fd = map_fd(regs[1])?;
             let len = regs[3] as usize;

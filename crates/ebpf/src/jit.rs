@@ -863,8 +863,8 @@ mod imp {
         /// holds the helper result and is preserved).
         fn poison_caller_saved(&mut self) {
             self.mov_ri(RDI, CLOBBER);
-            for r in 2..6 {
-                self.alu_rr(true, 0x89, RDI, X86[r]);
+            for &reg in &X86[2..6] {
+                self.alu_rr(true, 0x89, RDI, reg);
             }
         }
     }

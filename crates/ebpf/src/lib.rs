@@ -29,7 +29,8 @@
 //! * [`jit`] — a template JIT compiling verified programs to native
 //!   x86-64 (opt in via [`interp::Vm::with_jit`]; falls back to the
 //!   interpreter on unsupported programs or targets);
-//! * [`maps::MapRegistry`] — hash/array/ringbuf maps shared with userspace;
+//! * [`maps::MapRegistry`] — hash/array/ringbuf/Top-K-sketch maps shared
+//!   with userspace ([`sketch`] holds the mergeable heavy-hitter state);
 //! * [`helpers::Helper`] — Linux-numbered kernel helpers
 //!   (`bpf_ktime_get_ns` = 5, `bpf_get_current_pid_tgid` = 14, …).
 //!
@@ -75,6 +76,7 @@ pub mod jit;
 pub mod mapindex;
 pub mod maps;
 pub mod program;
+pub mod sketch;
 pub mod text;
 pub mod tnum;
 pub mod verifier;
@@ -89,6 +91,7 @@ pub use helpers::Helper;
 pub use interp::{ExecEnv, ExecError, ExecOutcome, Vm};
 pub use maps::{MapDef, MapError, MapFd, MapKind, MapRegistry};
 pub use program::Program;
+pub use sketch::SketchState;
 pub use text::parse_program;
 pub use tnum::Tnum;
 pub use verifier::{

@@ -55,6 +55,7 @@ use std::hash::{BuildHasher, Hash, Hasher};
 use crate::mapindex::{
     ArrayArena, HashIndex, MapRuntimeDesc, DESC_KIND_ARRAY, DESC_KIND_HASH,
 };
+use crate::sketch::SketchState;
 
 /// Maximum key size (bytes) of hash maps: keys are stored inline, never on
 /// the heap. Every probe map in the methodology uses 4- or 8-byte keys.
@@ -69,6 +70,11 @@ pub enum MapKind {
     Array,
     /// Byte ring buffer (`BPF_MAP_TYPE_RINGBUF`).
     RingBuf,
+    /// Mergeable Top-K heavy-hitter sketch (this runtime's extension;
+    /// no kernel equivalent — the closest shape is eHashPipe built on
+    /// `BPF_MAP_TYPE_ARRAY`). Updated only through `bpf_sketch_update`;
+    /// the generic lookup/update/delete helpers reject it.
+    TopkSketch,
 }
 
 /// Static definition of a map, fixed at creation time.
@@ -112,6 +118,20 @@ impl MapDef {
             kind: MapKind::RingBuf,
             key_size: 0,
             value_size,
+            max_entries,
+        }
+    }
+
+    /// A Top-K heavy-hitter sketch over `key_size`-byte entity keys with
+    /// `max_entries` candidate slots. The count-min geometry (rows,
+    /// columns) is derived from `max_entries` by
+    /// [`sketch_cols`](crate::sketch::sketch_cols); counters are 8-byte
+    /// wrapping cells, hence the fixed `value_size`.
+    pub fn topk_sketch(key_size: u32, max_entries: u32) -> MapDef {
+        MapDef {
+            kind: MapKind::TopkSketch,
+            key_size,
+            value_size: 8,
             max_entries,
         }
     }
@@ -330,6 +350,9 @@ enum MapStorage {
         free: Vec<Vec<u8>>,
         dropped: u64,
     },
+    /// Fixed-geometry sketch state: all allocations happen at map
+    /// creation, updates touch cells and inline slots in place.
+    Sketch(SketchState),
 }
 
 #[derive(Debug, Clone)]
@@ -424,6 +447,15 @@ impl MapRegistry {
                 free: Vec::new(),
                 dropped: 0,
             },
+            MapKind::TopkSketch => {
+                assert!(def.key_size > 0, "sketch maps need non-empty keys");
+                assert!(
+                    def.key_size as usize <= MAX_KEY_SIZE,
+                    "sketch keys are limited to {MAX_KEY_SIZE} bytes (inline storage)"
+                );
+                assert_eq!(def.value_size, 8, "sketch counters are 8-byte cells");
+                MapStorage::Sketch(SketchState::new(def.key_size, def.max_entries))
+            }
         };
         let fd = MapFd(self.maps.len() as u32);
         self.maps.push(MapEntry {
@@ -512,6 +544,7 @@ impl MapRegistry {
                 Ok(arena.get(Self::array_index(key) as usize))
             }
             MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
+            MapStorage::Sketch(_) => Err(MapError::WrongKind(MapKind::TopkSketch)),
         }
     }
 
@@ -530,6 +563,7 @@ impl MapRegistry {
             MapStorage::Hash { entries, .. } => Ok(entries.get_mut(key).map(|v| &mut v[..])),
             MapStorage::Array(arena) => Ok(arena.get_mut(Self::array_index(key) as usize)),
             MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
+            MapStorage::Sketch(_) => Err(MapError::WrongKind(MapKind::TopkSketch)),
         }
     }
 
@@ -603,6 +637,7 @@ impl MapRegistry {
                 }
             }
             MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
+            MapStorage::Sketch(_) => Err(MapError::WrongKind(MapKind::TopkSketch)),
         }
     }
 
@@ -638,6 +673,7 @@ impl MapRegistry {
             },
             MapStorage::Array(_) => Err(MapError::WrongKind(MapKind::Array)),
             MapStorage::RingBuf { .. } => Err(MapError::WrongKind(MapKind::RingBuf)),
+            MapStorage::Sketch(_) => Err(MapError::WrongKind(MapKind::TopkSketch)),
         }
     }
 
@@ -700,6 +736,7 @@ impl MapRegistry {
             other => Err(MapError::WrongKind(match other {
                 MapStorage::Hash { .. } => MapKind::Hash,
                 MapStorage::Array(_) => MapKind::Array,
+                MapStorage::Sketch(_) => MapKind::TopkSketch,
                 MapStorage::RingBuf { .. } => unreachable!(),
             })),
         }
@@ -777,7 +814,43 @@ impl MapRegistry {
             MapStorage::Hash { entries, .. } => entries.len() as u32,
             MapStorage::Array(arena) => arena.len() as u32,
             MapStorage::RingBuf { records, .. } => records.len() as u32,
+            MapStorage::Sketch(state) => state.candidate_len(),
         })
+    }
+
+    /// Folds `weight` for `key` into a Top-K sketch map — the
+    /// `bpf_sketch_update` entry point. Zero-allocation: the sketch's
+    /// cells and candidate slots are fixed at map creation and updated
+    /// in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds, key-size mismatches, or non-sketch maps.
+    pub fn sketch_update(&mut self, fd: MapFd, key: &[u8], weight: u64) -> Result<(), MapError> {
+        let entry = self.entry_mut(fd)?;
+        Self::check_key(&entry.def, key)?;
+        let kind = entry.def.kind;
+        match &mut entry.storage {
+            MapStorage::Sketch(state) => {
+                state.update(key, weight);
+                Ok(())
+            }
+            _ => Err(MapError::WrongKind(kind)),
+        }
+    }
+
+    /// Borrows the state of a Top-K sketch map — the userspace read
+    /// side: a host agent clones this into its report envelope.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fds or non-sketch maps.
+    pub fn sketch_state(&self, fd: MapFd) -> Result<&SketchState, MapError> {
+        let entry = self.entry(fd)?;
+        match &entry.storage {
+            MapStorage::Sketch(state) => Ok(state),
+            _ => Err(MapError::WrongKind(entry.def.kind)),
+        }
     }
 
     /// Rebuilds the per-fd [`MapRuntimeDesc`] table and returns its base
@@ -807,7 +880,9 @@ impl MapRegistry {
                     base: index.base_ptr() as u64,
                     aux: index.mask(),
                 },
-                MapStorage::RingBuf { .. } => MapRuntimeDesc::none(),
+                // Ring buffers and sketches have no inline fast path;
+                // their helpers always take the trampoline.
+                MapStorage::RingBuf { .. } | MapStorage::Sketch(_) => MapRuntimeDesc::none(),
             };
             self.descs.push(desc);
         }
@@ -1134,6 +1209,66 @@ mod tests {
             maps.hash_entries(fd),
             Err(MapError::WrongKind(MapKind::RingBuf))
         ));
+    }
+
+    #[test]
+    fn sketch_update_and_read_back() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("topk", MapDef::topk_sketch(8, 8));
+        assert_eq!(maps.len(fd).unwrap(), 0);
+        for i in 0..20u64 {
+            maps.sketch_update(fd, &(i % 3).to_le_bytes(), 2).unwrap();
+        }
+        let state = maps.sketch_state(fd).unwrap();
+        assert!(state.estimate(&0u64.to_le_bytes()) >= 14);
+        assert_eq!(state.total_weight(), 40);
+        assert!(maps.len(fd).unwrap() >= 1);
+    }
+
+    #[test]
+    fn sketch_rejects_generic_map_ops() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("topk", MapDef::topk_sketch(8, 8));
+        let key = 1u64.to_le_bytes();
+        assert!(matches!(
+            maps.lookup(fd, &key),
+            Err(MapError::WrongKind(MapKind::TopkSketch))
+        ));
+        assert!(matches!(
+            maps.update(fd, &key, &[0; 8]),
+            Err(MapError::WrongKind(MapKind::TopkSketch))
+        ));
+        assert!(matches!(
+            maps.delete(fd, &key),
+            Err(MapError::WrongKind(MapKind::TopkSketch))
+        ));
+        assert!(matches!(
+            maps.ring_push(fd, &[0; 8]),
+            Err(MapError::WrongKind(MapKind::TopkSketch))
+        ));
+        // And the other kinds reject sketch ops.
+        let h = maps.create("h", MapDef::hash(8, 8, 4));
+        assert!(matches!(
+            maps.sketch_update(h, &key, 1),
+            Err(MapError::WrongKind(MapKind::Hash))
+        ));
+        assert!(matches!(
+            maps.sketch_state(h),
+            Err(MapError::WrongKind(MapKind::Hash))
+        ));
+    }
+
+    #[test]
+    fn sketch_runtime_desc_has_no_fast_path() {
+        use crate::mapindex::DESC_KIND_NONE;
+        let mut maps = MapRegistry::new();
+        let fd = maps.create("topk", MapDef::topk_sketch(8, 16));
+        let (ptr, len) = maps.refresh_runtime_descs();
+        assert_eq!(len, 1);
+        assert!(!ptr.is_null());
+        // Safe read through the registry-owned cache.
+        let desc = maps.descs[fd.0 as usize];
+        assert_eq!(desc.kind, DESC_KIND_NONE);
     }
 
     #[test]

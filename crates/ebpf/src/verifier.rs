@@ -37,7 +37,7 @@ use crate::insn::{
     OP_JNE, OP_JSET, OP_JSGE, OP_JSGT, OP_JSLE, OP_JSLT, OP_LSH, OP_MOD, OP_MOV, OP_MUL, OP_NEG,
     OP_OR, OP_RSH, OP_SUB, OP_XOR, PSEUDO_MAP_FD, REG_COUNT, STACK_SIZE,
 };
-use crate::maps::{MapFd, MapRegistry};
+use crate::maps::{MapFd, MapKind, MapRegistry};
 use crate::program::Program;
 use crate::tnum::Tnum;
 
@@ -2154,6 +2154,29 @@ impl Verifier {
                             })?;
                     }
                 }
+            }
+        }
+
+        // Map-kind admission, mirroring the kernel's
+        // check_map_func_compatibility: the generic key/value helpers
+        // reject sketch maps (their storage is not key/value shaped),
+        // and the sketch helper accepts only sketch maps.
+        if let Some(fd) = map_fd {
+            let def = maps.def(fd).map_err(|_| VerifyError::BadMapFd { pc, fd: fd.0 })?;
+            let compatible = match helper {
+                Helper::SketchUpdate => def.kind == MapKind::TopkSketch,
+                Helper::MapLookupElem | Helper::MapUpdateElem | Helper::MapDeleteElem => {
+                    def.kind != MapKind::TopkSketch
+                }
+                _ => true,
+            };
+            if !compatible {
+                return Err(VerifyError::BadHelperArg {
+                    pc,
+                    helper,
+                    arg: 1,
+                    expected: "a map kind this helper accepts",
+                });
             }
         }
 

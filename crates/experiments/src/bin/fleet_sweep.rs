@@ -1,16 +1,31 @@
-//! Runs a multi-host fleet and emits the deterministic rollup JSON.
+//! Runs a multi-host fleet and emits the deterministic rollup JSON —
+//! or, with `--scale`, sweeps the host count and records how the
+//! collection plane scales.
 //!
 //! ```text
-//! fleet_sweep [--hosts N] [--seed N] [--loss F] [--jobs N] [--quick] [--out PATH]
+//! fleet_sweep [--hosts N] [--seed N] [--loss F] [--jobs N] [--quick]
+//!             [--preset scale] [--out PATH]
+//! fleet_sweep --scale [--max-hosts N] [--seed N] [--jobs N] [--out PATH]
 //! ```
 //!
-//! The JSON document is byte-identical for any `--jobs` value and across
-//! reruns of the same seed — the property the CI `fleet-smoke` job checks
-//! with a literal `cmp`. The human-readable loss-robustness figure lives
-//! in the `fleet_robustness` binary; this one is the machine interface.
+//! Single-run mode: the JSON document is byte-identical for any
+//! `--jobs` value and across reruns of the same seed — the property the
+//! CI `fleet-smoke` and `fleet-scale-smoke` jobs check with a literal
+//! `cmp`. `--preset scale` swaps in the short-window
+//! [`FleetConfig::scale`] schedule so 10⁴–10⁵ hosts finish in CI-scale
+//! wall time.
+//!
+//! Scale-sweep mode (`--scale`): runs the scale preset at 10², 10³,
+//! 10⁴, 10⁵ hosts (capped by `--max-hosts`) and emits one JSON line per
+//! point — wall time, wire bytes offered/delivered, the constant O(K)
+//! per-report wire size, and the sketch-vs-exact Top-K agreement
+//! (the collector never sees per-entity ground truth; the simulation
+//! does, which is the point of measuring agreement here).
+
+use std::time::Instant;
 
 use kscope_experiments::default_jobs;
-use kscope_fleet::{report_to_json, run_fleet, FleetConfig};
+use kscope_fleet::{report_to_json, run_fleet_jobs, FleetConfig};
 
 fn flag_value<T: std::str::FromStr>(name: &str) -> Option<T> {
     let mut args = std::env::args().peekable();
@@ -27,13 +42,87 @@ fn flag_value<T: std::str::FromStr>(name: &str) -> Option<T> {
     None
 }
 
+fn write_or_print(out: Option<std::path::PathBuf>, body: &str) {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("fleet_sweep: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("fleet_sweep: written to {}", path.display());
+        }
+        None => print!("{body}"),
+    }
+}
+
+fn scale_sweep(jobs: usize) {
+    let max_hosts: usize = flag_value("--max-hosts").unwrap_or(100_000);
+    let seed: u64 = flag_value("--seed").unwrap_or(42);
+    let mut lines = String::new();
+    for hosts in [100usize, 1_000, 10_000, 100_000] {
+        if hosts > max_hosts {
+            break;
+        }
+        let mut config = FleetConfig::scale(hosts);
+        config.seed = seed;
+        let started = Instant::now();
+        let run = match run_fleet_jobs(&config, jobs) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("fleet_sweep: probe build failed at {hosts} hosts: {e:?}");
+                std::process::exit(1);
+            }
+        };
+        let rollup = run.rollup(jobs);
+        let wall_ms = started.elapsed().as_millis();
+        let k = config.top_entities;
+        let exact = run.exact_top_entities(k);
+        let matched = rollup
+            .top_entities
+            .iter()
+            .filter(|row| exact.contains(&row.entity))
+            .count();
+        let agreement = matched as f64 / k.max(1) as f64;
+        let t = &rollup.transport;
+        eprintln!(
+            "fleet_sweep: {hosts} hosts in {wall_ms} ms (jobs {jobs}): \
+             {} B/report, {} B delivered, top-{k} agreement {agreement:.3}",
+            t.report_wire_bytes, t.bytes_delivered
+        );
+        lines.push_str(&format!(
+            "{{\"hosts\":{hosts},\"jobs\":{jobs},\"wall_ms\":{wall_ms},\
+             \"report_wire_bytes\":{},\"bytes_offered\":{},\"bytes_delivered\":{},\
+             \"bytes_per_host_per_window\":{},\"reporting_hosts\":{},\
+             \"fleet_rps\":{},\"topk_agreement\":{agreement}}}\n",
+            t.report_wire_bytes,
+            t.bytes_offered,
+            t.bytes_delivered,
+            t.bytes_per_host_per_window,
+            rollup.reporting_hosts,
+            rollup.fleet_rps,
+        ));
+    }
+    write_or_print(flag_value("--out"), &lines);
+}
+
 fn main() {
+    let jobs = default_jobs();
+    if std::env::args().any(|a| a == "--scale") {
+        scale_sweep(jobs);
+        return;
+    }
+
     let quick = std::env::args().any(|a| a == "--quick");
     let hosts: usize = flag_value("--hosts").unwrap_or(16);
-    let mut config = if quick {
-        FleetConfig::quick(hosts)
-    } else {
-        FleetConfig::new(hosts)
+    let preset: Option<String> = flag_value("--preset");
+    let mut config = match preset.as_deref() {
+        Some("scale") => FleetConfig::scale(hosts),
+        Some(other) => {
+            eprintln!("fleet_sweep: unknown preset {other:?} (try \"scale\")");
+            std::process::exit(2);
+        }
+        None if quick => FleetConfig::quick(hosts),
+        None => FleetConfig::new(hosts),
     };
     if let Some(seed) = flag_value::<u64>("--seed") {
         config.seed = seed;
@@ -41,9 +130,8 @@ fn main() {
     if let Some(loss) = flag_value::<f64>("--loss") {
         config = config.with_loss(loss);
     }
-    let jobs = default_jobs();
 
-    let run = match run_fleet(&config) {
+    let run = match run_fleet_jobs(&config, jobs) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("fleet_sweep: probe build failed: {e:?}");
@@ -56,14 +144,5 @@ fn main() {
         config.hosts, rollup.fleet_rps, rollup.accounting.channel_dropped, rollup.accounting.stale
     );
     let json = report_to_json(&config, &rollup);
-    match flag_value::<std::path::PathBuf>("--out") {
-        Some(path) => {
-            if let Err(e) = std::fs::write(&path, &json) {
-                eprintln!("fleet_sweep: cannot write {}: {e}", path.display());
-                std::process::exit(1);
-            }
-            eprintln!("fleet_sweep: report written to {}", path.display());
-        }
-        None => print!("{json}"),
-    }
+    write_or_print(flag_value("--out"), &json);
 }

@@ -1,8 +1,20 @@
 //! The central collector: per-host report slots with sequence checking,
-//! and the sharded deterministic rollup.
+//! and the hierarchical deterministic rollup.
+//!
+//! The rollup is a **collection tree**: hosts group into leaf
+//! aggregators of `fan_in` hosts each, leaf aggregates merge into
+//! internal nodes of `fan_in` children, and so on to a single root.
+//! Every tree edge carries one [`AggregateReport`] — merged integer
+//! counters, merged histogram cells, one merged Top-K sketch, and a
+//! Top-K row list — O(K) bytes regardless of how many hosts or
+//! distinct entities sit below it. Because every merged quantity is
+//! either an exact integer sum, an exact order-statistic selection, or
+//! a sketch whose matrix sums exactly, the root report is bitwise
+//! identical at any worker count, and the shipped configurations pin it
+//! byte-identical across fan-ins too.
 
 use kscope_analysis::log2_bucket_quantile;
-use kscope_core::{Log2Hist, RawCounters};
+use kscope_core::{Log2Hist, RawCounters, TopKSketch};
 use kscope_simcore::parallel::map_indexed;
 use kscope_simcore::Nanos;
 
@@ -50,6 +62,22 @@ pub struct Accounting {
     pub gaps: u64,
 }
 
+/// The control channel's byte ledger (ground truth, filled in by the
+/// run): topology-dependent transport facts, kept apart from the
+/// fan-in-invariant "rollup" section of the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Transport {
+    /// Report bytes offered to the channel across all hosts.
+    pub bytes_offered: u64,
+    /// Report bytes the channel delivered.
+    pub bytes_delivered: u64,
+    /// Modeled wire size of one report envelope — constant per config,
+    /// O(K) in the sketch capacity, independent of entity count.
+    pub report_wire_bytes: u64,
+    /// Delivered bytes per host per observation window.
+    pub bytes_per_host_per_window: f64,
+}
+
 /// One host's row in the rollup, in host-id order.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostRow {
@@ -69,7 +97,107 @@ pub struct HostRow {
     pub score: f64,
 }
 
-/// The drop-aware fleet rollup.
+/// One entity in the merged sketch's Top-K.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntityRow {
+    /// The entity key (`pid_tgid` of the serving thread).
+    pub entity: u64,
+    /// The merged Count-Min estimate of its fleet-wide request count
+    /// (never below the true count over the reported streams).
+    pub estimate: u64,
+}
+
+/// The O(K) payload one collection-tree edge carries: everything a
+/// parent needs from a subtree, in constant space.
+///
+/// Merging is associative, commutative, and (for every integer-derived
+/// field) exactly equal to aggregating the subtree's hosts directly —
+/// the counters and histogram are wrapping sums, the row Top-K is an
+/// exact selection under a total order, and the sketch's Count-Min
+/// matrix sums cell-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateReport {
+    /// Hosts covered by this subtree.
+    pub hosts: usize,
+    /// Hosts below with at least one accepted report.
+    pub reporting: usize,
+    /// Merged cumulative counters of every reporting host below.
+    pub merged: RawCounters,
+    /// Merged poll-duration histogram cells.
+    pub hist: Log2Hist,
+    /// Merged entity sketch (`None` when no host below has reported).
+    pub sketch: Option<TopKSketch>,
+    /// The subtree's `top_k` highest-scoring host rows (score desc,
+    /// host id asc) — an exact partial selection, so the root's Top-K
+    /// equals the Top-K over all hosts at any fan-in.
+    pub top_rows: Vec<HostRow>,
+    /// Envelopes accepted below.
+    pub accepted: u64,
+    /// Envelopes discarded as stale below.
+    pub stale: u64,
+    /// Sequence gaps observed below.
+    pub gaps: u64,
+}
+
+impl AggregateReport {
+    fn empty(shift: u32) -> AggregateReport {
+        AggregateReport {
+            hosts: 0,
+            reporting: 0,
+            merged: RawCounters::new(shift),
+            hist: Log2Hist::new(shift),
+            sketch: None,
+            top_rows: Vec::new(),
+            accepted: 0,
+            stale: 0,
+            gaps: 0,
+        }
+    }
+
+    /// Merges `children` into one aggregate, keeping the row Top-K at
+    /// `top_k`. Order- and grouping-invariant in every integer-derived
+    /// field.
+    pub fn merge(children: &[AggregateReport], shift: u32, top_k: usize) -> AggregateReport {
+        let mut out = AggregateReport::empty(shift);
+        for child in children {
+            out.hosts += child.hosts;
+            out.reporting += child.reporting;
+            out.merged.merge(&child.merged);
+            out.hist.merge(&child.hist);
+            out.accepted += child.accepted;
+            out.stale += child.stale;
+            out.gaps += child.gaps;
+            out.top_rows.extend(child.top_rows.iter().copied());
+        }
+        out.sketch = TopKSketch::merge_all(children.iter().filter_map(|c| c.sketch.as_ref()));
+        rank_rows(&mut out.top_rows, top_k);
+        out
+    }
+
+    /// Modeled wire size of this aggregate: the envelope-shaped payload
+    /// plus `top_k` host rows — O(K), independent of `hosts`.
+    pub fn wire_bytes(&self) -> usize {
+        const ROW_BYTES: usize = 4 + 8 + 8 + 8 + 8 + 1 + 8;
+        crate::host::ENVELOPE_FIXED_BYTES
+            + self.sketch.as_ref().map(TopKSketch::wire_bytes).unwrap_or(0)
+            + self.top_rows.len() * ROW_BYTES
+    }
+}
+
+/// Sorts rows by (score desc, host asc) and keeps the first `top_k` —
+/// the exact selection both the leaves and internal nodes apply.
+fn rank_rows(rows: &mut Vec<HostRow>, top_k: usize) {
+    rows.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.host.cmp(&b.host))
+    });
+    rows.truncate(top_k);
+}
+
+/// The drop-aware fleet rollup (the root of the collection tree, plus
+/// locally-derived per-host detail).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetRollup {
     /// Hosts in the fleet.
@@ -78,7 +206,10 @@ pub struct FleetRollup {
     pub reporting_hosts: usize,
     /// Hosts the collector has never heard from.
     pub silent_hosts: usize,
-    /// Fleet throughput: the sum of per-host cumulative Eq. 1 rates.
+    /// Fleet throughput: reporting hosts × Eq. 1 over the *merged*
+    /// stream (1e9 / merged mean inter-send delta) — derived from
+    /// exactly-merged integer cells only, so it is identical at any
+    /// fan-in and worker count.
     pub fleet_rps: f64,
     /// Send deltas across the merged fleet stream.
     pub fleet_send_count: u64,
@@ -96,23 +227,20 @@ pub struct FleetRollup {
     pub slack_p99_ns: Option<f64>,
     /// The `top_k` highest-scoring hosts (score desc, host id asc).
     pub top_saturated: Vec<HostRow>,
-    /// Every host's row, in host-id order.
+    /// The merged sketch's heaviest entities (estimate desc, key asc).
+    pub top_entities: Vec<EntityRow>,
+    /// Total weight folded into the merged sketch: the fleet-wide
+    /// request count the reporting hosts' probes observed.
+    pub sketch_total_weight: u64,
+    /// Every host's row, in host-id order (collector-local detail; this
+    /// never travels a tree edge).
     pub per_host: Vec<HostRow>,
     /// Collector-side accounting (`accepted`/`stale`/`gaps` only; the
     /// run's report fills in the sender/channel ground truth).
     pub accounting: Accounting,
-}
-
-/// Per-shard partial state folded by the rollup.
-struct ShardSummary {
-    merged: RawCounters,
-    hist: Log2Hist,
-    sum_rps: f64,
-    rows: Vec<HostRow>,
-    reporting: usize,
-    accepted: u64,
-    stale: u64,
-    gaps: u64,
+    /// Channel byte ledger (filled in by the run; zeroed in a bare
+    /// collector rollup).
+    pub transport: Transport,
 }
 
 /// The central collector.
@@ -158,137 +286,204 @@ impl Collector {
         }
     }
 
-    /// Rolls the fleet up across `shards` fixed shards on up to `jobs`
-    /// worker threads.
+    /// Rolls the fleet up through a collection tree of the given
+    /// `fan_in` on up to `jobs` worker threads, reporting the
+    /// `top_entities` heaviest entities of the merged sketch.
     ///
-    /// Determinism: hosts map to shards by id range, shard summaries are
-    /// computed serially within a shard and folded in shard order, and
-    /// every floating-point value is derived from exactly-merged integer
-    /// cells — so the result (and its JSON rendering) is bitwise
-    /// identical for any `jobs`, including 1.
-    pub fn rollup(&self, jobs: usize, shards: usize, top_k: usize) -> FleetRollup {
-        let shards = shards.max(1).min(self.slots.len().max(1));
-        let chunk = self.slots.len().div_ceil(shards);
-        let ranges: Vec<(usize, usize)> = (0..shards)
-            .map(|s| {
-                // Both ends clamp to the host count: when `chunk` rounds
-                // up, trailing shards degenerate to empty ranges.
-                let lo = (s * chunk).min(self.slots.len());
-                let hi = ((s + 1) * chunk).min(self.slots.len());
-                (lo, hi)
-            })
+    /// Determinism: hosts map to leaf aggregators by id range, each
+    /// tree level is built with `map_indexed` (deterministic in input
+    /// order) and merged child-group by child-group in index order, and
+    /// every floating-point value is derived from exactly-merged
+    /// integer cells — so the result (and its JSON rendering) is
+    /// bitwise identical for any `jobs`, including 1.
+    pub fn rollup(
+        &self,
+        jobs: usize,
+        fan_in: usize,
+        top_k: usize,
+        top_entities: usize,
+    ) -> FleetRollup {
+        let fan_in = fan_in.max(1);
+        let hosts = self.slots.len();
+        let leaves = hosts.div_ceil(fan_in).max(1);
+        let ranges: Vec<(usize, usize)> = (0..leaves)
+            .map(|l| ((l * fan_in).min(hosts), ((l + 1) * fan_in).min(hosts)))
             .collect();
+        let mut level: Vec<AggregateReport> =
+            map_indexed(&ranges, jobs, |_, &(lo, hi)| self.aggregate_leaf(lo, hi, top_k));
 
-        let summaries: Vec<ShardSummary> =
-            map_indexed(&ranges, jobs, |_, &(lo, hi)| self.summarize_shard(lo, hi));
+        // Internal levels: merge `fan_in` children at a time until one
+        // root remains. A fan-in of 1 still terminates (every level
+        // merges at least pairs).
+        let node_fan_in = fan_in.max(2);
+        while level.len() > 1 {
+            let groups = level.len().div_ceil(node_fan_in);
+            let bounds: Vec<(usize, usize)> = (0..groups)
+                .map(|g| {
+                    (
+                        (g * node_fan_in).min(level.len()),
+                        ((g + 1) * node_fan_in).min(level.len()),
+                    )
+                })
+                .collect();
+            level = map_indexed(&bounds, jobs, |_, &(lo, hi)| {
+                AggregateReport::merge(&level[lo..hi], self.shift, top_k)
+            });
+        }
+        let mut root = match level.pop() {
+            Some(root) => root,
+            None => AggregateReport::empty(self.shift),
+        };
 
-        let mut merged = RawCounters::new(self.shift);
-        let mut hist = Log2Hist::new(self.shift);
-        let mut fleet_rps = 0.0;
-        let mut rows = Vec::with_capacity(self.slots.len());
-        let mut reporting = 0usize;
-        let mut accounting = Accounting::default();
-        for s in summaries {
-            merged.merge(&s.merged);
-            hist.merge(&s.hist);
-            fleet_rps += s.sum_rps;
-            rows.extend(s.rows);
-            reporting += s.reporting;
-            accounting.accepted += s.accepted;
-            accounting.stale += s.stale;
-            accounting.gaps += s.gaps;
+        // Second aggregation round: pass 1's matrix is exact at any
+        // grouping, but candidate truncation at inner nodes used
+        // subtree-local estimates, so the surviving key set can depend
+        // on the fan-in. Re-select the root candidates under the global
+        // (root-matrix) order: each leaf keeps its top-`capacity` keys
+        // by that order (still O(K) per edge), and the root selects over
+        // the leaf unions — provably equal to flat selection over every
+        // host's keys, hence byte-identical at any fan-in and `jobs`.
+        if let Some(mut sketch) = root.sketch.take() {
+            let cap = sketch.state().capacity() as usize;
+            let by_global_order = |s: &TopKSketch, a: &Vec<u8>, b: &Vec<u8>| {
+                s.estimate(b).cmp(&s.estimate(a)).then_with(|| a.cmp(b))
+            };
+            let leaf_keys: Vec<Vec<Vec<u8>>> = map_indexed(&ranges, jobs, |_, &(lo, hi)| {
+                let mut union: std::collections::BTreeSet<Vec<u8>> = Default::default();
+                for slot in &self.slots[lo..hi] {
+                    if let Some(env) = &slot.latest {
+                        union.extend(env.sketch.state().candidate_keys().map(<[u8]>::to_vec));
+                    }
+                }
+                let mut kept: Vec<Vec<u8>> = union.into_iter().collect();
+                kept.sort_by(|a, b| by_global_order(&sketch, a, b));
+                kept.truncate(cap);
+                kept
+            });
+            sketch.reselect_candidates(
+                leaf_keys.iter().flatten().map(Vec::as_slice),
+            );
+            root.sketch = Some(sketch);
         }
 
-        let mut ranked = rows.clone();
-        ranked.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.host.cmp(&b.host))
-        });
-        ranked.truncate(top_k);
+        // Collector-local detail: every host's row (never on the wire).
+        let per_host: Vec<HostRow> = (0..hosts).map(|h| self.host_row(h)).collect();
 
-        let quantile = |q: f64| log2_bucket_quantile(hist.buckets(), self.shift, q);
+        let top_entity_rows: Vec<EntityRow> = root
+            .sketch
+            .as_ref()
+            .map(|s| {
+                s.top_k(top_entities)
+                    .into_iter()
+                    .map(|(key, estimate)| {
+                        let mut bytes = [0u8; 8];
+                        bytes.copy_from_slice(&key);
+                        EntityRow {
+                            entity: u64::from_le_bytes(bytes),
+                            estimate,
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let sketch_total_weight = root
+            .sketch
+            .as_ref()
+            .map(TopKSketch::total_weight)
+            .unwrap_or(0);
+
+        let fleet_rps = (root.merged.send.count >= self.min_send_samples)
+            .then(|| root.merged.send.mean())
+            .flatten()
+            .filter(|&m| m > 0.0)
+            .map(|m| root.reporting as f64 * 1e9 / m)
+            .unwrap_or(0.0);
+
+        let quantile = |q: f64| log2_bucket_quantile(root.hist.buckets(), self.shift, q);
         FleetRollup {
-            hosts: self.slots.len(),
-            reporting_hosts: reporting,
-            silent_hosts: self.slots.len() - reporting,
+            hosts,
+            reporting_hosts: root.reporting,
+            silent_hosts: hosts - root.reporting,
             fleet_rps,
-            fleet_send_count: merged.send.count,
-            fleet_mean_delta_ns: merged.send.mean(),
-            fleet_var_delta_ns2: merged.send.variance(),
-            fleet_events: merged.events,
+            fleet_send_count: root.merged.send.count,
+            fleet_mean_delta_ns: root.merged.send.mean(),
+            fleet_var_delta_ns2: root.merged.send.variance(),
+            fleet_events: root.merged.events,
             slack_p50_ns: quantile(0.50),
             slack_p90_ns: quantile(0.90),
             slack_p99_ns: quantile(0.99),
-            top_saturated: ranked,
-            per_host: rows,
-            accounting,
+            top_saturated: root.top_rows,
+            top_entities: top_entity_rows,
+            sketch_total_weight,
+            per_host,
+            accounting: Accounting {
+                accepted: root.accepted,
+                stale: root.stale,
+                gaps: root.gaps,
+                ..Accounting::default()
+            },
+            transport: Transport::default(),
         }
     }
 
-    fn summarize_shard(&self, lo: usize, hi: usize) -> ShardSummary {
-        let mut merged = RawCounters::new(self.shift);
-        let mut hist = Log2Hist::new(self.shift);
-        let mut sum_rps = 0.0;
-        let mut rows = Vec::with_capacity(hi - lo);
-        let mut reporting = 0usize;
-        let (mut accepted, mut stale, mut gaps) = (0u64, 0u64, 0u64);
-        for (idx, slot) in self.slots[lo..hi].iter().enumerate() {
-            let host = (lo + idx) as u32;
-            accepted += slot.accepted;
-            stale += slot.stale;
-            gaps += slot.gaps;
-            let row = match &slot.latest {
-                Some(env) => {
-                    reporting += 1;
-                    merged.merge(&env.cum);
-                    hist.merge(&env.hist);
-                    let rps = (env.cum.send.count >= self.min_send_samples)
-                        .then(|| env.cum.send.mean())
-                        .flatten()
-                        .filter(|&m| m > 0.0)
-                        .map(|m| 1e9 / m);
-                    if let Some(r) = rps {
-                        sum_rps += r;
-                    }
-                    let headroom = env.slack.map(|s| s.headroom);
-                    let sat_flag = env.saturation.map(|s| s.saturated).unwrap_or(false);
-                    let slack_flag = env.slack.map(|s| s.saturated).unwrap_or(false);
-                    let score = f64::from(u8::from(sat_flag)) + f64::from(u8::from(slack_flag))
-                        + headroom.map(|h| (1.0 - h).clamp(0.0, 1.0)).unwrap_or(0.0);
-                    HostRow {
-                        host,
-                        seq: slot.last_seq,
-                        windows: env.windows_observed,
-                        rps,
-                        headroom,
-                        saturated: sat_flag || slack_flag,
-                        score,
-                    }
+    fn host_row(&self, host: usize) -> HostRow {
+        let slot = &self.slots[host];
+        match &slot.latest {
+            Some(env) => {
+                let rps = (env.cum.send.count >= self.min_send_samples)
+                    .then(|| env.cum.send.mean())
+                    .flatten()
+                    .filter(|&m| m > 0.0)
+                    .map(|m| 1e9 / m);
+                let headroom = env.slack.map(|s| s.headroom);
+                let sat_flag = env.saturation.map(|s| s.saturated).unwrap_or(false);
+                let slack_flag = env.slack.map(|s| s.saturated).unwrap_or(false);
+                let score = f64::from(u8::from(sat_flag)) + f64::from(u8::from(slack_flag))
+                    + headroom.map(|h| (1.0 - h).clamp(0.0, 1.0)).unwrap_or(0.0);
+                HostRow {
+                    host: host as u32,
+                    seq: slot.last_seq,
+                    windows: env.windows_observed,
+                    rps,
+                    headroom,
+                    saturated: sat_flag || slack_flag,
+                    score,
                 }
-                None => HostRow {
-                    host,
-                    seq: None,
-                    windows: 0,
-                    rps: None,
-                    headroom: None,
-                    saturated: false,
-                    score: 0.0,
-                },
-            };
-            rows.push(row);
+            }
+            None => HostRow {
+                host: host as u32,
+                seq: None,
+                windows: 0,
+                rps: None,
+                headroom: None,
+                saturated: false,
+                score: 0.0,
+            },
         }
-        ShardSummary {
-            merged,
-            hist,
-            sum_rps,
-            rows,
-            reporting,
-            accepted,
-            stale,
-            gaps,
+    }
+
+    /// A leaf aggregator: merges the slots of hosts `lo..hi` into one
+    /// O(K) aggregate.
+    fn aggregate_leaf(&self, lo: usize, hi: usize, top_k: usize) -> AggregateReport {
+        let mut out = AggregateReport::empty(self.shift);
+        out.hosts = hi - lo;
+        let mut sketches: Vec<&TopKSketch> = Vec::new();
+        for (idx, slot) in self.slots[lo..hi].iter().enumerate() {
+            let host = lo + idx;
+            out.accepted += slot.accepted;
+            out.stale += slot.stale;
+            out.gaps += slot.gaps;
+            if let Some(env) = &slot.latest {
+                out.reporting += 1;
+                out.merged.merge(&env.cum);
+                out.hist.merge(&env.hist);
+                sketches.push(&env.sketch);
+            }
+            out.top_rows.push(self.host_row(host));
         }
+        out.sketch = TopKSketch::merge_all(sketches);
+        rank_rows(&mut out.top_rows, top_k);
+        out
     }
 }
 
@@ -307,8 +502,11 @@ mod tests {
             acc
         };
         let mut hist = Log2Hist::new(0);
-        for _ in 0..n {
+        let mut sketch = TopKSketch::new(8, 8);
+        for i in 0..n {
             hist.record(delta_ns / 2);
+            // A small entity stream: entity (i % 3) of this host's pid.
+            sketch.record(&(u64::from(host) << 32 | (i % 3)).to_le_bytes(), 1);
         }
         ReportEnvelope {
             host,
@@ -317,6 +515,7 @@ mod tests {
             windows_observed: seq + 1,
             cum,
             hist,
+            sketch,
             latest_rps: None,
             saturation: None,
             slack: None,
@@ -346,19 +545,23 @@ mod tests {
     }
 
     #[test]
-    fn rollup_sums_per_host_rates_and_merges_streams() {
+    fn rollup_rates_and_merged_streams() {
         let mut c = Collector::new(3, 0, 1);
         // Hosts 0 and 1 report 1ms deltas (1000 rps each); host 2 silent.
         c.receive(envelope(0, 0, 1_000_000, 100), Nanos::ZERO);
         c.receive(envelope(1, 0, 1_000_000, 100), Nanos::ZERO);
-        let r = c.rollup(1, 2, 2);
+        let r = c.rollup(1, 2, 2, 4);
         assert_eq!(r.reporting_hosts, 2);
         assert_eq!(r.silent_hosts, 1);
+        // reporting × 1e9 / merged mean = 2 × 1e9 / 1e6.
         assert!((r.fleet_rps - 2_000.0).abs() < 1e-9, "{}", r.fleet_rps);
         assert_eq!(r.fleet_send_count, 200);
         assert_eq!(r.per_host.len(), 3);
         assert_eq!(r.top_saturated.len(), 2);
         assert!(r.slack_p50_ns.is_some());
+        // Both hosts' sketches merged: 200 requests total.
+        assert_eq!(r.sketch_total_weight, 200);
+        assert!(!r.top_entities.is_empty() && r.top_entities.len() <= 4);
     }
 
     #[test]
@@ -372,10 +575,43 @@ mod tests {
                 );
             }
         }
-        let a = c.rollup(1, 8, 5);
-        let b = c.rollup(4, 8, 5);
-        let d = c.rollup(32, 8, 5);
+        let a = c.rollup(1, 8, 5, 8);
+        let b = c.rollup(4, 8, 5, 8);
+        let d = c.rollup(32, 8, 5, 8);
         assert_eq!(a, b);
         assert_eq!(a, d);
+    }
+
+    #[test]
+    fn rollup_is_identical_across_fan_ins() {
+        let mut c = Collector::new(24, 0, 1);
+        for h in 0..24u32 {
+            for seq in 0..2 {
+                c.receive(
+                    envelope(h, seq, 400_000 + u64::from(h) * 2_000, 40 * (seq + 1)),
+                    Nanos::from_millis(seq),
+                );
+            }
+        }
+        // Trees of depth 1 (fan-in ≥ hosts) through deep binary trees:
+        // every integer-derived root quantity is exactly invariant.
+        let wide = c.rollup(1, 24, 5, 8);
+        for fan_in in [1, 2, 3, 4, 8, 16] {
+            let other = c.rollup(2, fan_in, 5, 8);
+            assert_eq!(wide, other, "fan_in={fan_in} changed the root rollup");
+        }
+    }
+
+    #[test]
+    fn aggregate_wire_bytes_independent_of_subtree_size() {
+        let mut c = Collector::new(32, 0, 1);
+        for h in 0..32u32 {
+            c.receive(envelope(h, 0, 1_000_000, 60), Nanos::ZERO);
+        }
+        let small = c.aggregate_leaf(0, 4, 3);
+        let large = c.aggregate_leaf(0, 32, 3);
+        assert_eq!(small.top_rows.len(), 3, "rows truncate to top_k");
+        assert_eq!(small.wire_bytes(), large.wire_bytes());
+        assert_eq!(large.hosts, 32);
     }
 }

@@ -32,12 +32,24 @@ pub struct FleetConfig {
     pub max_inflight: usize,
     /// Scaling shift for the probe's fixed-point cells and histogram.
     pub shift: u32,
-    /// Fixed shard count of the collector rollup. Sharding is by host id,
-    /// independent of worker count, so any `--jobs` folds the same shard
-    /// summaries in the same order.
-    pub shards: usize,
+    /// Fan-in of the collection tree: hosts per leaf aggregator, and
+    /// aggregate reports per internal node. Grouping is by host id,
+    /// independent of worker count, so any `--jobs` folds the same
+    /// aggregates in the same order; every tree edge carries one O(K)
+    /// [`crate::AggregateReport`], never per-host state.
+    pub fan_in: usize,
     /// Size of the saturated-host Top-K in the fleet report.
     pub top_k: usize,
+    /// Size of the fleet-wide entity pool: each request is issued by one
+    /// of `entities` threads, drawn Zipf-skewed, shared across hosts (the
+    /// heavy hitters the report's sketch must surface).
+    pub entities: u32,
+    /// Candidate-table capacity of each probe's Top-K sketch (the map's
+    /// `max_entries`; the Count-Min geometry derives from it).
+    pub sketch_capacity: u32,
+    /// How many of the merged sketch's heaviest entities the root rollup
+    /// reports.
+    pub top_entities: usize,
     /// Minimum send samples per window for the Eq. 1 / Eq. 2 estimators
     /// (the paper's 2048-sample guidance scaled to simulated windows).
     pub min_send_samples: u64,
@@ -73,8 +85,11 @@ impl FleetConfig {
             channel: FleetConfig::control_channel(0.0),
             max_inflight: 4,
             shift: DEFAULT_SHIFT,
-            shards: 8,
+            fan_in: 8,
             top_k: 3,
+            entities: 512,
+            sketch_capacity: 64,
+            top_entities: 16,
             min_send_samples: 64,
             jit_probes: false,
             optimized_probes: false,
@@ -88,6 +103,20 @@ impl FleetConfig {
     pub fn quick(hosts: usize) -> FleetConfig {
         FleetConfig {
             windows: 6,
+            ..FleetConfig::new(hosts)
+        }
+    }
+
+    /// The host-count scaling preset: a short, light per-host schedule
+    /// (two 10ms windows at 2k rps — a few hundred probe events per
+    /// host) so sweeps up to 10⁵ hosts finish in CI-scale wall time
+    /// while still exercising the full probe → report → tree pipeline.
+    pub fn scale(hosts: usize) -> FleetConfig {
+        FleetConfig {
+            window: Nanos::from_millis(10),
+            windows: 2,
+            per_host_rps: 2_000.0,
+            min_send_samples: 8,
             ..FleetConfig::new(hosts)
         }
     }
@@ -108,6 +137,17 @@ impl FleetConfig {
     /// Replaces the control channel with the preset at `loss`.
     pub fn with_loss(mut self, loss: f64) -> FleetConfig {
         self.channel = FleetConfig::control_channel(loss);
+        self
+    }
+
+    /// Replaces the collection tree's fan-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in == 0`.
+    pub fn with_fan_in(mut self, fan_in: usize) -> FleetConfig {
+        assert!(fan_in > 0, "the collection tree needs a positive fan-in");
+        self.fan_in = fan_in;
         self
     }
 

@@ -3,7 +3,7 @@
 
 use kscope_core::{
     Agent, BytecodeBackend, Log2Hist, RawCounters, RpsEstimator, SaturationAssessment,
-    SaturationDetector, SlackAssessment, SlackEstimator, WindowedObserver,
+    SaturationDetector, SlackAssessment, SlackEstimator, TopKSketch, WindowedObserver,
 };
 use kscope_kernel::{HostSpec, Kernel, ProbeId, SchedConfig};
 use kscope_netem::{DatagramTransit, NetemLink};
@@ -34,12 +34,41 @@ pub struct ReportEnvelope {
     pub cum: RawCounters,
     /// Cumulative in-probe poll-duration histogram cells.
     pub hist: Log2Hist,
+    /// The probe's cumulative Top-K entity sketch (a Count-Min matrix
+    /// plus a bounded candidate table): O(K) bytes however many
+    /// distinct entities the host served.
+    pub sketch: TopKSketch,
     /// Latest window's Eq. 1 estimate, when thick enough.
     pub latest_rps: Option<f64>,
     /// Latest variance-knee assessment.
     pub saturation: Option<SaturationAssessment>,
     /// Latest poll-slack assessment.
     pub slack: Option<SlackAssessment>,
+}
+
+/// Modeled wire size of everything in an envelope *except* the sketch:
+/// header (host 4B, seq 8B, sent_at 8B, windows 8B), counters (three
+/// count/Σδ/Σδ² accumulators, two last-timestamps, the event counter,
+/// and the shift: 104B), the 64-bucket histogram (512B), and the three
+/// optional estimator readouts (48B).
+pub const ENVELOPE_FIXED_BYTES: usize = 28 + 104 + 512 + 48;
+
+impl ReportEnvelope {
+    /// Modeled serialized size of this report. The only non-constant
+    /// term is the sketch, and that is O(K) in the sketch's *capacity*
+    /// — independent of how many distinct entities the host served,
+    /// which is the property the scale sweep measures.
+    pub fn wire_bytes(&self) -> usize {
+        ENVELOPE_FIXED_BYTES + self.sketch.wire_bytes()
+    }
+}
+
+/// The wire size every report in a run of `config` occupies: fixed
+/// envelope bytes plus a sketch sized by `config.sketch_capacity`.
+/// Constant per configuration — notably independent of
+/// `config.entities`, the property the scale sweep asserts.
+pub fn report_wire_bytes(config: &crate::FleetConfig) -> usize {
+    ENVELOPE_FIXED_BYTES + TopKSketch::new(8, config.sketch_capacity).wire_bytes()
 }
 
 /// Ground-truth accounting for one host, kept outside the collector so
@@ -58,6 +87,10 @@ pub struct HostTruth {
     pub dropped: u64,
     /// Completed observation windows.
     pub windows: u64,
+    /// Report bytes offered to the channel.
+    pub bytes_offered: u64,
+    /// Report bytes the channel delivered.
+    pub bytes_delivered: u64,
 }
 
 /// A fleet member: kernel + verified bytecode probe + windowed observer +
@@ -83,6 +116,12 @@ pub struct SimHost {
     next_seq: u64,
     cum: RawCounters,
     cum_hist: Log2Hist,
+    /// Inverse-CDF table for the Zipf-skewed entity draw: `entity_cdf[i]`
+    /// is the cumulative weight of entities `0..=i`.
+    entity_cdf: Vec<f64>,
+    /// Exact per-entity request counts (ground truth the sketch's Top-K
+    /// is judged against).
+    entity_counts: Vec<u64>,
     /// Reports currently in flight on the channel.
     pub inflight: usize,
     /// Ground-truth accounting.
@@ -100,17 +139,21 @@ impl std::fmt::Debug for SimHost {
 }
 
 impl SimHost {
-    /// Builds host `id`'s full stack, forking its RNG streams from
-    /// `master` (labels depend only on `id`, so traffic is identical
-    /// across channel configurations).
-    pub fn new(
-        config: &FleetConfig,
-        id: u32,
-        master: &mut SimRng,
-    ) -> Result<SimHost, kscope_core::BuildError> {
-        let pid: Pid = 1_000 + id;
-        let mut backend =
-            BytecodeBackend::new_with_histogram(pid, SyscallProfile::data_caching(), config.shift)?;
+    /// Builds host `id`'s full stack. RNG streams derive from
+    /// `config.seed` and `id` alone — never from how many hosts were
+    /// built before this one — so hosts can be simulated independently,
+    /// in any order, on any worker count, bit-identically.
+    pub fn new(config: &FleetConfig, id: u32) -> Result<SimHost, kscope_core::BuildError> {
+        // Every host runs the server under the same pid, so an entity
+        // (`pid_tgid` of the serving thread, drawn from the shared pool)
+        // has the same sketch key fleet-wide and merges across hosts.
+        let pid: Pid = SimHost::SERVER_PID;
+        let mut backend = BytecodeBackend::new_with_histogram_and_sketch(
+            pid,
+            SyscallProfile::data_caching(),
+            config.shift,
+            config.sketch_capacity,
+        )?;
         if config.optimized_probes {
             backend = backend.with_optimizer()?;
         }
@@ -137,15 +180,27 @@ impl SimHost {
         // Stagger host start times slightly so per-host event streams are
         // not phase-locked.
         let cursor = Nanos::from_nanos(u64::from(id) * 1_000);
+        // Zipf(s≈1.2) over the shared entity pool: entity i carries
+        // weight (i+1)^-1.2, so a handful of threads dominate — the
+        // heavy hitters the sketch must surface.
+        let mut entity_cdf = Vec::with_capacity(config.entities as usize);
+        let mut acc = 0.0f64;
+        for i in 0..config.entities {
+            acc += f64::from(i + 1).powf(-1.2);
+            entity_cdf.push(acc);
+        }
+        let mut master = SimRng::seed_from_u64(config.seed);
+        let rng = master.fork(u64::from(id));
+        let link_rng = master.fork(1_000_000 + u64::from(id));
         Ok(SimHost {
             id,
             pid,
             kernel,
             probe,
             agent,
-            rng: master.fork(u64::from(id)),
+            rng,
             link: NetemLink::new(config.channel.clone()),
-            link_rng: master.fork(1_000_000 + u64::from(id)),
+            link_rng,
             cursor,
             burst_flip: false,
             hot: u64::from(id) < config.hot_hosts as u64,
@@ -156,14 +211,50 @@ impl SimHost {
             next_seq: 0,
             cum: RawCounters::new(config.shift),
             cum_hist: Log2Hist::new(config.shift),
+            entity_cdf,
+            entity_counts: vec![0; config.entities as usize],
             inflight: 0,
             truth: HostTruth::default(),
         })
     }
 
+    /// The tgid every simulated server runs under (shared fleet-wide so
+    /// entity sketch keys merge across hosts).
+    pub const SERVER_PID: Pid = 1_200;
+
     /// Host id.
     pub fn id(&self) -> u32 {
         self.id
+    }
+
+    /// Exact per-entity request counts (index `i` is entity `i`'s tid
+    /// minus [`SimHost::FIRST_TID`]).
+    pub fn entity_counts(&self) -> &[u64] {
+        &self.entity_counts
+    }
+
+    /// The first entity's tid; entity `i` serves as tid
+    /// `FIRST_TID + i`.
+    pub const FIRST_TID: u32 = 2_000;
+
+    /// The link's accumulated channel statistics (including the byte
+    /// ledger).
+    pub fn link_stats(&self) -> &kscope_netem::LinkStats {
+        self.link.stats()
+    }
+
+    /// Draws the entity (thread) serving the next request from the
+    /// shared Zipf pool.
+    fn draw_entity(&mut self) -> u32 {
+        let total = match self.entity_cdf.last() {
+            Some(&t) => t,
+            None => unreachable!("the entity pool is never empty"),
+        };
+        let u = self.rng.next_f64() * total;
+        let idx = self.entity_cdf.partition_point(|&c| c <= u);
+        let idx = idx.min(self.entity_cdf.len() - 1);
+        self.entity_counts[idx] += 1;
+        SimHost::FIRST_TID + idx as u32
     }
 
     /// When this host's first request arrives.
@@ -219,8 +310,9 @@ impl SimHost {
         let send_enter = recv_exit + Nanos::from_nanos(300);
         let send_exit = send_enter + Nanos::from_nanos(1_700);
 
+        let tid = self.draw_entity();
         let tr = &mut self.kernel.tracing;
-        let (pid, tid) = (self.pid, self.pid);
+        let pid = self.pid;
         tr.sys_enter(pid, tid, SyscallNo::EPOLL_WAIT, poll_enter);
         tr.sys_exit(pid, tid, SyscallNo::EPOLL_WAIT, 1, poll_exit);
         tr.sys_enter(pid, tid, SyscallNo::RECVMSG, recv_enter);
@@ -271,6 +363,10 @@ impl SimHost {
         }
         self.reported_windows = total;
         self.truth.windows = total as u64;
+        let sketch = match self.observer_mut().backend().entity_sketch() {
+            Some(state) => TopKSketch::from_state(state.clone()),
+            None => unreachable!("fleet probes always carry a sketch"),
+        };
         let latest = self.agent.latest();
         let envelope = ReportEnvelope {
             host: self.id,
@@ -279,6 +375,7 @@ impl SimHost {
             windows_observed: total as u64,
             cum: self.cum,
             hist: self.cum_hist,
+            sketch,
             latest_rps: latest.and_then(|r| r.rps_obsv),
             saturation: latest.and_then(|r| r.saturation),
             slack: latest.and_then(|r| r.slack),
@@ -288,19 +385,22 @@ impl SimHost {
         Some(envelope)
     }
 
-    /// Offers an envelope to the channel under the inflight bound.
-    /// Returns `None` when the report was shed, otherwise the transit
-    /// outcome (the caller schedules the arrival or the loss release).
-    pub fn offer(&mut self, max_inflight: usize) -> Option<DatagramTransit> {
+    /// Offers an envelope of `bytes` wire bytes to the channel under
+    /// the inflight bound. Returns `None` when the report was shed,
+    /// otherwise the transit outcome (the caller schedules the arrival
+    /// or the loss release).
+    pub fn offer(&mut self, max_inflight: usize, bytes: u64) -> Option<DatagramTransit> {
         if self.inflight >= max_inflight {
             self.truth.shed += 1;
             return None;
         }
         self.inflight += 1;
         self.truth.offered += 1;
-        let transit = self.link.send_datagram(&mut self.link_rng);
+        self.truth.bytes_offered += bytes;
+        let transit = self.link.send_datagram_sized(&mut self.link_rng, bytes);
         if transit.delivered {
             self.truth.delivered += 1;
+            self.truth.bytes_delivered += bytes;
         } else {
             self.truth.dropped += 1;
         }

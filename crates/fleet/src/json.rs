@@ -5,7 +5,7 @@
 //! two rollups that are bitwise equal render to byte-identical JSON —
 //! the property the CI `fleet-smoke` job compares across `--jobs`.
 
-use crate::collector::{FleetRollup, HostRow};
+use crate::collector::{EntityRow, FleetRollup, HostRow};
 use crate::config::FleetConfig;
 
 fn f64_json(v: f64) -> String {
@@ -42,6 +42,14 @@ fn rows_json(rows: &[HostRow]) -> String {
     format!("[{}]", body.join(","))
 }
 
+fn entity_rows_json(rows: &[EntityRow]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{{\"entity\":{},\"estimate\":{}}}", r.entity, r.estimate))
+        .collect();
+    format!("[{}]", body.join(","))
+}
+
 /// Renders a rollup (plus the configuration that produced it) as one
 /// deterministic JSON document, terminated by a newline.
 pub fn report_to_json(config: &FleetConfig, rollup: &FleetRollup) -> String {
@@ -49,7 +57,7 @@ pub fn report_to_json(config: &FleetConfig, rollup: &FleetRollup) -> String {
     let mut out = String::with_capacity(2048 + 160 * rollup.per_host.len());
     out.push_str("{\"fleet\":{");
     out.push_str(&format!(
-        "\"hosts\":{},\"seed\":{},\"windows\":{},\"window_ns\":{},\"per_host_rps\":{},\"hot_hosts\":{},\"channel_loss\":{},\"max_inflight\":{},\"shards\":{},\"top_k\":{}",
+        "\"hosts\":{},\"seed\":{},\"windows\":{},\"window_ns\":{},\"per_host_rps\":{},\"hot_hosts\":{},\"channel_loss\":{},\"max_inflight\":{},\"fan_in\":{},\"top_k\":{},\"entities\":{},\"sketch_capacity\":{},\"top_entities\":{}",
         config.hosts,
         config.seed,
         config.windows,
@@ -58,8 +66,11 @@ pub fn report_to_json(config: &FleetConfig, rollup: &FleetRollup) -> String {
         config.hot_hosts,
         f64_json(config.channel.loss.steady_state_loss()),
         config.max_inflight,
-        config.shards,
+        config.fan_in,
         config.top_k,
+        config.entities,
+        config.sketch_capacity,
+        config.top_entities,
     ));
     out.push_str("},\"rollup\":{");
     out.push_str(&format!(
@@ -86,6 +97,19 @@ pub fn report_to_json(config: &FleetConfig, rollup: &FleetRollup) -> String {
         acc.stale,
         acc.gaps,
     ));
+    let t = &rollup.transport;
+    out.push_str(&format!(
+        ",\"transport\":{{\"bytes_offered\":{},\"bytes_delivered\":{},\"report_wire_bytes\":{},\"bytes_per_host_per_window\":{}}}",
+        t.bytes_offered,
+        t.bytes_delivered,
+        t.report_wire_bytes,
+        f64_json(t.bytes_per_host_per_window),
+    ));
+    out.push_str(&format!(
+        ",\"sketch_total_weight\":{},\"top_entities\":{}",
+        rollup.sketch_total_weight,
+        entity_rows_json(&rollup.top_entities),
+    ));
     out.push_str(&format!(",\"top_saturated\":{}", rows_json(&rollup.top_saturated)));
     out.push_str(&format!(",\"per_host\":{}", rows_json(&rollup.per_host)));
     out.push_str("}}\n");
@@ -111,6 +135,9 @@ mod tests {
         assert!(a.ends_with("}}\n"));
         assert!(a.contains("\"accounting\":{\"produced\":"));
         assert!(a.contains("\"channel_loss\":0.1"));
+        assert!(a.contains("\"transport\":{\"bytes_offered\":"));
+        assert!(a.contains("\"top_entities\":["));
+        assert!(a.contains("\"fan_in\":8"));
     }
 
     #[test]

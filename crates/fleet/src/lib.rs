@@ -16,22 +16,31 @@
 //!   `kscope-simcore` engine.
 //! * **Mergeable state** ([`ReportEnvelope`]): hosts report *cumulative*
 //!   sufficient statistics (count/Σδ/Σδ² per stream,
-//!   `kscope_core::RawCounters`) and cumulative histogram cells
-//!   (`kscope_core::Log2Hist`). Merging K per-host states is bit-for-bit
+//!   `kscope_core::RawCounters`), cumulative histogram cells
+//!   (`kscope_core::Log2Hist`), and the probe's cumulative Top-K entity
+//!   sketch (`kscope_core::TopKSketch`, maintained in-probe by the
+//!   `sketch_update` helper). Merging K per-host states is bit-for-bit
 //!   equal to computing over the concatenated stream, and cumulative
 //!   payloads make the channel loss-tolerant without feedback: a later
 //!   report subsumes a lost one.
 //! * **Control channel**: reports travel as datagrams through
-//!   `kscope-netem` (`send_datagram`: delay, jitter-induced reordering,
-//!   loss — no retransmission), under a bounded per-host inflight budget.
-//!   Sequence numbers let the collector count stale and missing reports
-//!   instead of silently absorbing them.
-//! * **Collector** ([`Collector`]): per-host slots with
-//!   accept-forward-progress semantics, and a sharded rollup
-//!   ([`FleetRollup`]) built on `kscope_simcore::parallel::map_indexed` —
-//!   fleet RPS (Σ per-host Eq. 1), merged-stream variance, slack
-//!   percentiles from merged histograms, a saturated-host Top-K, and full
-//!   drop/stale accounting — bitwise identical at any `--jobs`.
+//!   `kscope-netem` (`send_datagram_sized`: delay, jitter-induced
+//!   reordering, loss, a byte ledger — no retransmission), under a
+//!   bounded per-host inflight budget. Sequence numbers let the
+//!   collector count stale and missing reports instead of silently
+//!   absorbing them. Every report is O(K) bytes — sized by the sketch
+//!   capacity, independent of how many distinct entities a host served
+//!   ([`report_wire_bytes`]).
+//! * **Collection tree** ([`Collector`]): per-host slots with
+//!   accept-forward-progress semantics feed a hierarchical rollup —
+//!   hosts group into leaf aggregators of `fan_in`, aggregates merge
+//!   `fan_in`-at-a-time up to one root, and every tree edge carries a
+//!   single O(K) [`AggregateReport`] (merged counters, merged histogram,
+//!   one merged sketch, an exact host Top-K selection). The root
+//!   [`FleetRollup`] — fleet RPS from the merged stream, slack
+//!   percentiles, saturated-host Top-K, heavy-entity Top-K, drop/stale
+//!   accounting, the byte ledger — is bitwise identical at any `--jobs`
+//!   and any fan-in.
 //!
 //! # Examples
 //!
@@ -60,8 +69,10 @@ mod host;
 mod json;
 mod sim;
 
-pub use collector::{Accounting, Collector, FleetRollup, HostRow, HostSlot};
+pub use collector::{
+    Accounting, AggregateReport, Collector, EntityRow, FleetRollup, HostRow, HostSlot, Transport,
+};
 pub use config::FleetConfig;
-pub use host::{HostTruth, ReportEnvelope, SimHost};
+pub use host::{report_wire_bytes, HostTruth, ReportEnvelope, SimHost, ENVELOPE_FIXED_BYTES};
 pub use json::report_to_json;
-pub use sim::{run_fleet, FleetRun};
+pub use sim::{run_fleet, run_fleet_jobs, FleetRun};

@@ -1,72 +1,129 @@
-//! The lockstep fleet simulation: every host's kernel, probe, and report
-//! schedule driven by one shared discrete-event engine.
+//! The streamed fleet simulation: every host's kernel, probe, report
+//! schedule, and channel transits run on a *per-host* discrete-event
+//! engine, independently of every other host.
+//!
+//! Hosts only ever interact through the collector, and the collector's
+//! state is per-host slots whose acceptance depends solely on that
+//! host's own arrival order — so restricting the old fleet-wide engine
+//! to one host's events is behavior-preserving, and the per-host runs
+//! can execute in any order on any number of workers. That is what
+//! makes 10⁵-host sweeps tractable: the work is embarrassingly
+//! parallel (`kscope_simcore::parallel::map_indexed`, deterministic in
+//! host-id order) and the peak memory is one host stack per worker plus
+//! the O(K) report envelopes, never 10⁵ live kernels at once.
 
 use kscope_core::BuildError;
-use kscope_simcore::{Engine, Nanos, Scheduler, SimRng, Simulation};
+use kscope_netem::LinkStats;
+use kscope_simcore::parallel::map_indexed;
+use kscope_simcore::{Engine, Nanos, Scheduler, Simulation};
 
-use crate::collector::{Accounting, Collector, FleetRollup};
+use crate::collector::{Accounting, Collector, FleetRollup, Transport};
 use crate::config::FleetConfig;
 use crate::host::{HostTruth, ReportEnvelope, SimHost};
 
-/// Events on the shared fleet engine. Ties at the same instant resolve in
+/// Events on one host's engine. Ties at the same instant resolve in
 /// schedule order (the engine's FIFO tie-break), so the interleaving of
-/// host traffic, report ticks, and channel arrivals is deterministic.
+/// traffic, report ticks, and channel arrivals is deterministic.
 #[derive(Debug)]
-enum FleetEvent {
-    /// A request arrives at `host`.
-    Request { host: usize },
-    /// `host`'s report tick; `last` force-closes the final window.
-    Tick { host: usize, last: bool },
+enum HostEvent {
+    /// A request arrives at the host.
+    Request,
+    /// The host's report tick; `last` force-closes the final window.
+    Tick { last: bool },
     /// A report datagram reaches the collector.
-    Arrive { host: usize, envelope: Box<ReportEnvelope> },
+    Arrive { envelope: Box<ReportEnvelope> },
     /// A dropped datagram's loss resolves (releases the inflight slot;
     /// nothing reaches the collector).
-    Lost { host: usize },
+    Lost,
 }
 
-struct FleetSim {
-    config: FleetConfig,
-    hosts: Vec<SimHost>,
-    collector: Collector,
+/// One host's simulation: its stack plus the arrivals it produced, in
+/// collector-arrival order.
+struct HostSim {
+    host: SimHost,
+    max_inflight: usize,
     horizon: Nanos,
+    arrivals: Vec<(Nanos, ReportEnvelope)>,
 }
 
-impl Simulation for FleetSim {
-    type Event = FleetEvent;
+impl Simulation for HostSim {
+    type Event = HostEvent;
 
-    fn handle(&mut self, event: FleetEvent, sched: &mut Scheduler<'_, FleetEvent>) {
+    fn handle(&mut self, event: HostEvent, sched: &mut Scheduler<'_, HostEvent>) {
         let now = sched.now();
         match event {
-            FleetEvent::Request { host } => {
-                if let Some(next) = self.hosts[host].serve_request(now, self.horizon) {
-                    sched.at(next, FleetEvent::Request { host });
+            HostEvent::Request => {
+                if let Some(next) = self.host.serve_request(now, self.horizon) {
+                    sched.at(next, HostEvent::Request);
                 }
             }
-            FleetEvent::Tick { host, last } => {
+            HostEvent::Tick { last } => {
                 let finish = last.then_some(self.horizon);
-                if let Some(envelope) = self.hosts[host].make_report(now, finish) {
-                    if let Some(transit) = self.hosts[host].offer(self.config.max_inflight) {
+                if let Some(envelope) = self.host.make_report(now, finish) {
+                    let bytes = envelope.wire_bytes() as u64;
+                    if let Some(transit) = self.host.offer(self.max_inflight, bytes) {
                         let event = if transit.delivered {
-                            FleetEvent::Arrive {
-                                host,
+                            HostEvent::Arrive {
                                 envelope: Box::new(envelope),
                             }
                         } else {
-                            FleetEvent::Lost { host }
+                            HostEvent::Lost
                         };
                         sched.after(transit.delay, event);
                     }
                 }
             }
-            FleetEvent::Arrive { host, envelope } => {
-                self.hosts[host].release_inflight();
-                self.collector.receive(*envelope, now);
+            HostEvent::Arrive { envelope } => {
+                self.host.release_inflight();
+                self.arrivals.push((now, *envelope));
             }
-            FleetEvent::Lost { host } => {
-                self.hosts[host].release_inflight();
+            HostEvent::Lost => {
+                self.host.release_inflight();
             }
         }
     }
+}
+
+/// Everything one host's run leaves behind.
+struct HostOutcome {
+    truth: HostTruth,
+    link: LinkStats,
+    entity_counts: Vec<u64>,
+    arrivals: Vec<(Nanos, ReportEnvelope)>,
+}
+
+/// Runs one host start to finish on its own engine. The event stream
+/// (and thus the outcome) is a pure function of `config` and `id`.
+fn simulate_host(config: &FleetConfig, id: u32) -> Result<HostOutcome, BuildError> {
+    let horizon = config.horizon();
+    let mut host = SimHost::new(config, id)?;
+    let mut engine: Engine<HostEvent> = Engine::new();
+    engine.schedule(host.first_request_at(), HostEvent::Request);
+    // Report ticks sit just past each window boundary, staggered per
+    // host (same offsets as the original fleet-wide schedule).
+    let offset = Nanos::from_nanos(1_000_000 + 7_000 * u64::from(id));
+    for w in 0..config.windows {
+        let boundary = Nanos::from_nanos(config.window.as_nanos() * (w as u64 + 1));
+        engine.schedule(
+            boundary + offset,
+            HostEvent::Tick {
+                last: w + 1 == config.windows,
+            },
+        );
+    }
+    let mut sim = HostSim {
+        host,
+        max_inflight: config.max_inflight,
+        horizon,
+        arrivals: Vec::new(),
+    };
+    engine.run(&mut sim);
+    Ok(HostOutcome {
+        truth: sim.host.truth,
+        link: *sim.host.link_stats(),
+        entity_counts: sim.host.entity_counts().to_vec(),
+        arrivals: sim.arrivals,
+    })
 }
 
 /// A completed fleet run: the collector's state plus per-host ground
@@ -79,19 +136,60 @@ pub struct FleetRun {
     pub collector: Collector,
     /// Ground-truth accounting per host, in host-id order.
     pub truth: Vec<HostTruth>,
+    /// Exact fleet-wide per-entity request counts (index `i` is entity
+    /// `i` — tid `SimHost::FIRST_TID + i`): the ground truth the
+    /// sketch's Top-K is judged against.
+    pub entity_truth: Vec<u64>,
     /// The measurement horizon.
     pub horizon: Nanos,
 }
 
 impl FleetRun {
     /// Rolls the fleet up on `jobs` workers and attaches the ground-truth
-    /// accounting. Bitwise identical for any `jobs`.
+    /// accounting and transport byte ledger. Bitwise identical for any
+    /// `jobs`.
     pub fn rollup(&self, jobs: usize) -> FleetRollup {
-        let mut rollup = self
-            .collector
-            .rollup(jobs, self.config.shards, self.config.top_k);
+        let mut rollup = self.collector.rollup(
+            jobs,
+            self.config.fan_in,
+            self.config.top_k,
+            self.config.top_entities,
+        );
         rollup.accounting = self.accounting_with(rollup.accounting);
+        rollup.transport = self.transport();
         rollup
+    }
+
+    /// The exact fleet-wide Top-`k` entities (count desc, key asc), as
+    /// sketch keys (`pid_tgid` of the serving thread).
+    pub fn exact_top_entities(&self, k: usize) -> Vec<u64> {
+        let mut ranked: Vec<(u64, u64)> = self
+            .entity_truth
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(i, &count)| {
+                let key =
+                    kscope_syscalls::pid_tgid(SimHost::SERVER_PID, SimHost::FIRST_TID + i as u32);
+                (key, count)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(key, _)| key).collect()
+    }
+
+    fn transport(&self) -> Transport {
+        let bytes_offered: u64 = self.truth.iter().map(|t| t.bytes_offered).sum();
+        let bytes_delivered: u64 = self.truth.iter().map(|t| t.bytes_delivered).sum();
+        let windows = self.config.windows.max(1) as f64;
+        let hosts = self.config.hosts.max(1) as f64;
+        Transport {
+            bytes_offered,
+            bytes_delivered,
+            report_wire_bytes: crate::report_wire_bytes(&self.config) as u64,
+            bytes_per_host_per_window: bytes_delivered as f64 / hosts / windows,
+        }
     }
 
     fn accounting_with(&self, collector_side: Accounting) -> Accounting {
@@ -107,51 +205,51 @@ impl FleetRun {
     }
 }
 
-/// Runs a fleet to completion: seeds every host stack, drives traffic,
-/// report ticks, and channel transits on one engine until the event queue
-/// drains (traffic stops at the horizon; every inflight report resolves).
+/// [`run_fleet_jobs`] on one worker.
 ///
 /// # Errors
 ///
 /// Returns the probe build error if the bytecode program fails to
 /// assemble or verify — a builder bug, not an input condition.
 pub fn run_fleet(config: &FleetConfig) -> Result<FleetRun, BuildError> {
-    let mut master = SimRng::seed_from_u64(config.seed);
+    run_fleet_jobs(config, 1)
+}
+
+/// Runs a fleet to completion on up to `jobs` workers: each host's
+/// stack is simulated independently (traffic, report ticks, channel
+/// transits), then the arrivals feed the collector in host-id order.
+/// Per-host outcomes are pure functions of `(config, id)`, so the run
+/// is bit-identical at any `jobs`.
+///
+/// # Errors
+///
+/// Returns the probe build error if the bytecode program fails to
+/// assemble or verify — a builder bug, not an input condition.
+pub fn run_fleet_jobs(config: &FleetConfig, jobs: usize) -> Result<FleetRun, BuildError> {
     let horizon = config.horizon();
-    let mut hosts = Vec::with_capacity(config.hosts);
-    let mut engine: Engine<FleetEvent> = Engine::new();
+    let ids: Vec<u32> = (0..config.hosts as u32).collect();
+    let outcomes = map_indexed(&ids, jobs, |_, &id| simulate_host(config, id));
 
-    for id in 0..config.hosts {
-        let mut host = SimHost::new(config, id as u32, &mut master)?;
-        engine.schedule(host.first_request_at(), FleetEvent::Request { host: id });
-        // Report ticks sit just past each window boundary, staggered per
-        // host so collector arrivals do not all tie at the same instant.
-        let offset = Nanos::from_nanos(1_000_000 + 7_000 * id as u64);
-        for w in 0..config.windows {
-            let boundary = Nanos::from_nanos(config.window.as_nanos() * (w as u64 + 1));
-            engine.schedule(
-                boundary + offset,
-                FleetEvent::Tick {
-                    host: id,
-                    last: w + 1 == config.windows,
-                },
-            );
+    let mut collector = Collector::new(config.hosts, config.shift, config.min_send_samples);
+    let mut truth = Vec::with_capacity(config.hosts);
+    let mut entity_truth = vec![0u64; config.entities as usize];
+    for outcome in outcomes {
+        let outcome = outcome?;
+        for (at, envelope) in outcome.arrivals {
+            collector.receive(envelope, at);
         }
-        hosts.push(host);
+        for (slot, count) in entity_truth.iter_mut().zip(&outcome.entity_counts) {
+            *slot += count;
+        }
+        debug_assert_eq!(outcome.link.offered, outcome.truth.offered);
+        truth.push(outcome.truth);
     }
-
-    let mut sim = FleetSim {
-        config: config.clone(),
-        hosts,
-        collector: Collector::new(config.hosts, config.shift, config.min_send_samples),
-        horizon,
-    };
-    engine.run(&mut sim);
 
     Ok(FleetRun {
         config: config.clone(),
-        collector: sim.collector,
-        truth: sim.hosts.iter().map(|h| h.truth).collect(),
+        collector,
+        truth,
+        entity_truth,
         horizon,
     })
 }
@@ -233,5 +331,63 @@ mod tests {
         let a = quick_run(0.2, 23).rollup(4);
         let b = quick_run(0.2, 23).rollup(4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_simulation_is_bit_identical_to_serial() {
+        let mut config = FleetConfig::quick(9).with_loss(0.1);
+        config.seed = 29;
+        let serial = match run_fleet_jobs(&config, 1) {
+            Ok(run) => run,
+            Err(e) => panic!("fleet build failed: {e:?}"),
+        };
+        let parallel = match run_fleet_jobs(&config, 8) {
+            Ok(run) => run,
+            Err(e) => panic!("fleet build failed: {e:?}"),
+        };
+        assert_eq!(serial.truth, parallel.truth);
+        assert_eq!(serial.entity_truth, parallel.entity_truth);
+        assert_eq!(serial.rollup(2), parallel.rollup(5));
+    }
+
+    #[test]
+    fn sketch_surfaces_the_true_heavy_entities() {
+        let run = quick_run(0.0, 31);
+        let rollup = run.rollup(1);
+        let k = 4;
+        let exact: Vec<u64> = run.exact_top_entities(k);
+        let sketched: Vec<u64> = rollup.top_entities.iter().map(|e| e.entity).collect();
+        for key in &exact {
+            assert!(
+                sketched.contains(key),
+                "true heavy hitter {key:#x} missing from sketch top-K {sketched:#x?}"
+            );
+        }
+        // Estimates never undercount: the heaviest entity's estimate is
+        // at least its exact fleet-wide count (all hosts reported).
+        let total_true: u64 = run.entity_truth.iter().sum();
+        assert_eq!(rollup.sketch_total_weight, total_true);
+    }
+
+    #[test]
+    fn wire_bytes_are_independent_of_entity_count() {
+        let mut small = FleetConfig::quick(3);
+        small.entities = 16;
+        let mut large = FleetConfig::quick(3);
+        large.entities = 4096;
+        let a = crate::report_wire_bytes(&small);
+        let b = crate::report_wire_bytes(&large);
+        assert_eq!(a, b, "report size must not grow with the entity pool");
+        // And the actual runs' transported bytes match the model.
+        let run = match run_fleet(&large) {
+            Ok(run) => run,
+            Err(e) => panic!("fleet build failed: {e:?}"),
+        };
+        let rollup = run.rollup(1);
+        assert_eq!(
+            rollup.transport.bytes_offered,
+            rollup.accounting.offered * rollup.transport.report_wire_bytes
+        );
+        assert!(rollup.transport.bytes_per_host_per_window > 0.0);
     }
 }

@@ -66,6 +66,27 @@ fn optimized_probes_do_not_change_a_byte() {
 }
 
 #[test]
+fn rollup_bytes_identical_across_fan_ins() {
+    // The collection tree's shape is a deployment knob, not a result
+    // knob: a flat tree (fan-in ≥ hosts), the default 8-ary tree, and a
+    // deep binary tree must roll up to the same bytes. The runs differ
+    // only in `fan_in`, so all three reports are rendered under the
+    // baseline config (the config echo would otherwise differ) — every
+    // rollup byte is what's compared.
+    let base = FleetConfig::quick(24).with_loss(0.1);
+    let fleet = run(&base);
+    let baseline = report_to_json(&base, &fleet.rollup(2));
+    for fan_in in [2, 3, 24] {
+        let config = base.clone().with_fan_in(fan_in);
+        let other = report_to_json(&base, &run(&config).rollup(4));
+        assert_eq!(
+            baseline, other,
+            "fan_in={fan_in} changed a byte of the fleet report"
+        );
+    }
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     let base = FleetConfig::quick(8).with_loss(0.1);
     let mut other = base.clone();

@@ -169,6 +169,10 @@ pub struct LinkStats {
     pub retransmissions: u64,
     /// Datagrams lost outright (unreliable path only).
     pub dropped: u64,
+    /// Payload bytes offered via [`NetemLink::send_datagram_sized`].
+    pub bytes_offered: u64,
+    /// Payload bytes delivered via [`NetemLink::send_datagram_sized`].
+    pub bytes_delivered: u64,
 }
 
 /// One direction of an emulated network path.
@@ -290,6 +294,22 @@ impl NetemLink {
             delay,
             delivered: !lost,
         }
+    }
+
+    /// [`NetemLink::send_datagram`] with a payload size, so the link
+    /// accounts wire bytes: `bytes` counts into
+    /// [`LinkStats::bytes_offered`], and into
+    /// [`LinkStats::bytes_delivered`] when the datagram arrives. This is
+    /// what the fleet's O(K) report envelopes travel through — the byte
+    /// ledger is how the collection plane proves its reports stay
+    /// constant-size as entity counts grow.
+    pub fn send_datagram_sized(&mut self, rng: &mut SimRng, bytes: u64) -> DatagramTransit {
+        let transit = self.send_datagram(rng);
+        self.stats.bytes_offered += bytes;
+        if transit.delivered {
+            self.stats.bytes_delivered += bytes;
+        }
+        transit
     }
 }
 
@@ -462,6 +482,36 @@ mod tests {
         }
         assert_eq!(link.stats().dropped, 0);
         assert_eq!(link.stats().delivered, 100);
+    }
+
+    #[test]
+    fn sized_datagrams_keep_a_byte_ledger() {
+        let mut cfg = NetemConfig::ideal();
+        cfg.loss = LossModel::Bernoulli { p: 0.3 };
+        let mut link = NetemLink::new(cfg);
+        let mut rng = SimRng::seed_from_u64(21);
+        let n = 10_000u64;
+        for _ in 0..n {
+            link.send_datagram_sized(&mut rng, 700);
+        }
+        let stats = link.stats();
+        assert_eq!(stats.bytes_offered, n * 700);
+        assert_eq!(stats.bytes_delivered, stats.delivered * 700);
+        assert!(stats.bytes_delivered < stats.bytes_offered, "30% loss drops bytes");
+        // The datagram counters and the byte ledger agree exactly.
+        assert_eq!(
+            stats.bytes_offered - stats.bytes_delivered,
+            stats.dropped * 700
+        );
+    }
+
+    #[test]
+    fn unsized_datagrams_leave_the_byte_ledger_untouched() {
+        let mut link = NetemLink::new(NetemConfig::ideal());
+        let mut rng = SimRng::seed_from_u64(22);
+        link.send_datagram(&mut rng);
+        assert_eq!(link.stats().bytes_offered, 0);
+        assert_eq!(link.stats().bytes_delivered, 0);
     }
 
     #[test]

@@ -55,6 +55,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/ebpf/src/jit.rs",
     "crates/ebpf/src/maps.rs",
     "crates/ebpf/src/mapindex.rs",
+    "crates/ebpf/src/sketch.rs",
     "crates/ebpf/src/analysis.rs",
     "crates/core/src/streaming.rs",
 ];

@@ -19,7 +19,11 @@
 //! * an optimized program fails re-verification, or its cost bound
 //!   exceeds the original's (optimization must never certify worse);
 //! * the shipped probes' inline plans regress: fewer than three env
-//!   helper sites or no map lookup compiles to an inline fast path.
+//!   helper sites or no map lookup compiles to an inline fast path;
+//! * the fleet's sketch probe regresses: its `sketch_update` site is
+//!   missing or is not compiled as a trampoline call (the helper
+//!   mutates shared multi-word sketch state, so inlining it would fork
+//!   interpreter and JIT semantics).
 //!
 //! CI runs this as the `analysis-smoke` job. Usage: `probe_audit [-v]`
 //! (`-v` additionally prints disassemblies of programs the optimizer
@@ -36,6 +40,7 @@ struct InlineTally {
     env: usize,
     lookup_fast: usize,
     trampolined: usize,
+    sketch_sites: usize,
 }
 
 fn shipped_backends() -> Vec<(String, BytecodeBackend)> {
@@ -52,11 +57,20 @@ fn shipped_backends() -> Vec<(String, BytecodeBackend)> {
             .unwrap_or_else(|e| panic!("building probe for {name}: {e}"));
         out.push((name.to_string(), backend));
     }
-    // The fleet's configuration: histogram variant (register-offset map
-    // access), data_caching profile.
+    // The histogram variant (register-offset map access).
     let hist = BytecodeBackend::new_with_histogram(1_000, SyscallProfile::data_caching(), 10)
         .unwrap_or_else(|e| panic!("building histogram probe: {e}"));
     out.push(("data_caching+hist".to_string(), hist));
+    // The fleet's configuration: histogram plus the per-entity Top-K
+    // sketch the collection tree merges (`bpf_sketch_update` site).
+    let sketch = BytecodeBackend::new_with_histogram_and_sketch(
+        1_000,
+        SyscallProfile::data_caching(),
+        10,
+        64,
+    )
+    .unwrap_or_else(|e| panic!("building sketch probe: {e}"));
+    out.push(("data_caching+hist+sketch".to_string(), sketch));
     // Multi-process probe (Web Search aggregates every stage).
     let multi = BytecodeBackend::new_multi(vec![1_000, 1_001, 1_002], SyscallProfile::web_search(), 10)
         .unwrap_or_else(|e| panic!("building multi-tgid probe: {e}"));
@@ -79,11 +93,23 @@ fn audit_program(
     let mut env = 0usize;
     let mut fast = 0usize;
     let mut tramp = 0usize;
-    for (_, _, treatment) in plan.sites() {
+    for (_, helper, treatment) in plan.sites() {
         match treatment {
             HelperInline::Env => env += 1,
             HelperInline::MapLookupFast => fast += 1,
             HelperInline::Trampoline => tramp += 1,
+        }
+        if *helper == kscope_ebpf::Helper::SketchUpdate {
+            // The sketch update mutates shared multi-word state, so it
+            // must stay a trampoline call — inlining it would fork the
+            // semantics between interpreter and JIT.
+            if *treatment != HelperInline::Trampoline {
+                return Err(format!(
+                    "{label}: sketch_update site in '{}' is not trampolined",
+                    prog.name()
+                ));
+            }
+            tally.sketch_sites += 1;
         }
     }
     println!(
@@ -160,8 +186,9 @@ fn main() {
     }
     println!(
         "\naudited {audited} programs; optimizer reduced {reduced}; \
-         inline plan: {} env + {} map-lookup fast path, {} trampolined",
-        tally.env, tally.lookup_fast, tally.trampolined
+         inline plan: {} env + {} map-lookup fast path, {} trampolined \
+         ({} sketch-update)",
+        tally.env, tally.lookup_fast, tally.trampolined, tally.sketch_sites
     );
     if reduced == 0 {
         failures.push("optimizer reduced no shipped program (regression)".to_string());
@@ -174,6 +201,11 @@ fn main() {
     }
     if tally.lookup_fast == 0 {
         failures.push("no shipped map lookup compiles to the inline fast path".to_string());
+    }
+    if tally.sketch_sites == 0 {
+        failures.push(
+            "no sketch_update site audited — the fleet probe configuration is missing".to_string(),
+        );
     }
     if failures.is_empty() {
         println!("probe audit: PASS");
