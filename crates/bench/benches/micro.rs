@@ -10,7 +10,7 @@ use kscope_ebpf::interp::{ExecEnv, Vm};
 use kscope_ebpf::maps::{MapDef, MapRegistry};
 use kscope_ebpf::verifier::Verifier;
 use kscope_simcore::{Engine, Nanos, Scheduler, Simulation};
-use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
+use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
 use std::hint::black_box;
 
 fn send_exit(i: u64) -> TracepointCtx {
@@ -20,6 +20,7 @@ fn send_exit(i: u64) -> TracepointCtx {
         pid_tgid: pid_tgid(1200, 1201),
         ktime: Nanos::from_micros(10 * i),
         ret: 64,
+        net: NetCtx::NONE,
     }
 }
 

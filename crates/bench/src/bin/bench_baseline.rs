@@ -77,7 +77,7 @@ use kscope_experiments::{default_jobs, sweep_jobs, BackendKind, SweepConfig};
 use kscope_microbench::{Baseline, Criterion};
 use kscope_netem::NetemConfig;
 use kscope_simcore::{Engine, Nanos, Scheduler, Simulation};
-use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
+use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
 use kscope_workloads::data_caching;
 
 /// Counts every heap allocation the process makes, so the steady-state
@@ -544,6 +544,7 @@ fn send_exit(i: u64) -> TracepointCtx {
         pid_tgid: pid_tgid(1200, 1201),
         ktime: Nanos::from_micros(10 * i),
         ret: 64,
+        net: NetCtx::NONE,
     }
 }
 

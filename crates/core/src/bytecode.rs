@@ -32,11 +32,46 @@ use crate::observer::MetricBackend;
 /// Modeled cost of one interpreted eBPF instruction.
 pub const NS_PER_INSN: f64 = 5.0;
 
-/// Size of the context buffer the programs receive.
+/// Size of the context buffer the syscall programs receive.
 pub const CTX_SIZE: usize = 16;
+
+/// Size of the context buffer the network-stack programs receive:
+/// `[request: u64][stage residency ns: u64][bytes or queue depth: u64]` —
+/// the fields of the modeled `net_rx_softirq`/`sock_queue_drain`
+/// tracepoints (see [`kscope_syscalls::NetCtx`]).
+pub const NET_CTX_SIZE: usize = 24;
 
 /// Buckets in the in-probe log2 histogram of poll durations.
 pub const HIST_BUCKETS: usize = 64;
+
+/// Byte offsets into the netstack probe's 32-byte `stack_stats` array
+/// value.
+pub mod stack_offsets {
+    /// Completed time-in-stack samples.
+    pub const COUNT: usize = 0;
+    /// Sum of scaled time-in-stack samples.
+    pub const SUM: usize = 8;
+    /// Sum of squared scaled samples.
+    pub const SUMSQ: usize = 16;
+    /// Drain events whose request had no in-flight entry (e.g. the
+    /// entry was evicted, or the rx edge was never seen).
+    pub const MISSES: usize = 24;
+    /// Total value size in bytes.
+    pub const VALUE_SIZE: usize = 32;
+}
+
+/// Decoded `stack_stats` cells of the netstack probe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackCounters {
+    /// Completed time-in-stack samples.
+    pub count: u64,
+    /// Sum of scaled samples.
+    pub sum: u64,
+    /// Sum of squared scaled samples.
+    pub sumsq: u64,
+    /// Drain events with no matching rx entry.
+    pub misses: u64,
+}
 
 /// Errors from building the bytecode probe.
 #[derive(Debug)]
@@ -84,7 +119,7 @@ impl std::error::Error for BuildError {}
 /// ```
 /// use kscope_core::{BytecodeBackend, MetricBackend};
 /// use kscope_simcore::Nanos;
-/// use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
+/// use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
 ///
 /// let mut probe = BytecodeBackend::new(1200, SyscallProfile::data_caching(), 10).unwrap();
 /// for i in 1..=3u64 {
@@ -94,6 +129,7 @@ impl std::error::Error for BuildError {}
 ///         pid_tgid: pid_tgid(1200, 1201),
 ///         ktime: Nanos::from_millis(i),
 ///         ret: 64,
+///         net: NetCtx::NONE,
 ///     });
 /// }
 /// assert_eq!(probe.counters().send.count, 2);
@@ -104,9 +140,13 @@ pub struct BytecodeBackend {
     vm: Vm,
     enter: Program,
     exit: Program,
+    net_rx: Option<Program>,
+    sock_drain: Option<Program>,
     stats_fd: MapFd,
     hist_fd: Option<MapFd>,
     sketch_fd: Option<MapFd>,
+    stack_hist_fd: Option<MapFd>,
+    stack_stats_fd: Option<MapFd>,
     shift: u32,
     tgids: Vec<Pid>,
     insns_executed: u64,
@@ -221,14 +261,65 @@ impl BytecodeBackend {
             vm: Vm::new(),
             enter,
             exit,
+            net_rx: None,
+            sock_drain: None,
             stats_fd,
             hist_fd,
             sketch_fd,
+            stack_hist_fd: None,
+            stack_stats_fd: None,
             shift,
             tgids,
             insns_executed: 0,
             optimized: false,
         })
+    }
+
+    /// Attaches the network-stack probe pair: `kscope_net_rx` on the
+    /// modeled `net_rx_softirq` tracepoint records each request's NIC
+    /// arrival timestamp in an in-flight hash map; `kscope_sock_drain` on
+    /// `sock_queue_drain` looks it up, computes the request's total
+    /// time-in-stack (NIC arrival to socket-queue drain), deletes the
+    /// entry, and folds the scaled sample into a stats array and a
+    /// [`HIST_BUCKETS`]-bucket log2 histogram — the same register-offset
+    /// bit-ladder idiom as the poll histogram. Both the histogram and the
+    /// stats cells are cumulative (never reset by `reset_window`), like
+    /// the entity sketch, so fleet report envelopes can carry them
+    /// directly.
+    ///
+    /// The netstack programs do **not** tgid-filter: `net_rx_softirq`
+    /// fires in softirq context where `bpf_get_current_pid_tgid` reports
+    /// whatever task the interrupt preempted, so a tgid filter there
+    /// would drop valid packets (see DESIGN.md §7b).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if assembly or verification of the netstack
+    /// programs fails — a generator bug, as for [`BytecodeBackend::new`].
+    pub fn with_netstack(mut self) -> Result<BytecodeBackend, BuildError> {
+        let inflight_fd = self.maps.create("inflight_stack", MapDef::hash(8, 8, 4096));
+        let stack_hist_fd = self
+            .maps
+            .create("stack_hist", MapDef::array((HIST_BUCKETS * 8) as u32, 1));
+        let stack_stats_fd = self
+            .maps
+            .create("stack_stats", MapDef::array(stack_offsets::VALUE_SIZE as u32, 1));
+        let net_rx = build_net_rx(inflight_fd).map_err(BuildError::Asm)?;
+        let sock_drain = build_sock_drain(self.shift, inflight_fd, stack_stats_fd, stack_hist_fd)
+            .map_err(BuildError::Asm)?;
+        let verifier = Verifier::new(VerifierConfig {
+            ctx_size: NET_CTX_SIZE,
+            ..VerifierConfig::default()
+        });
+        verifier.verify(&net_rx, &self.maps).map_err(BuildError::Verify)?;
+        verifier
+            .verify(&sock_drain, &self.maps)
+            .map_err(BuildError::Verify)?;
+        self.net_rx = Some(net_rx);
+        self.sock_drain = Some(sock_drain);
+        self.stack_hist_fd = Some(stack_hist_fd);
+        self.stack_stats_fd = Some(stack_stats_fd);
+        Ok(self)
     }
 
     /// Switches probe execution to the template JIT
@@ -264,26 +355,36 @@ impl BytecodeBackend {
     /// Returns [`BuildError::Verify`] if an optimized program fails
     /// re-verification, which would indicate an optimizer bug.
     pub fn with_optimizer(mut self) -> Result<BytecodeBackend, BuildError> {
-        let verifier = Verifier::new(VerifierConfig {
-            ctx_size: CTX_SIZE,
-            ..VerifierConfig::default()
-        });
         // cold path: one-time program swap at registration, not per-event
-        let optimize = |prog: &Program| -> Result<Option<Program>, BuildError> {
+        let optimize = |prog: &Program, ctx_size: usize, maps: &MapRegistry| -> Result<Option<Program>, BuildError> {
+            let verifier = Verifier::new(VerifierConfig {
+                ctx_size,
+                ..VerifierConfig::default()
+            });
             match prog.optimized() {
                 Some((opt, _)) => {
                     let opt = opt.clone();
-                    verifier.verify(&opt, &self.maps).map_err(BuildError::Verify)?;
+                    verifier.verify(&opt, maps).map_err(BuildError::Verify)?;
                     Ok(Some(opt))
                 }
                 None => Ok(None),
             }
         };
-        if let Some(opt) = optimize(&self.enter)? {
+        if let Some(opt) = optimize(&self.enter, CTX_SIZE, &self.maps)? {
             self.enter = opt;
         }
-        if let Some(opt) = optimize(&self.exit)? {
+        if let Some(opt) = optimize(&self.exit, CTX_SIZE, &self.maps)? {
             self.exit = opt;
+        }
+        if let Some(prog) = &self.net_rx {
+            if let Some(opt) = optimize(prog, NET_CTX_SIZE, &self.maps)? {
+                self.net_rx = Some(opt);
+            }
+        }
+        if let Some(prog) = &self.sock_drain {
+            if let Some(opt) = optimize(prog, NET_CTX_SIZE, &self.maps)? {
+                self.sock_drain = Some(opt);
+            }
         }
         self.optimized = true;
         Ok(self)
@@ -309,7 +410,10 @@ impl BytecodeBackend {
     /// Returns [`BuildError::CostBudget`] naming the offending program
     /// when a bound is missing or exceeds the budget.
     pub fn check_cost_budget(&self, budget_insns: u64) -> Result<(), BuildError> {
-        for prog in [&self.enter, &self.exit] {
+        let mut progs = vec![&self.enter, &self.exit];
+        progs.extend(self.net_rx.iter());
+        progs.extend(self.sock_drain.iter());
+        for prog in progs {
             let over = |bound| BuildError::CostBudget {
                 program: prog.name().to_string(),
                 bound,
@@ -340,6 +444,13 @@ impl BytecodeBackend {
     /// (for acceptance-corpus tests and tooling).
     pub fn programs(&self) -> (&Program, &Program) {
         (&self.enter, &self.exit)
+    }
+
+    /// The assembled netstack programs `(kscope_net_rx,
+    /// kscope_sock_drain)`, or `None` when the backend was built without
+    /// [`BytecodeBackend::with_netstack`].
+    pub fn net_programs(&self) -> Option<(&Program, &Program)> {
+        Some((self.net_rx.as_ref()?, self.sock_drain.as_ref()?))
     }
 
     /// The map registry backing the programs.
@@ -389,6 +500,42 @@ impl BytecodeBackend {
         Some(out)
     }
 
+    /// The in-probe log2 histogram of scaled time-in-stack samples, or
+    /// `None` when the backend was built without
+    /// [`BytecodeBackend::with_netstack`]. Cumulative across windows
+    /// (never reset by `reset_window`), like the entity sketch.
+    pub fn stack_histogram(&self) -> Option<[u64; HIST_BUCKETS]> {
+        let fd = self.stack_hist_fd?;
+        let value = Self::slot0(&self.maps, fd);
+        let mut out = [0u64; HIST_BUCKETS];
+        for (i, chunk) in value.chunks_exact(8).enumerate() {
+            match chunk.try_into() {
+                Ok(bytes) => out[i] = u64::from_le_bytes(bytes),
+                Err(_) => unreachable!("chunks_exact(8) yields 8-byte chunks"),
+            }
+        }
+        Some(out)
+    }
+
+    /// The netstack probe's scalar stats cells, or `None` without
+    /// [`BytecodeBackend::with_netstack`]. Cumulative across windows.
+    pub fn stack_counters(&self) -> Option<StackCounters> {
+        let fd = self.stack_stats_fd?;
+        let value = Self::slot0(&self.maps, fd);
+        let cell = |off: usize| -> u64 {
+            match value[off..off + 8].try_into() {
+                Ok(bytes) => u64::from_le_bytes(bytes),
+                Err(_) => unreachable!("stack_stats value is 32 bytes"),
+            }
+        };
+        Some(StackCounters {
+            count: cell(stack_offsets::COUNT),
+            sum: cell(stack_offsets::SUM),
+            sumsq: cell(stack_offsets::SUMSQ),
+            misses: cell(stack_offsets::MISSES),
+        })
+    }
+
     /// The in-probe Top-K entity sketch, or `None` when the backend was
     /// built without one. The sketch is cumulative across windows (it
     /// is never reset by `reset_window`), matching the cumulative
@@ -404,19 +551,41 @@ impl BytecodeBackend {
 
 impl MetricBackend for BytecodeBackend {
     fn on_event(&mut self, ctx: &TracepointCtx) -> Nanos {
-        let mut buf = [0u8; CTX_SIZE];
-        buf[..8].copy_from_slice(&(ctx.no.raw() as u64).to_le_bytes());
-        buf[8..16].copy_from_slice(&(ctx.ret as u64).to_le_bytes());
+        let mut syscall_buf = [0u8; CTX_SIZE];
+        let mut net_buf = [0u8; NET_CTX_SIZE];
+        let (program, buf): (&Program, &[u8]) = match ctx.phase {
+            TracePhase::Enter | TracePhase::Exit => {
+                syscall_buf[..8].copy_from_slice(&(ctx.no.raw() as u64).to_le_bytes());
+                syscall_buf[8..16].copy_from_slice(&(ctx.ret as u64).to_le_bytes());
+                let program = match ctx.phase {
+                    TracePhase::Enter => &self.enter,
+                    _ => &self.exit,
+                };
+                (program, &syscall_buf)
+            }
+            TracePhase::NetRxSoftirq | TracePhase::SockQueueDrain => {
+                // Without the netstack pair attached, these tracepoints
+                // have no program — real eBPF simply wouldn't be attached
+                // there, so the firing is free.
+                let program = match ctx.phase {
+                    TracePhase::NetRxSoftirq => self.net_rx.as_ref(),
+                    _ => self.sock_drain.as_ref(),
+                };
+                let Some(program) = program else {
+                    return Nanos::ZERO;
+                };
+                net_buf[..8].copy_from_slice(&ctx.net.request.to_le_bytes());
+                net_buf[8..16].copy_from_slice(&ctx.net.stage_ns.to_le_bytes());
+                net_buf[16..24].copy_from_slice(&ctx.net.arg.to_le_bytes());
+                (program, &net_buf)
+            }
+        };
         let mut env = ExecEnv {
             ktime_ns: ctx.ktime.as_nanos(),
             pid_tgid: ctx.pid_tgid,
             ..ExecEnv::default()
         };
-        let program = match ctx.phase {
-            TracePhase::Enter => &self.enter,
-            TracePhase::Exit => &self.exit,
-        };
-        let outcome = match self.vm.execute(program, &buf, &mut self.maps, &mut env) {
+        let outcome = match self.vm.execute(program, buf, &mut self.maps, &mut env) {
             Ok(outcome) => outcome,
             // `build` only returns backends whose programs passed the
             // verifier, and verified programs cannot fault.
@@ -459,6 +628,14 @@ impl MetricBackend for BytecodeBackend {
 
     fn poll_histogram(&self) -> Option<[u64; HIST_BUCKETS]> {
         BytecodeBackend::poll_histogram(self)
+    }
+
+    fn stack_histogram(&self) -> Option<[u64; HIST_BUCKETS]> {
+        BytecodeBackend::stack_histogram(self)
+    }
+
+    fn stack_counters(&self) -> Option<StackCounters> {
+        BytecodeBackend::stack_counters(self)
     }
 }
 
@@ -706,10 +883,153 @@ fn build_exit(
     asm.assemble()
 }
 
+/// Builds the `net_rx_softirq` program: reconstruct the request's NIC
+/// arrival timestamp (`bpf_ktime_get_ns() - nic_wait`) and record it in
+/// the in-flight hash map keyed by request id. No tgid filter — softirq
+/// context has no meaningful current task (see
+/// [`BytecodeBackend::with_netstack`]).
+fn build_net_rx(inflight_fd: MapFd) -> Result<Program, kscope_ebpf::asm::AsmError> {
+    Asm::new("kscope_net_rx")
+        .mov64_reg(R9, R1) // save ctx
+        .load(SZ_DW, R6, R9, 0) // args->request
+        .load(SZ_DW, R7, R9, 8) // args->nic_wait_ns
+        .call(Helper::KtimeGetNs)
+        .mov64_reg(R8, R0)
+        .sub64_reg(R8, R7) // NIC arrival = now - nic_wait
+        // inflight[request] = nic_arrival
+        .store_reg(SZ_DW, R10, R6, -8)
+        .store_reg(SZ_DW, R10, R8, -16)
+        .ld_map_fd(R1, inflight_fd)
+        .mov64_reg(R2, R10)
+        .add64_imm(R2, -8)
+        .mov64_reg(R3, R10)
+        .add64_imm(R3, -16)
+        .mov64_imm(R4, 0)
+        .call(Helper::MapUpdateElem)
+        .mov64_imm(R0, 0)
+        .exit()
+        .assemble()
+}
+
+/// Builds the `sock_queue_drain` program: look up the request's NIC
+/// arrival, compute total time-in-stack (`now - nic_arrival`), delete the
+/// in-flight entry, and fold the scaled sample into the stats cells and
+/// the log2 histogram (the same register-offset bit-ladder idiom the poll
+/// histogram uses).
+fn build_sock_drain(
+    shift: u32,
+    inflight_fd: MapFd,
+    stack_stats_fd: MapFd,
+    stack_hist_fd: MapFd,
+) -> Result<Program, kscope_ebpf::asm::AsmError> {
+    let mut asm = Asm::new("kscope_sock_drain")
+        .mov64_reg(R9, R1) // save ctx
+        .load(SZ_DW, R6, R9, 0) // args->request
+        .store_reg(SZ_DW, R10, R6, -8)
+        .ld_map_fd(R1, inflight_fd)
+        .mov64_reg(R2, R10)
+        .add64_imm(R2, -8)
+        .call(Helper::MapLookupElem)
+        .jne_imm(R0, 0, "have_entry")
+        // Miss: the rx edge was never seen (or the entry was evicted);
+        // count it so the estimator can report coverage.
+        .store_imm(SZ_W, R10, -4, 0)
+        .ld_map_fd(R1, stack_stats_fd)
+        .mov64_reg(R2, R10)
+        .add64_imm(R2, -4)
+        .call(Helper::MapLookupElem)
+        .jne_imm(R0, 0, "miss_ok")
+        .mov64_imm(R0, 0)
+        .exit()
+        .label("miss_ok")
+        .load(SZ_DW, R1, R0, stack_offsets::MISSES as i16)
+        .add64_imm(R1, 1)
+        .store_reg(SZ_DW, R0, R1, stack_offsets::MISSES as i16)
+        .mov64_imm(R0, 0)
+        .exit()
+        .label("have_entry")
+        .load(SZ_DW, R7, R0, 0) // NIC arrival ts
+        .call(Helper::KtimeGetNs)
+        .mov64_reg(R8, R0)
+        .sub64_reg(R8, R7) // time-in-stack
+        // The request is drained: drop the in-flight entry so the map
+        // stays bounded by the number of genuinely in-flight requests.
+        .ld_map_fd(R1, inflight_fd)
+        .mov64_reg(R2, R10)
+        .add64_imm(R2, -8)
+        .call(Helper::MapDeleteElem)
+        .rsh64_imm(R8, shift as i32) // scaled sample
+        // stats value pointer -> R7
+        .store_imm(SZ_W, R10, -4, 0)
+        .ld_map_fd(R1, stack_stats_fd)
+        .mov64_reg(R2, R10)
+        .add64_imm(R2, -4)
+        .call(Helper::MapLookupElem)
+        .jne_imm(R0, 0, "stats_ok")
+        .mov64_imm(R0, 0)
+        .exit()
+        .label("stats_ok")
+        .mov64_reg(R7, R0)
+        // count++
+        .load(SZ_DW, R1, R7, stack_offsets::COUNT as i16)
+        .add64_imm(R1, 1)
+        .store_reg(SZ_DW, R7, R1, stack_offsets::COUNT as i16)
+        // sum += sample
+        .load(SZ_DW, R1, R7, stack_offsets::SUM as i16)
+        .add64_reg(R1, R8)
+        .store_reg(SZ_DW, R7, R1, stack_offsets::SUM as i16)
+        // sumsq += sample * sample
+        .mov64_reg(R4, R8)
+        .mul64_reg(R4, R8)
+        .load(SZ_DW, R1, R7, stack_offsets::SUMSQ as i16)
+        .add64_reg(R1, R4)
+        .store_reg(SZ_DW, R7, R1, stack_offsets::SUMSQ as i16);
+
+    // bucket = floor(log2(max(sample, 1))) via the loop-free bit ladder;
+    // the sample is in R8, the bucket accumulates in R6 (the request id
+    // it held is dead by now).
+    asm = asm
+        .mov64_imm(R6, 0)
+        .ld_dw(R5, 1u64 << 32)
+        .jlt_reg(R8, R5, "shist_lt32")
+        .add64_imm(R6, 32)
+        .rsh64_imm(R8, 32)
+        .label("shist_lt32");
+    for k in [16, 8, 4, 2] {
+        let skip = format!("shist_lt{k}");
+        asm = asm
+            .jmp_imm(OP_JLT, R8, 1i32 << k, skip.clone())
+            .add64_imm(R6, k)
+            .rsh64_imm(R8, k)
+            .label(skip);
+    }
+    asm = asm
+        .jmp_imm(OP_JLT, R8, 2, "shist_lt1")
+        .add64_imm(R6, 1)
+        .label("shist_lt1")
+        .and64_imm(R6, 63)
+        .lsh64_imm(R6, 3) // byte offset of the 8-byte bucket cell
+        .store_imm(SZ_W, R10, -4, 0)
+        .ld_map_fd(R1, stack_hist_fd)
+        .mov64_reg(R2, R10)
+        .add64_imm(R2, -4)
+        .call(Helper::MapLookupElem)
+        .jeq_imm(R0, 0, "shist_done")
+        .add64_reg(R0, R6)
+        .load(SZ_DW, R1, R0, 0)
+        .add64_imm(R1, 1)
+        .store_reg(SZ_DW, R0, R1, 0)
+        .label("shist_done")
+        .mov64_imm(R0, 0)
+        .exit();
+
+    asm.assemble()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kscope_syscalls::{pid_tgid, SyscallNo};
+    use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo};
 
     fn ctx(phase: TracePhase, no: SyscallNo, tid: u32, t_us: u64) -> TracepointCtx {
         TracepointCtx {
@@ -718,6 +1038,7 @@ mod tests {
             pid_tgid: pid_tgid(1200, tid),
             ktime: Nanos::from_micros(t_us),
             ret: 1,
+            net: NetCtx::NONE,
         }
     }
 
@@ -796,6 +1117,7 @@ mod tests {
             pid_tgid: pid_tgid(1200, 2),
             ktime: Nanos::from_nanos(501_000),
             ret: 1,
+            net: NetCtx::NONE,
         });
         let hist = p.poll_histogram().expect("histogram enabled");
         assert_eq!(hist[18], 1, "350us poll lands in bucket 18: {hist:?}");
@@ -820,6 +1142,7 @@ mod tests {
             pid_tgid: pid_tgid(1200, 2),
             ktime: Nanos::from_nanos(200_001),
             ret: 1,
+            net: NetCtx::NONE,
         });
         let hist = p.poll_histogram().expect("histogram enabled");
         assert_eq!(hist[0], 2, "{hist:?}");
@@ -918,5 +1241,157 @@ mod tests {
         assert_eq!(p.counters().send_last_ts, 200_000);
         p.on_event(&ctx(TracePhase::Exit, SyscallNo::SENDMSG, 1, 350));
         assert_eq!(p.counters().send.sum, 150_000);
+    }
+
+    // --- netstack probe pair -------------------------------------------
+
+    use kscope_syscalls::NetCtx as Net;
+
+    fn net_ctx(phase: TracePhase, request: u64, stage_ns: u64, arg: u64, t_ns: u64) -> TracepointCtx {
+        TracepointCtx {
+            phase,
+            // Net tracepoints are not syscalls; the kernel dispatches
+            // them with a sentinel number and no current task.
+            no: SyscallNo::from_raw(u32::MAX),
+            pid_tgid: 0,
+            ktime: Nanos::from_nanos(t_ns),
+            ret: 0,
+            net: Net {
+                request,
+                stage_ns,
+                arg,
+            },
+        }
+    }
+
+    fn netstack_probe(shift: u32) -> BytecodeBackend {
+        BytecodeBackend::new(1200, SyscallProfile::data_caching(), shift)
+            .unwrap()
+            .with_netstack()
+            .unwrap()
+    }
+
+    #[test]
+    fn netstack_programs_verify_and_certify_finite_cost() {
+        let p = netstack_probe(6);
+        let (rx, drain) = p.net_programs().expect("netstack attached");
+        assert_eq!(rx.name(), "kscope_net_rx");
+        assert_eq!(drain.name(), "kscope_sock_drain");
+        // Both programs must carry a finite certified worst-case bound,
+        // together with the syscall pair (the registration gate).
+        p.check_cost_budget(10_000).expect("finite cost bound");
+    }
+
+    #[test]
+    fn netstack_absent_without_opt_in() {
+        let p = probe();
+        assert!(p.net_programs().is_none());
+        assert!(BytecodeBackend::stack_histogram(&p).is_none());
+        assert!(p.stack_counters().is_none());
+        // Un-attached tracepoints cost nothing.
+        let mut p = p;
+        let cost = p.on_event(&net_ctx(TracePhase::NetRxSoftirq, 1, 0, 64, 1_000));
+        assert_eq!(cost, Nanos::ZERO);
+    }
+
+    #[test]
+    fn netstack_rx_to_drain_measures_time_in_stack() {
+        let mut p = netstack_probe(0);
+        // NIC arrival at 95_000 (rx fires at 100_000 after a 5_000ns ring
+        // wait); drained from the socket queue at 130_000.
+        p.on_event(&net_ctx(TracePhase::NetRxSoftirq, 7, 5_000, 512, 100_000));
+        p.on_event(&net_ctx(TracePhase::SockQueueDrain, 7, 30_000, 0, 130_000));
+        let c = p.stack_counters().expect("netstack attached");
+        assert_eq!(c.count, 1);
+        assert_eq!(c.sum, 35_000); // 130_000 - (100_000 - 5_000)
+        assert_eq!(c.sumsq, 35_000 * 35_000);
+        assert_eq!(c.misses, 0);
+        let hist = BytecodeBackend::stack_histogram(&p).expect("netstack attached");
+        // floor(log2(35_000)) == 15.
+        assert_eq!(hist[15], 1);
+        assert_eq!(hist.iter().sum::<u64>(), 1);
+        // The in-flight entry is deleted on drain: a second drain for the
+        // same request is a miss.
+        p.on_event(&net_ctx(TracePhase::SockQueueDrain, 7, 0, 0, 140_000));
+        assert_eq!(p.stack_counters().unwrap().misses, 1);
+        assert_eq!(p.stack_counters().unwrap().count, 1);
+    }
+
+    #[test]
+    fn netstack_scaling_shift_applies() {
+        let mut p = netstack_probe(10);
+        p.on_event(&net_ctx(TracePhase::NetRxSoftirq, 3, 5_000, 64, 100_000));
+        p.on_event(&net_ctx(TracePhase::SockQueueDrain, 3, 0, 0, 130_000));
+        let c = p.stack_counters().unwrap();
+        assert_eq!(c.sum, 35_000 >> 10); // 34
+        let hist = BytecodeBackend::stack_histogram(&p).unwrap();
+        assert_eq!(hist[5], 1); // floor(log2(34)) == 5
+    }
+
+    #[test]
+    fn netstack_drain_without_rx_is_a_miss() {
+        let mut p = netstack_probe(0);
+        p.on_event(&net_ctx(TracePhase::SockQueueDrain, 99, 1_000, 0, 50_000));
+        let c = p.stack_counters().unwrap();
+        assert_eq!(c.count, 0);
+        assert_eq!(c.misses, 1);
+        assert_eq!(
+            BytecodeBackend::stack_histogram(&p).unwrap().iter().sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn netstack_cells_are_cumulative_across_reset_window() {
+        let mut p = netstack_probe(0);
+        p.on_event(&net_ctx(TracePhase::NetRxSoftirq, 1, 0, 64, 10_000));
+        p.on_event(&net_ctx(TracePhase::SockQueueDrain, 1, 0, 0, 20_000));
+        p.reset_window();
+        let c = p.stack_counters().unwrap();
+        assert_eq!(c.count, 1, "reset_window must not clear stack stats");
+        assert_eq!(
+            BytecodeBackend::stack_histogram(&p).unwrap().iter().sum::<u64>(),
+            1,
+            "reset_window must not clear the stack histogram"
+        );
+    }
+
+    #[test]
+    fn netstack_matches_native_mirror_and_survives_optimizer_jit() {
+        use crate::native::NativeBackend;
+        let shift = 6;
+        let mut plain = netstack_probe(shift);
+        let mut opt = BytecodeBackend::new(1200, SyscallProfile::data_caching(), shift)
+            .unwrap()
+            .with_netstack()
+            .unwrap()
+            .with_optimizer()
+            .unwrap()
+            .with_jit();
+        let mut native =
+            NativeBackend::new(1200, SyscallProfile::data_caching(), shift).with_netstack();
+        // A stream with overlapping requests, misses, and reordering.
+        let events = [
+            net_ctx(TracePhase::NetRxSoftirq, 1, 2_000, 100, 50_000),
+            net_ctx(TracePhase::NetRxSoftirq, 2, 0, 200, 52_000),
+            net_ctx(TracePhase::SockQueueDrain, 1, 10_000, 1, 62_000),
+            net_ctx(TracePhase::SockQueueDrain, 5, 0, 0, 63_000), // miss
+            net_ctx(TracePhase::NetRxSoftirq, 3, 7_500, 300, 70_000),
+            net_ctx(TracePhase::SockQueueDrain, 3, 100, 0, 170_000),
+            net_ctx(TracePhase::SockQueueDrain, 2, 0, 0, 1_052_000),
+        ];
+        for ev in &events {
+            plain.on_event(ev);
+            opt.on_event(ev);
+            native.on_event(ev);
+        }
+        let expect = plain.stack_counters().unwrap();
+        assert_eq!(expect, opt.stack_counters().unwrap());
+        assert_eq!(Some(expect), native.stack_counters());
+        let hist = BytecodeBackend::stack_histogram(&plain).unwrap();
+        assert_eq!(hist, BytecodeBackend::stack_histogram(&opt).unwrap());
+        assert_eq!(Some(hist), MetricBackend::stack_histogram(&native));
+        assert_eq!(expect.count, 3);
+        assert_eq!(expect.misses, 1);
     }
 }

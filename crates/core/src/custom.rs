@@ -40,7 +40,7 @@ use crate::bytecode::{BuildError, CTX_SIZE, NS_PER_INSN};
 /// use kscope_ebpf::text::parse_program;
 /// use kscope_kernel::TracepointProbe;
 /// use kscope_simcore::Nanos;
-/// use kscope_syscalls::{pid_tgid, SyscallNo, TracePhase, TracepointCtx};
+/// use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo, TracePhase, TracepointCtx};
 ///
 /// let mut maps = MapRegistry::new();
 /// let counts = maps.create("counts", MapDef::array(8, 1)); // fd 0
@@ -72,6 +72,7 @@ use crate::bytecode::{BuildError, CTX_SIZE, NS_PER_INSN};
 ///     pid_tgid: pid_tgid(1, 1),
 ///     ktime: Nanos::ZERO,
 ///     ret: 1,
+///     net: NetCtx::NONE,
 /// });
 /// assert_eq!(probe.maps().array_u64(counts, 0).unwrap(), 1);
 /// ```
@@ -140,6 +141,8 @@ impl TracepointProbe for CustomProbe {
         let program = match ctx.phase {
             TracePhase::Enter => self.enter.as_ref(),
             TracePhase::Exit => self.exit.as_ref(),
+            // Custom probes attach to the raw_syscalls tracepoints only.
+            TracePhase::NetRxSoftirq | TracePhase::SockQueueDrain => None,
         };
         let Some(program) = program else {
             return Nanos::ZERO;
@@ -173,7 +176,7 @@ mod tests {
     use super::*;
     use kscope_ebpf::maps::MapDef;
     use kscope_ebpf::text::parse_program;
-    use kscope_syscalls::{pid_tgid, SyscallNo};
+    use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo};
 
     fn fire(probe: &mut CustomProbe, phase: TracePhase, no: SyscallNo, t_us: u64) {
         probe.fire(&TracepointCtx {
@@ -182,6 +185,7 @@ mod tests {
             pid_tgid: pid_tgid(1, 2),
             ktime: Nanos::from_micros(t_us),
             ret: 9,
+            net: NetCtx::NONE,
         });
     }
 
@@ -235,6 +239,7 @@ mod tests {
             pid_tgid: 1,
             ktime: Nanos::ZERO,
             ret: 0,
+            net: NetCtx::NONE,
         });
         assert_eq!(cost, Nanos::ZERO);
     }

@@ -32,7 +32,7 @@
 //! ```
 //! use kscope_core::{BytecodeBackend, MetricBackend, WindowedObserver};
 //! use kscope_simcore::Nanos;
-//! use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
+//! use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
 //!
 //! let backend = BytecodeBackend::new(1000, SyscallProfile::data_caching(), 10)?;
 //! let mut observer = WindowedObserver::new(backend, Nanos::from_millis(100));
@@ -46,6 +46,7 @@
 //!         pid_tgid: pid_tgid(1000, 1001),
 //!         ktime: Nanos::from_micros(200 * i),
 //!         ret: 64,
+//!         net: NetCtx::NONE,
 //!     });
 //! }
 //! let w = observer.windows().first().unwrap();
@@ -67,11 +68,15 @@ mod hist;
 mod native;
 mod observer;
 pub mod sketch;
+mod stack;
 pub mod streaming;
 pub mod timeline;
 
 pub use agent::{Agent, AgentReport};
-pub use bytecode::{BuildError, BytecodeBackend, CTX_SIZE, HIST_BUCKETS, NS_PER_INSN};
+pub use bytecode::{
+    stack_offsets, BuildError, BytecodeBackend, StackCounters, CTX_SIZE, HIST_BUCKETS,
+    NET_CTX_SIZE, NS_PER_INSN,
+};
 pub use counters::{offsets, RawCounters, WindowMetrics};
 pub use estimators::{
     RpsEstimator, SaturationAssessment, SaturationDetector, SlackAssessment, SlackEstimator,
@@ -82,3 +87,4 @@ pub use hist::Log2Hist;
 pub use native::{NativeBackend, FILTER_COST, UPDATE_COST};
 pub use observer::{MetricBackend, WindowedObserver};
 pub use sketch::TopKSketch;
+pub use stack::StackDelay;

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use kscope_simcore::Nanos;
 use kscope_syscalls::{Pid, SyscallProfile, SyscallRole, TracePhase, TracepointCtx};
 
+use crate::bytecode::StackCounters;
 use crate::counters::RawCounters;
 use crate::observer::MetricBackend;
 
@@ -19,6 +20,29 @@ pub const FILTER_COST: Nanos = Nanos::from_nanos(40);
 /// Additional cost charged when an event matches and updates the cells.
 pub const UPDATE_COST: Nanos = Nanos::from_nanos(160);
 
+/// Native mirror of the netstack probe pair's state (the `inflight_stack`
+/// hash plus the cumulative `stack_stats`/`stack_hist` cells of the
+/// bytecode backend).
+#[derive(Debug, Clone)]
+struct NetStackState {
+    /// Request id -> NIC arrival timestamp (`ktime - stage_ns` at the
+    /// `net_rx_softirq` firing), the `inflight_stack` map.
+    inflight: HashMap<u64, u64>,
+    /// Cumulative log2 histogram of scaled time-in-stack.
+    hist: [u64; 64],
+    counters: StackCounters,
+}
+
+impl NetStackState {
+    fn new() -> NetStackState {
+        NetStackState {
+            inflight: HashMap::new(),
+            hist: [0; 64],
+            counters: StackCounters::default(),
+        }
+    }
+}
+
 /// Native implementation of the observability probe.
 ///
 /// # Examples
@@ -26,7 +50,7 @@ pub const UPDATE_COST: Nanos = Nanos::from_nanos(160);
 /// ```
 /// use kscope_core::{MetricBackend, NativeBackend};
 /// use kscope_simcore::Nanos;
-/// use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
+/// use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
 ///
 /// let mut probe = NativeBackend::new(1200, SyscallProfile::data_caching(), 10);
 /// for i in 1..=3u64 {
@@ -36,6 +60,7 @@ pub const UPDATE_COST: Nanos = Nanos::from_nanos(160);
 ///         pid_tgid: pid_tgid(1200, 1201),
 ///         ktime: Nanos::from_micros(500 * i),
 ///         ret: 64,
+///         net: NetCtx::NONE,
 ///     });
 /// }
 /// assert_eq!(probe.counters().send.count, 2); // two deltas from three sends
@@ -48,6 +73,8 @@ pub struct NativeBackend {
     /// Poll-entry timestamps keyed by packed `pid_tgid` (the `start` map
     /// of Listing 1).
     poll_start: HashMap<u64, u64>,
+    /// Netstack probe state when attached ([`NativeBackend::with_netstack`]).
+    netstack: Option<NetStackState>,
 }
 
 impl NativeBackend {
@@ -71,17 +98,77 @@ impl NativeBackend {
             profile,
             counters: RawCounters::new(shift),
             poll_start: HashMap::new(),
+            netstack: None,
         }
+    }
+
+    /// Attaches the native mirror of the netstack probe pair: the backend
+    /// then handles [`TracePhase::NetRxSoftirq`] / [`TracePhase::SockQueueDrain`]
+    /// firings with the exact integer arithmetic of the bytecode programs
+    /// (same `>> shift` scaling, same log2 bucketing, same miss handling).
+    /// Net events are handled *before* the tgid filter — softirq context
+    /// has no current task, so `pid_tgid` is 0 there.
+    pub fn with_netstack(mut self) -> NativeBackend {
+        self.netstack = Some(NetStackState::new());
+        self
     }
 
     /// The processes being observed.
     pub fn tgids(&self) -> &[Pid] {
         &self.tgids
     }
+
+    /// Decoded cumulative `stack_stats` cells, when the netstack probe is
+    /// attached.
+    pub fn stack_counters(&self) -> Option<StackCounters> {
+        self.netstack.as_ref().map(|ns| ns.counters)
+    }
+
+    /// Handles one net-phase firing (the two netstack tracepoints).
+    fn on_net_event(&mut self, ctx: &TracepointCtx) -> Nanos {
+        // No netstack programs attached: in real eBPF nothing runs at an
+        // un-attached tracepoint, so no cost either.
+        let Some(ns) = self.netstack.as_mut() else {
+            return Nanos::ZERO;
+        };
+        let now = ctx.ktime.as_nanos();
+        let shift = self.counters.send.shift();
+        match ctx.phase {
+            TracePhase::NetRxSoftirq => {
+                // NIC arrival = ktime - in-ring wait, exactly as the
+                // bytecode rx program computes it.
+                ns.inflight
+                    .insert(ctx.net.request, now.wrapping_sub(ctx.net.stage_ns));
+                FILTER_COST + UPDATE_COST
+            }
+            TracePhase::SockQueueDrain => match ns.inflight.remove(&ctx.net.request) {
+                Some(nic_at) => {
+                    let scaled = now.wrapping_sub(nic_at) >> shift;
+                    ns.counters.count = ns.counters.count.wrapping_add(1);
+                    ns.counters.sum = ns.counters.sum.wrapping_add(scaled);
+                    ns.counters.sumsq =
+                        ns.counters.sumsq.wrapping_add(scaled.wrapping_mul(scaled));
+                    // floor(log2(max(scaled, 1))), the bit ladder's result.
+                    ns.hist[63 - (scaled | 1).leading_zeros() as usize] += 1;
+                    FILTER_COST + UPDATE_COST
+                }
+                None => {
+                    ns.counters.misses = ns.counters.misses.wrapping_add(1);
+                    FILTER_COST
+                }
+            },
+            TracePhase::Enter | TracePhase::Exit => {
+                unreachable!("on_net_event called for a syscall phase")
+            }
+        }
+    }
 }
 
 impl MetricBackend for NativeBackend {
     fn on_event(&mut self, ctx: &TracepointCtx) -> Nanos {
+        if ctx.phase.is_net() {
+            return self.on_net_event(ctx);
+        }
         if !self.tgids.contains(&ctx.tgid()) {
             return FILTER_COST;
         }
@@ -95,6 +182,10 @@ impl MetricBackend for NativeBackend {
                 FILTER_COST + UPDATE_COST
             }
             (TracePhase::Enter, _) => FILTER_COST,
+            // Net phases were dispatched above before the tgid filter.
+            (TracePhase::NetRxSoftirq | TracePhase::SockQueueDrain, _) => {
+                unreachable!("net phases handled before the filter")
+            }
             (TracePhase::Exit, role) => {
                 match role {
                     SyscallRole::Send => {
@@ -139,12 +230,20 @@ impl MetricBackend for NativeBackend {
     fn backend_name(&self) -> &'static str {
         "native"
     }
+
+    fn stack_histogram(&self) -> Option<[u64; 64]> {
+        self.netstack.as_ref().map(|ns| ns.hist)
+    }
+
+    fn stack_counters(&self) -> Option<StackCounters> {
+        NativeBackend::stack_counters(self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kscope_syscalls::{pid_tgid, SyscallNo};
+    use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo};
 
     fn ctx(phase: TracePhase, no: SyscallNo, tid: u32, t_us: u64) -> TracepointCtx {
         TracepointCtx {
@@ -153,6 +252,7 @@ mod tests {
             pid_tgid: pid_tgid(1200, tid),
             ktime: Nanos::from_micros(t_us),
             ret: 1,
+            net: NetCtx::NONE,
         }
     }
 

@@ -11,6 +11,7 @@ use kscope_kernel::TracepointProbe;
 use kscope_simcore::Nanos;
 use kscope_syscalls::TracepointCtx;
 
+use crate::bytecode::StackCounters;
 use crate::counters::{RawCounters, WindowMetrics};
 
 /// One metric-maintaining implementation (native Rust or eBPF bytecode).
@@ -32,6 +33,24 @@ pub trait MetricBackend {
     /// duration has `floor(log2) == i`). Backends without in-kernel
     /// aggregation return `None`, the default.
     fn poll_histogram(&self) -> Option<[u64; 64]> {
+        None
+    }
+
+    /// The in-probe log2 histogram of scaled time-in-stack per request
+    /// (NIC arrival to socket-queue drain), when the backend carries the
+    /// netstack probe pair. Unlike the windowed cells this histogram is
+    /// *cumulative* — [`MetricBackend::reset_window`] never clears it —
+    /// so callers read it once at report time. Backends without the
+    /// netstack programs return `None`, the default.
+    fn stack_histogram(&self) -> Option<[u64; 64]> {
+        None
+    }
+
+    /// The netstack probe's scalar cells (count/sum/sumsq/misses of
+    /// scaled time-in-stack), cumulative like
+    /// [`MetricBackend::stack_histogram`]. `None` without the netstack
+    /// programs, the default.
+    fn stack_counters(&self) -> Option<StackCounters> {
         None
     }
 }
@@ -160,7 +179,7 @@ impl<B: MetricBackend + 'static> TracepointProbe for WindowedObserver<B> {
 mod tests {
     use super::*;
     use crate::native::NativeBackend;
-    use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase};
+    use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo, SyscallProfile, TracePhase};
 
     fn send_exit(t_us: u64) -> TracepointCtx {
         TracepointCtx {
@@ -169,6 +188,7 @@ mod tests {
             pid_tgid: pid_tgid(7, 7),
             ktime: Nanos::from_micros(t_us),
             ret: 1,
+            net: NetCtx::NONE,
         }
     }
 

@@ -52,7 +52,7 @@ pub struct StreamedEvent {
 /// use kscope_core::streaming::StreamingProbe;
 /// use kscope_kernel::TracepointProbe;
 /// use kscope_simcore::Nanos;
-/// use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
+/// use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
 ///
 /// let mut probe = StreamingProbe::new(7, SyscallProfile::data_caching(), 4096).unwrap();
 /// probe.fire(&TracepointCtx {
@@ -61,6 +61,7 @@ pub struct StreamedEvent {
 ///     pid_tgid: pid_tgid(7, 8),
 ///     ktime: Nanos::from_micros(5),
 ///     ret: 64,
+///     net: NetCtx::NONE,
 /// });
 /// let events = probe.drain();
 /// assert_eq!(events.len(), 1);
@@ -186,6 +187,9 @@ impl StreamingProbe {
                         });
                     }
                 }
+                // The streamer only attaches to the raw_syscalls
+                // tracepoints; net-phase records cannot appear.
+                TracePhase::NetRxSoftirq | TracePhase::SockQueueDrain => {}
             }
         }
         trace
@@ -198,6 +202,11 @@ impl TracepointProbe for StreamingProbe {
     }
 
     fn fire(&mut self, ctx: &TracepointCtx) -> Nanos {
+        // Only attached to the raw_syscalls tracepoints: net-phase
+        // firings cost nothing here, as in real eBPF.
+        if ctx.phase.is_net() {
+            return Nanos::ZERO;
+        }
         let mut buf = [0u8; CTX_SIZE];
         buf[..8].copy_from_slice(&(ctx.no.raw() as u64).to_le_bytes());
         // The streamer reads the phase from the second context word (our
@@ -206,6 +215,7 @@ impl TracepointProbe for StreamingProbe {
         let phase = match ctx.phase {
             TracePhase::Enter => 0u64,
             TracePhase::Exit => 1u64,
+            TracePhase::NetRxSoftirq | TracePhase::SockQueueDrain => return Nanos::ZERO,
         };
         buf[8..16].copy_from_slice(&phase.to_le_bytes());
         let mut env = ExecEnv {
@@ -272,7 +282,7 @@ fn build_streamer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kscope_syscalls::pid_tgid;
+    use kscope_syscalls::{pid_tgid, NetCtx};
 
     fn ctx(phase: TracePhase, no: SyscallNo, tid: u32, t_us: u64) -> TracepointCtx {
         TracepointCtx {
@@ -281,6 +291,7 @@ mod tests {
             pid_tgid: pid_tgid(7, tid),
             ktime: Nanos::from_micros(t_us),
             ret: 1,
+            net: NetCtx::NONE,
         }
     }
 

@@ -6,7 +6,7 @@
 
 use kscope_core::{BytecodeBackend, MetricBackend, NativeBackend, ScaledAcc};
 use kscope_simcore::{Nanos, SimRng};
-use kscope_syscalls::{pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
+use kscope_syscalls::{NetCtx, pid_tgid, SyscallNo, SyscallProfile, TracePhase, TracepointCtx};
 use kscope_testkit::{gen, Config};
 
 fn arb_event(rng: &mut SimRng) -> TracepointCtx {
@@ -35,6 +35,7 @@ fn arb_event(rng: &mut SimRng) -> TracepointCtx {
         pid_tgid: pid_tgid(tgid, 1300 + tid_off),
         ktime: Nanos::from_nanos(dt), // rebased cumulatively below
         ret: 1,
+        net: NetCtx::NONE,
     }
 }
 

@@ -1,0 +1,12 @@
+//! Regenerates the netstack figure (time-in-stack vs the syscall signal
+//! under netem impairment).
+use kscope_experiments::{fig_netstack, write_artifact, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let result = fig_netstack::run(scale);
+    println!("{}", fig_netstack::render(&result, true));
+    if let Some(path) = write_artifact("fig_netstack.csv", &fig_netstack::to_csv(&result)) {
+        println!("series written to {}", path.display());
+    }
+}

@@ -35,6 +35,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod fig_netstack;
 pub mod fleet;
 pub mod hosts;
 pub mod iouring;

@@ -14,7 +14,7 @@
 //! byte-identical across fan-ins too.
 
 use kscope_analysis::log2_bucket_quantile;
-use kscope_core::{Log2Hist, RawCounters, TopKSketch};
+use kscope_core::{Log2Hist, RawCounters, StackDelay, TopKSketch};
 use kscope_simcore::parallel::map_indexed;
 use kscope_simcore::Nanos;
 
@@ -125,6 +125,8 @@ pub struct AggregateReport {
     pub merged: RawCounters,
     /// Merged poll-duration histogram cells.
     pub hist: Log2Hist,
+    /// Merged time-in-stack state of every reporting host below.
+    pub stack: StackDelay,
     /// Merged entity sketch (`None` when no host below has reported).
     pub sketch: Option<TopKSketch>,
     /// The subtree's `top_k` highest-scoring host rows (score desc,
@@ -146,6 +148,7 @@ impl AggregateReport {
             reporting: 0,
             merged: RawCounters::new(shift),
             hist: Log2Hist::new(shift),
+            stack: StackDelay::new(shift),
             sketch: None,
             top_rows: Vec::new(),
             accepted: 0,
@@ -164,6 +167,7 @@ impl AggregateReport {
             out.reporting += child.reporting;
             out.merged.merge(&child.merged);
             out.hist.merge(&child.hist);
+            out.stack.merge(&child.stack);
             out.accepted += child.accepted;
             out.stale += child.stale;
             out.gaps += child.gaps;
@@ -225,6 +229,18 @@ pub struct FleetRollup {
     pub slack_p90_ns: Option<f64>,
     /// p99 of the merged poll-duration histogram (ns).
     pub slack_p99_ns: Option<f64>,
+    /// Completed NIC-to-drain samples in the merged stack-delay state.
+    pub stack_samples: u64,
+    /// Drain events whose rx entry was missing, fleet-wide.
+    pub stack_misses: u64,
+    /// Mean time-in-stack of the merged fleet stream (ns).
+    pub stack_mean_ns: Option<f64>,
+    /// p50 of the merged time-in-stack histogram (ns).
+    pub stack_p50_ns: Option<f64>,
+    /// p90 of the merged time-in-stack histogram (ns).
+    pub stack_p90_ns: Option<f64>,
+    /// p99 of the merged time-in-stack histogram (ns).
+    pub stack_p99_ns: Option<f64>,
     /// The `top_k` highest-scoring hosts (score desc, host id asc).
     pub top_saturated: Vec<HostRow>,
     /// The merged sketch's heaviest entities (estimate desc, key asc).
@@ -400,6 +416,8 @@ impl Collector {
             .unwrap_or(0.0);
 
         let quantile = |q: f64| log2_bucket_quantile(root.hist.buckets(), self.shift, q);
+        let stack_quantile =
+            |q: f64| log2_bucket_quantile(root.stack.hist().buckets(), self.shift, q);
         FleetRollup {
             hosts,
             reporting_hosts: root.reporting,
@@ -412,6 +430,12 @@ impl Collector {
             slack_p50_ns: quantile(0.50),
             slack_p90_ns: quantile(0.90),
             slack_p99_ns: quantile(0.99),
+            stack_samples: root.stack.count(),
+            stack_misses: root.stack.misses(),
+            stack_mean_ns: root.stack.mean_ns(),
+            stack_p50_ns: stack_quantile(0.50),
+            stack_p90_ns: stack_quantile(0.90),
+            stack_p99_ns: stack_quantile(0.99),
             top_saturated: root.top_rows,
             top_entities: top_entity_rows,
             sketch_total_weight,
@@ -477,6 +501,7 @@ impl Collector {
                 out.reporting += 1;
                 out.merged.merge(&env.cum);
                 out.hist.merge(&env.hist);
+                out.stack.merge(&env.stack);
                 sketches.push(&env.sketch);
             }
             out.top_rows.push(self.host_row(host));
@@ -490,7 +515,7 @@ impl Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kscope_core::ScaledAcc;
+    use kscope_core::{ScaledAcc, StackCounters};
 
     fn envelope(host: u32, seq: u64, delta_ns: u64, n: u64) -> ReportEnvelope {
         let mut cum = RawCounters::new(0);
@@ -508,6 +533,21 @@ mod tests {
             // A small entity stream: entity (i % 3) of this host's pid.
             sketch.record(&(u64::from(host) << 32 | (i % 3)).to_le_bytes(), 1);
         }
+        // A plausible stack-delay block: every request spent `delta_ns/4`
+        // in the ingress stack, plus one rx-less drain.
+        let in_stack = (delta_ns / 4).max(1);
+        let mut stack_buckets = [0u64; 64];
+        stack_buckets[Log2Hist::bucket_of(0, in_stack)] += n;
+        let stack = StackDelay::from_parts(
+            0,
+            stack_buckets,
+            StackCounters {
+                count: n,
+                sum: n * in_stack,
+                sumsq: n * in_stack * in_stack,
+                misses: 1,
+            },
+        );
         ReportEnvelope {
             host,
             seq,
@@ -516,6 +556,7 @@ mod tests {
             cum,
             hist,
             sketch,
+            stack,
             latest_rps: None,
             saturation: None,
             slack: None,
@@ -562,6 +603,11 @@ mod tests {
         // Both hosts' sketches merged: 200 requests total.
         assert_eq!(r.sketch_total_weight, 200);
         assert!(!r.top_entities.is_empty() && r.top_entities.len() <= 4);
+        // Both hosts' stack blocks merged: 200 samples, one miss each.
+        assert_eq!(r.stack_samples, 200);
+        assert_eq!(r.stack_misses, 2);
+        assert!((r.stack_mean_ns.unwrap() - 250_000.0).abs() < 1e-9);
+        assert!(r.stack_p50_ns.is_some());
     }
 
     #[test]

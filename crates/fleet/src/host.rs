@@ -3,7 +3,7 @@
 
 use kscope_core::{
     Agent, BytecodeBackend, Log2Hist, RawCounters, RpsEstimator, SaturationAssessment,
-    SaturationDetector, SlackAssessment, SlackEstimator, TopKSketch, WindowedObserver,
+    SaturationDetector, SlackAssessment, SlackEstimator, StackDelay, TopKSketch, WindowedObserver,
 };
 use kscope_kernel::{HostSpec, Kernel, ProbeId, SchedConfig};
 use kscope_netem::{DatagramTransit, NetemLink};
@@ -38,6 +38,10 @@ pub struct ReportEnvelope {
     /// plus a bounded candidate table): O(K) bytes however many
     /// distinct entities the host served.
     pub sketch: TopKSketch,
+    /// The netstack probe's cumulative time-in-stack state (log2
+    /// histogram plus count/Σ/Σ² /miss cells) — mergeable exactly, like
+    /// the counters.
+    pub stack: StackDelay,
     /// Latest window's Eq. 1 estimate, when thick enough.
     pub latest_rps: Option<f64>,
     /// Latest variance-knee assessment.
@@ -49,9 +53,10 @@ pub struct ReportEnvelope {
 /// Modeled wire size of everything in an envelope *except* the sketch:
 /// header (host 4B, seq 8B, sent_at 8B, windows 8B), counters (three
 /// count/Σδ/Σδ² accumulators, two last-timestamps, the event counter,
-/// and the shift: 104B), the 64-bucket histogram (512B), and the three
-/// optional estimator readouts (48B).
-pub const ENVELOPE_FIXED_BYTES: usize = 28 + 104 + 512 + 48;
+/// and the shift: 104B), the 64-bucket poll histogram (512B), the three
+/// optional estimator readouts (48B), and the netstack stack-delay
+/// block (64-bucket histogram 512B + count/Σ/Σ²/miss cells 32B).
+pub const ENVELOPE_FIXED_BYTES: usize = 28 + 104 + 512 + 48 + 512 + 32;
 
 impl ReportEnvelope {
     /// Modeled serialized size of this report. The only non-constant
@@ -107,6 +112,10 @@ pub struct SimHost {
     /// Timestamp of the last send exit (the next request's edges start
     /// just after it).
     cursor: Nanos,
+    /// Per-host request sequence number, keying the netstack probe's
+    /// in-flight map (unique within the host, which is all the per-host
+    /// probe needs).
+    next_request: u64,
     burst_flip: bool,
     hot: bool,
     hot_at: Nanos,
@@ -153,7 +162,8 @@ impl SimHost {
             SyscallProfile::data_caching(),
             config.shift,
             config.sketch_capacity,
-        )?;
+        )?
+        .with_netstack()?;
         if config.optimized_probes {
             backend = backend.with_optimizer()?;
         }
@@ -202,6 +212,7 @@ impl SimHost {
             link: NetemLink::new(config.channel.clone()),
             link_rng,
             cursor,
+            next_request: 0,
             burst_flip: false,
             hot: u64::from(id) < config.hot_hosts as u64,
             hot_at: config.hot_at(),
@@ -310,12 +321,25 @@ impl SimHost {
         let send_enter = recv_exit + Nanos::from_nanos(300);
         let send_exit = send_enter + Nanos::from_nanos(1_700);
 
+        // The request's packet traverses the ingress stack while the
+        // thread wakes: NIC arrival at `now`, softirq completion before
+        // the epoll return, socket-queue drain inside the recv. The
+        // stage offsets derive from the request sequence number alone
+        // (not the traffic RNG), so adding the netstack edges perturbs
+        // no existing RNG stream.
+        let request = self.next_request;
+        self.next_request += 1;
+        let softirq_at = now + Nanos::from_nanos(100 + (request % 5) * 20);
+        let drain_at = recv_enter + Nanos::from_nanos(300 + (request * 37) % 800);
+
         let tid = self.draw_entity();
         let tr = &mut self.kernel.tracing;
         let pid = self.pid;
         tr.sys_enter(pid, tid, SyscallNo::EPOLL_WAIT, poll_enter);
+        tr.net_rx_softirq(request, 64, softirq_at - now, softirq_at);
         tr.sys_exit(pid, tid, SyscallNo::EPOLL_WAIT, 1, poll_exit);
         tr.sys_enter(pid, tid, SyscallNo::RECVMSG, recv_enter);
+        tr.sock_queue_drain(pid, tid, request, drain_at - softirq_at, 0, drain_at);
         tr.sys_exit(pid, tid, SyscallNo::RECVMSG, 64, recv_exit);
         tr.sys_enter(pid, tid, SyscallNo::SENDMSG, send_enter);
         tr.sys_exit(pid, tid, SyscallNo::SENDMSG, 64, send_exit);
@@ -367,6 +391,12 @@ impl SimHost {
             Some(state) => TopKSketch::from_state(state.clone()),
             None => unreachable!("fleet probes always carry a sketch"),
         };
+        // Like the sketch, the stack cells are cumulative in the probe's
+        // maps: snapshot, don't accumulate.
+        let stack = match StackDelay::from_backend(shift, self.observer_mut().backend()) {
+            Some(stack) => stack,
+            None => unreachable!("fleet probes always carry the netstack programs"),
+        };
         let latest = self.agent.latest();
         let envelope = ReportEnvelope {
             host: self.id,
@@ -376,6 +406,7 @@ impl SimHost {
             cum: self.cum,
             hist: self.cum_hist,
             sketch,
+            stack,
             latest_rps: latest.and_then(|r| r.rps_obsv),
             saturation: latest.and_then(|r| r.saturation),
             slack: latest.and_then(|r| r.slack),

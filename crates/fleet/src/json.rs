@@ -87,6 +87,15 @@ pub fn report_to_json(config: &FleetConfig, rollup: &FleetRollup) -> String {
         opt_f64(rollup.slack_p99_ns),
     ));
     out.push_str(&format!(
+        ",\"stack_delay\":{{\"samples\":{},\"misses\":{},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+        rollup.stack_samples,
+        rollup.stack_misses,
+        opt_f64(rollup.stack_mean_ns),
+        opt_f64(rollup.stack_p50_ns),
+        opt_f64(rollup.stack_p90_ns),
+        opt_f64(rollup.stack_p99_ns),
+    ));
+    out.push_str(&format!(
         ",\"accounting\":{{\"produced\":{},\"shed\":{},\"offered\":{},\"channel_delivered\":{},\"channel_dropped\":{},\"accepted\":{},\"stale\":{},\"gaps\":{}}}",
         acc.produced,
         acc.shed,
@@ -138,6 +147,7 @@ mod tests {
         assert!(a.contains("\"transport\":{\"bytes_offered\":"));
         assert!(a.contains("\"top_entities\":["));
         assert!(a.contains("\"fan_in\":8"));
+        assert!(a.contains("\"stack_delay\":{\"samples\":"));
     }
 
     #[test]

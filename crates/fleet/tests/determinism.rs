@@ -95,3 +95,36 @@ fn different_seeds_actually_differ() {
     let b = report_to_json(&other, &run(&other).rollup(2));
     assert_ne!(a, b, "seed must steer the run, or determinism is vacuous");
 }
+
+#[test]
+fn stack_delay_section_is_populated_and_jobs_invariant() {
+    // The stack-delay block rides the same exactly-merged integer cells
+    // as the counters, so its JSON section must be byte-identical at any
+    // worker count and fan-in — and non-trivial (the fleet hosts all
+    // carry the netstack probe pair, so samples accumulate).
+    let base = FleetConfig::quick(16).with_loss(0.1);
+    let fleet = run(&base);
+    let baseline = report_to_json(&base, &fleet.rollup(1));
+    let start = baseline
+        .find("\"stack_delay\":{")
+        .expect("report carries a stack_delay section");
+    let end = baseline[start..].find('}').map(|e| start + e + 1).unwrap();
+    let section = &baseline[start..end];
+    assert!(
+        !section.contains("\"samples\":0,"),
+        "netstack probes saw traffic: {section}"
+    );
+    assert!(!section.contains("\"mean_ns\":null"), "{section}");
+    for jobs in [2, 8, 32] {
+        let other = report_to_json(&base, &fleet.rollup(jobs));
+        assert_eq!(baseline, other, "jobs={jobs} changed the stack_delay bytes");
+    }
+    for fan_in in [1, 3, 16] {
+        let config = base.clone().with_fan_in(fan_in);
+        let other = report_to_json(&base, &run(&config).rollup(4));
+        assert_eq!(
+            baseline, other,
+            "fan_in={fan_in} changed the stack_delay bytes"
+        );
+    }
+}

@@ -43,7 +43,7 @@ struct EpollInstance {
 /// epolls.block(ep, 42);
 ///
 /// // Delivery wakes the blocked thread.
-/// channels.deliver(conn, Message { request: 1, bytes: 8, enqueued_at: Nanos::ZERO });
+/// channels.deliver(conn, Message::internal(1, 8, Nanos::ZERO));
 /// assert_eq!(epolls.on_readable(conn), vec![(ep, 42)]);
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -164,11 +164,7 @@ mod tests {
     use kscope_simcore::Nanos;
 
     fn msg(request: u64) -> Message {
-        Message {
-            request,
-            bytes: 16,
-            enqueued_at: Nanos::ZERO,
-        }
+        Message::internal(request, 16, Nanos::ZERO)
     }
 
     #[test]

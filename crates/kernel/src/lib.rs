@@ -38,7 +38,7 @@
 //!
 //! // A request arrives at t=1ms and wakes the worker.
 //! let t1 = Nanos::from_millis(1);
-//! kernel.channels.deliver(conn, Message { request: 1, bytes: 64, enqueued_at: t1 });
+//! kernel.channels.deliver(conn, Message::internal(1, 64, t1));
 //! let wakeups = kernel.epolls.on_readable(conn);
 //! assert_eq!(wakeups[0].1, worker);
 //! kernel.tracing.sys_exit(pid, worker, SyscallNo::EPOLL_WAIT, 1, t1);
@@ -54,6 +54,7 @@
 
 mod epoll;
 mod host;
+mod netstack;
 mod sched;
 mod socket;
 mod task;
@@ -61,8 +62,9 @@ mod tracing;
 
 pub use epoll::{EpollId, EpollTable};
 pub use host::HostSpec;
+pub use netstack::{IngressConfig, IngressQueue, IngressStats, RxPacket, SoftirqDelivery, SoftirqRun};
 pub use sched::{ComputeGrant, CpuScheduler, SchedConfig, SchedStats};
-pub use socket::{ChannelId, ChannelTable, Message};
+pub use socket::{ChannelId, ChannelTable, Message, StackStamps};
 pub use task::{TaskInfo, TaskTable};
 pub use tracing::{ProbeId, TracepointProbe, Tracing, TracingStats};
 
@@ -82,6 +84,8 @@ pub struct Kernel {
     pub channels: ChannelTable,
     /// Epoll instances.
     pub epolls: EpollTable,
+    /// Network-stack ingress pipeline (NIC ring + softirq/NAPI).
+    pub ingress: IngressQueue,
     /// Tracepoint dispatch (the eBPF attachment surface).
     pub tracing: Tracing,
 }
@@ -96,6 +100,7 @@ impl Kernel {
             sched: CpuScheduler::new(cores, sched_config),
             channels: ChannelTable::new(),
             epolls: EpollTable::new(),
+            ingress: IngressQueue::default(),
             tracing: Tracing::new(),
         }
     }
@@ -109,6 +114,7 @@ impl Kernel {
             sched: CpuScheduler::new(cores, sched_config),
             channels: ChannelTable::new(),
             epolls: EpollTable::new(),
+            ingress: IngressQueue::default(),
             tracing: Tracing::new(),
         }
     }

@@ -17,6 +17,22 @@ use kscope_simcore::Nanos;
 )]
 pub struct ChannelId(pub u32);
 
+/// Per-stage ingress timestamps carried by a message that traversed the
+/// modeled host network stack (see `kscope_kernel::netstack`).
+///
+/// Invariant: `nic_at <= softirq_at <= enqueued_at` — a packet reaches the
+/// NIC ring, is processed by a softirq, and only then lands on its socket
+/// queue. Messages created by internal stage handoffs never have stamps
+/// (`Message::stack == None`), which is how the drain path knows not to
+/// fire the network tracepoints for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackStamps {
+    /// When the packet arrived at the NIC ring.
+    pub nic_at: Nanos,
+    /// When softirq/NAPI processing of the packet completed.
+    pub softirq_at: Nanos,
+}
+
 /// One queued message (request or stage-handoff work item).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Message {
@@ -26,6 +42,22 @@ pub struct Message {
     pub bytes: u32,
     /// When the message entered this queue.
     pub enqueued_at: Nanos,
+    /// Ingress-path timestamps; `None` for internal stage handoffs that
+    /// never crossed the network stack.
+    pub stack: Option<StackStamps>,
+}
+
+impl Message {
+    /// A message created by an internal stage handoff (no network-stack
+    /// traversal, so no stage stamps).
+    pub fn internal(request: u64, bytes: u32, enqueued_at: Nanos) -> Message {
+        Message {
+            request,
+            bytes,
+            enqueued_at,
+            stack: None,
+        }
+    }
 }
 
 /// All channel buffers of the simulated host.
@@ -38,7 +70,7 @@ pub struct Message {
 ///
 /// let mut channels = ChannelTable::new();
 /// let conn = channels.create();
-/// channels.deliver(conn, Message { request: 1, bytes: 64, enqueued_at: Nanos::ZERO });
+/// channels.deliver(conn, Message::internal(1, 64, Nanos::ZERO));
 /// assert!(channels.is_readable(conn));
 /// let msg = channels.recv(conn).unwrap();
 /// assert_eq!(msg.request, 1);
@@ -134,11 +166,7 @@ mod tests {
     use super::*;
 
     fn msg(request: u64, at_us: u64) -> Message {
-        Message {
-            request,
-            bytes: 100,
-            enqueued_at: Nanos::from_micros(at_us),
-        }
+        Message::internal(request, 100, Nanos::from_micros(at_us))
     }
 
     #[test]

@@ -11,7 +11,9 @@
 use std::collections::HashMap;
 
 use kscope_simcore::Nanos;
-use kscope_syscalls::{pid_tgid, Pid, SyscallEvent, SyscallNo, Tid, TracePhase, TracepointCtx, Trace};
+use kscope_syscalls::{
+    pid_tgid, NetCtx, Pid, SyscallEvent, SyscallNo, Tid, Trace, TracePhase, TracepointCtx,
+};
 
 /// A program attached to the syscall tracepoints.
 ///
@@ -42,6 +44,10 @@ pub struct TracingStats {
     pub enters: u64,
     /// `sys_exit` firings delivered to probes.
     pub exits: u64,
+    /// `net_rx_softirq` firings delivered to probes.
+    pub net_rx: u64,
+    /// `sock_queue_drain` firings delivered to probes.
+    pub sock_drains: u64,
     /// Total probe execution time charged to threads.
     pub probe_overhead: Nanos,
 }
@@ -151,6 +157,7 @@ impl Tracing {
             pid_tgid: pid_tgid(pid, tid),
             ktime: now,
             ret: 0,
+            net: NetCtx::NONE,
         };
         self.dispatch(&ctx)
     }
@@ -180,6 +187,7 @@ impl Tracing {
             pid_tgid: pid_tgid(pid, tid),
             ktime: now,
             ret,
+            net: NetCtx::NONE,
         };
         let overhead = self.dispatch(&ctx);
         if self.collect_trace {
@@ -193,6 +201,62 @@ impl Tracing {
             });
         }
         overhead
+    }
+
+    /// Fires the `net_rx_softirq` tracepoint at `now`: softirq/NAPI
+    /// processing of `request`'s packet completed and enqueued it on a
+    /// socket. `nic_wait` is the packet's NIC-ring residency (arrival to
+    /// softirq completion). Fires in softirq context, so `pid_tgid` is 0.
+    ///
+    /// Returns the total probe overhead; the driver charges it to the
+    /// interrupted CPU rather than any thread.
+    pub fn net_rx_softirq(&mut self, request: u64, bytes: u32, nic_wait: Nanos, now: Nanos) -> Nanos {
+        self.stats.net_rx += 1;
+        let ctx = TracepointCtx {
+            phase: TracePhase::NetRxSoftirq,
+            no: SyscallNo::from_raw(u32::MAX),
+            pid_tgid: 0,
+            ktime: now,
+            ret: 0,
+            net: NetCtx {
+                request,
+                stage_ns: nic_wait.as_nanos(),
+                arg: bytes as u64,
+            },
+        };
+        self.dispatch(&ctx)
+    }
+
+    /// Fires the `sock_queue_drain` tracepoint at `now`: thread `tid` of
+    /// process `pid` dequeued `request`'s message from its socket receive
+    /// queue (inside `recvfrom`/an `epoll_wait`-driven read). `residency`
+    /// is the message's socket-queue wait; `queue_depth` is what remains
+    /// on the queue after the dequeue.
+    ///
+    /// Returns the total probe overhead to charge to the draining thread.
+    pub fn sock_queue_drain(
+        &mut self,
+        pid: Pid,
+        tid: Tid,
+        request: u64,
+        residency: Nanos,
+        queue_depth: u64,
+        now: Nanos,
+    ) -> Nanos {
+        self.stats.sock_drains += 1;
+        let ctx = TracepointCtx {
+            phase: TracePhase::SockQueueDrain,
+            no: SyscallNo::from_raw(u32::MAX),
+            pid_tgid: pid_tgid(pid, tid),
+            ktime: now,
+            ret: 0,
+            net: NetCtx {
+                request,
+                stage_ns: residency.as_nanos(),
+                arg: queue_depth,
+            },
+        };
+        self.dispatch(&ctx)
     }
 
     fn dispatch(&mut self, ctx: &TracepointCtx) -> Nanos {
@@ -258,6 +322,50 @@ mod tests {
         let detached = tracing.detach(id).unwrap();
         assert_eq!(detached.name(), "counting");
         assert_eq!(tracing.probe_count(), 0);
+    }
+
+    struct NetRecorder {
+        seen: Vec<TracepointCtx>,
+    }
+
+    impl TracepointProbe for NetRecorder {
+        fn name(&self) -> &str {
+            "net-recorder"
+        }
+        fn fire(&mut self, ctx: &TracepointCtx) -> Nanos {
+            self.seen.push(*ctx);
+            Nanos::from_nanos(50)
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn net_tracepoints_dispatch_with_net_payload() {
+        let mut tracing = Tracing::new();
+        let id = tracing.attach(Box::new(NetRecorder { seen: Vec::new() }));
+        let o1 = tracing.net_rx_softirq(42, 256, Nanos::from_micros(3), Nanos::from_micros(10));
+        let o2 = tracing.sock_queue_drain(1, 2, 42, Nanos::from_micros(7), 4, Nanos::from_micros(20));
+        assert_eq!(o1, Nanos::from_nanos(50));
+        assert_eq!(o2, Nanos::from_nanos(50));
+        assert_eq!(tracing.stats().net_rx, 1);
+        assert_eq!(tracing.stats().sock_drains, 1);
+        assert_eq!(tracing.stats().probe_overhead, Nanos::from_nanos(100));
+        let mut probe = tracing.detach(id).unwrap();
+        let rec = probe.as_any_mut().downcast_mut::<NetRecorder>().unwrap();
+        let rx = rec.seen[0];
+        assert_eq!(rx.phase, TracePhase::NetRxSoftirq);
+        assert_eq!(rx.pid_tgid, 0, "softirq context has no current task");
+        assert_eq!(rx.net.request, 42);
+        assert_eq!(rx.net.stage_ns, 3_000);
+        assert_eq!(rx.net.arg, 256);
+        let drain = rec.seen[1];
+        assert_eq!(drain.phase, TracePhase::SockQueueDrain);
+        assert_eq!(drain.tgid(), 1);
+        assert_eq!(drain.tid(), 2);
+        assert_eq!(drain.net.stage_ns, 7_000);
+        assert_eq!(drain.net.arg, 4);
     }
 
     #[test]

@@ -82,11 +82,7 @@ fn channels_conserve_messages() {
             for (i, &bytes) in payloads.iter().enumerate() {
                 channels.deliver(
                     c,
-                    Message {
-                        request: i as u64,
-                        bytes,
-                        enqueued_at: Nanos::from_nanos(i as u64),
-                    },
+                    Message::internal(i as u64, bytes, Nanos::from_nanos(i as u64)),
                 );
             }
             for (i, &bytes) in payloads.iter().enumerate() {
@@ -131,11 +127,7 @@ fn epoll_wakes_at_most_one_waiter() {
             for i in 0..deliveries {
                 channels.deliver(
                     conn,
-                    Message {
-                        request: i as u64,
-                        bytes: 1,
-                        enqueued_at: Nanos::ZERO,
-                    },
+                    Message::internal(i as u64, 1, Nanos::ZERO),
                 );
                 let wakeups = epolls.on_readable(conn);
                 assert!(wakeups.len() <= 1);

@@ -84,29 +84,80 @@ impl fmt::Display for SyscallEvent {
     }
 }
 
-/// Which edge of the syscall a tracepoint callback is observing.
+/// Which tracepoint a callback is observing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TracePhase {
     /// `raw_syscalls:sys_enter`.
     Enter,
     /// `raw_syscalls:sys_exit`.
     Exit,
+    /// `net:netif_receive_skb`-style ingress edge: a packet finished
+    /// softirq/NAPI processing and was enqueued on its socket. Fires in
+    /// softirq context — there is no *current task*, so `pid_tgid` is 0
+    /// (the real kernel would report whatever task the softirq happened
+    /// to interrupt; probes must not tgid-filter this phase).
+    NetRxSoftirq,
+    /// Socket receive-queue drain: the owning thread dequeued the
+    /// message inside `recvfrom`/`epoll_wait`-driven reads. Fires in
+    /// process context, so `pid_tgid` identifies the draining thread.
+    SockQueueDrain,
+}
+
+impl TracePhase {
+    /// True for the two network-stack phases ([`TracePhase::NetRxSoftirq`]
+    /// and [`TracePhase::SockQueueDrain`]).
+    #[inline]
+    pub fn is_net(self) -> bool {
+        matches!(self, TracePhase::NetRxSoftirq | TracePhase::SockQueueDrain)
+    }
+}
+
+/// Network-stack payload of a [`TracepointCtx`] — the extra fields the
+/// ingress tracepoints expose, zeroed ([`NetCtx::NONE`]) on the syscall
+/// phases. Mirrors the tracepoint-specific `args` struct an eBPF program
+/// reads alongside the common fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NetCtx {
+    /// Request token the packet/message belongs to.
+    pub request: u64,
+    /// Stage residency in nanoseconds: NIC-ring wait (arrival to softirq
+    /// completion) on [`TracePhase::NetRxSoftirq`]; socket receive-queue
+    /// residency (enqueue to drain) on [`TracePhase::SockQueueDrain`].
+    pub stage_ns: u64,
+    /// Phase-specific argument: payload bytes on
+    /// [`TracePhase::NetRxSoftirq`], remaining queue depth after the
+    /// dequeue on [`TracePhase::SockQueueDrain`].
+    pub arg: u64,
+}
+
+impl NetCtx {
+    /// The zeroed payload carried by non-network phases.
+    pub const NONE: NetCtx = NetCtx {
+        request: 0,
+        stage_ns: 0,
+        arg: 0,
+    };
 }
 
 /// The context handed to a tracepoint probe — the fields an eBPF program
-/// attached to `raw_syscalls:sys_enter`/`sys_exit` can actually read.
+/// attached to `raw_syscalls:sys_enter`/`sys_exit` or the modeled
+/// network-stack tracepoints can actually read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TracepointCtx {
-    /// Which edge fired.
+    /// Which tracepoint fired.
     pub phase: TracePhase,
-    /// Syscall id (`args->id`).
+    /// Syscall id (`args->id`); [`SyscallNo::from_raw`]`(u32::MAX)` on the
+    /// network phases, which have no syscall.
     pub no: SyscallNo,
-    /// Packed `bpf_get_current_pid_tgid()`.
+    /// Packed `bpf_get_current_pid_tgid()`; 0 on
+    /// [`TracePhase::NetRxSoftirq`] (softirq context has no current task).
     pub pid_tgid: u64,
     /// Current `bpf_ktime_get_ns()`.
     pub ktime: Nanos,
     /// Return value; only meaningful on [`TracePhase::Exit`].
     pub ret: i64,
+    /// Network-stack payload; [`NetCtx::NONE`] on the syscall phases.
+    pub net: NetCtx,
 }
 
 impl TracepointCtx {
@@ -172,9 +223,14 @@ mod tests {
             pid_tgid: pid_tgid(10, 12),
             ktime: Nanos::from_nanos(5),
             ret: 128,
+            net: NetCtx::NONE,
         };
         assert_eq!(ctx.tgid(), 10);
         assert_eq!(ctx.tid(), 12);
+        assert!(!ctx.phase.is_net());
+        assert!(TracePhase::NetRxSoftirq.is_net());
+        assert!(TracePhase::SockQueueDrain.is_net());
+        assert_eq!(NetCtx::NONE, NetCtx::default());
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod phase;
 mod profile;
 mod trace;
 
-pub use event::{pid_tgid, split_pid_tgid, Pid, SyscallEvent, Tid, TracePhase, TracepointCtx};
+pub use event::{pid_tgid, split_pid_tgid, NetCtx, Pid, SyscallEvent, Tid, TracePhase, TracepointCtx};
 pub use family::SyscallFamily;
 pub use no::SyscallNo;
 pub use phase::{Phase, PhaseReport};

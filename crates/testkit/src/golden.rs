@@ -29,7 +29,7 @@
 use std::collections::BTreeMap;
 
 use kscope_simcore::Nanos;
-use kscope_syscalls::{pid_tgid, SyscallNo, TracePhase, TracepointCtx};
+use kscope_syscalls::{pid_tgid, NetCtx, SyscallNo, TracePhase, TracepointCtx};
 
 /// A malformed fixture line.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,6 +125,7 @@ pub fn parse_trace(text: &str) -> Result<Vec<TracepointCtx>, GoldenError> {
             pid_tgid: pid_tgid(tgid, tid),
             ktime: Nanos::from_nanos(ktime),
             ret,
+            net: NetCtx::NONE,
         });
     }
     Ok(out)

@@ -29,7 +29,10 @@
 //! * every committed precision fixture, *verified first* so the elided
 //!   JIT actually runs with bounds checks removed;
 //! * the real `BytecodeBackend` enter/exit probe programs, run as a
-//!   stateful event stream over persistent map registries.
+//!   stateful event stream over persistent map registries;
+//! * the netstack ingress probe pair (`kscope_net_rx` /
+//!   `kscope_sock_drain`), run as a stateful stream of 24-byte `NetCtx`
+//!   events including drains with no matching arrival.
 //!
 //! On targets without JIT support the JIT arms fall back to the decoded
 //! interpreter inside `Vm::execute`, so the identity still holds (and
@@ -856,5 +859,83 @@ fn backend_probe_programs_execute_identically() {
         format!("{maps_decoded:?}"),
         format!("{maps_jit:?}"),
         "jit probe map state diverges after the stream"
+    );
+}
+
+/// The netstack ingress probe pair, run as a stateful stream: every
+/// dispatcher processes the same 400-event `net_rx`/`sock_drain`
+/// sequence (matched pairs, drains with no recorded arrival, duplicate
+/// arrivals overwriting the inflight slot) against its own persistent
+/// registry, and the in-probe time-in-stack histogram states must stay
+/// in lockstep throughout.
+#[test]
+fn netstack_probe_programs_execute_identically() {
+    let backend = BytecodeBackend::new(1200, SyscallProfile::data_caching(), 6)
+        .and_then(BytecodeBackend::with_netstack)
+        .unwrap_or_else(|e| panic!("netstack probe programs must verify: {e}"));
+    let Some((rx, drain)) = backend.net_programs() else {
+        panic!("with_netstack must attach the net program pair");
+    };
+    #[cfg(target_arch = "x86_64")]
+    for (which, prog) in [("net_rx", rx), ("sock_drain", drain)] {
+        assert!(
+            kscope_ebpf::jit::is_compilable(prog),
+            "the {which} probe program must be JIT-compilable on x86-64"
+        );
+    }
+    let mut maps_decoded = backend.map_registry().clone();
+    let mut maps_raw = backend.map_registry().clone();
+    let mut maps_jit = backend.map_registry().clone();
+    let mut vm_decoded = Vm::new();
+    let mut vm_raw = Vm::new().with_raw_dispatch();
+    let mut vm_jit = Vm::new().with_jit();
+
+    let mut rng = SimRng::seed_from_u64(Config::default().seed ^ 0x7E7_57ACC);
+    for i in 0..400u64 {
+        // A mix of matched pairs, orphan drains (no recorded arrival),
+        // and duplicate arrivals for the same request token.
+        let (is_rx, request) = match i % 8 {
+            0 => (true, i),
+            1 => (false, i - 1),          // matched drain
+            2 => (true, i),
+            3 => (true, i - 1),           // duplicate arrival, new token
+            4 => (false, i - 1),          // drains the overwrite
+            5 => (false, i + 10_000),     // orphan drain: inflight miss
+            6 => (true, i),
+            _ => (false, i - 1),          // matched drain
+        };
+        let stage_ns = gen::u64_in(&mut rng, 0, 2_000_000);
+        let arg = gen::u64_in(&mut rng, 0, 9_000);
+        let mut ctx = [0u8; 24];
+        ctx[..8].copy_from_slice(&request.to_le_bytes());
+        ctx[8..16].copy_from_slice(&stage_ns.to_le_bytes());
+        ctx[16..24].copy_from_slice(&arg.to_le_bytes());
+        let env = ExecEnv {
+            ktime_ns: 3_000 * (i + 1),
+            pid_tgid: pid_tgid(1200, 1201),
+            ..ExecEnv::default()
+        };
+        let prog = if is_rx { rx } else { drain };
+
+        let mut env_decoded = env;
+        let mut env_raw = env;
+        let mut env_jit = env;
+        let decoded = vm_decoded.execute(prog, &ctx, &mut maps_decoded, &mut env_decoded);
+        let raw = vm_raw.execute(prog, &ctx, &mut maps_raw, &mut env_raw);
+        let jit = vm_jit.execute(prog, &ctx, &mut maps_jit, &mut env_jit);
+        assert_eq!(decoded, raw, "event {i}: decoded vs raw net outcomes diverge");
+        assert_eq!(decoded, jit, "event {i}: decoded vs jit net outcomes diverge");
+        assert_eq!(env_decoded, env_raw, "event {i}: decoded vs raw net env diverges");
+        assert_eq!(env_decoded, env_jit, "event {i}: decoded vs jit net env diverges");
+    }
+    assert_eq!(
+        format!("{maps_decoded:?}"),
+        format!("{maps_raw:?}"),
+        "raw netstack map state diverges after the stream"
+    );
+    assert_eq!(
+        format!("{maps_decoded:?}"),
+        format!("{maps_jit:?}"),
+        "jit netstack map state diverges after the stream"
     );
 }

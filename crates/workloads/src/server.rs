@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use kscope_kernel::{ChannelId, EpollId, Kernel, Message, SchedConfig};
+use kscope_kernel::{ChannelId, EpollId, Kernel, Message, RxPacket, SchedConfig, StackStamps};
 use kscope_netem::{NetemConfig, NetemPath};
 use kscope_simcore::{Dist, Nanos, Scheduler, SimRng, Simulation};
 use kscope_syscalls::{Pid, SyscallNo, SyscallRole, Tid};
@@ -23,7 +23,8 @@ use crate::spec::{ThreadingModel, WorkloadSpec};
 pub enum Ev {
     /// The open-loop client emits the next request.
     Arrival,
-    /// A request reaches its server-side connection channel.
+    /// A request's packet reaches the host NIC ring (it still has to cross
+    /// the softirq/NAPI stage before it is readable from the socket).
     Delivered {
         /// Destination connection.
         conn: ChannelId,
@@ -32,6 +33,9 @@ pub enum Ev {
         /// Payload size.
         bytes: u32,
     },
+    /// The softirq raised for pending NIC-ring packets runs (NAPI batch
+    /// processing; see [`kscope_kernel::IngressQueue`]).
+    Softirq,
     /// A thread's poll syscall returns (immediately or via wakeup).
     PollExit {
         /// The polling thread.
@@ -157,6 +161,9 @@ pub struct ServerSim {
     rng_net: SimRng,
     rng_sched: SimRng,
     rng_misc: SimRng,
+    /// Softirq batch-processing jitter (separate stream so the ingress
+    /// pipeline does not disturb netem/service sampling sequences).
+    rng_softirq: SimRng,
     threads: BTreeMap<Tid, ThreadRt>,
     chan_cfg: HashMap<ChannelId, ChanCfg>,
     conns: Vec<ChannelId>,
@@ -200,6 +207,7 @@ impl ServerSim {
             rng_net: root.fork(3),
             rng_sched: root.fork(4),
             rng_misc: root.fork(5),
+            rng_softirq: root.fork(6),
             path: NetemPath::symmetric(netem),
             threads: BTreeMap::new(),
             chan_cfg: HashMap::new(),
@@ -673,6 +681,23 @@ impl ServerSim {
                 continue;
             };
             let cfg = *self.chan_cfg.get(&channel).unwrap_or_else(|| unreachable!("every channel was registered at startup"));
+            // Popping a network-delivered message drains the socket
+            // receive queue: fire `sock_queue_drain` with the message's
+            // queue residency (softirq delivery to now) and the depth
+            // left behind. Internal handoffs (no stack stamps) are not
+            // socket drains and stay silent.
+            let at = if msg.stack.is_some() {
+                let pid = self.threads[&tid].pid;
+                let residency = at.saturating_sub(msg.enqueued_at);
+                let depth = self.kernel.channels.pending(channel) as u64;
+                let oh = self
+                    .kernel
+                    .tracing
+                    .sock_queue_drain(pid, tid, msg.request, residency, depth, at);
+                at + oh
+            } else {
+                at
+            };
             let bypass = self.spec.syscall_bypass_fraction > 0.0
                 && self.rng_misc.next_bool(self.spec.syscall_bypass_fraction);
             let work = Work {
@@ -896,7 +921,46 @@ impl ServerSim {
         }
     }
 
+    /// Runs one softirq/NAPI batch: drains up to a budget of NIC-ring
+    /// packets into their socket receive queues, firing the
+    /// `net_rx_softirq` tracepoint per packet and waking epoll waiters.
+    /// Budget exhaustion re-schedules the remainder (ksoftirqd).
+    fn handle_softirq(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        let run = self.kernel.ingress.run_softirq(now, &mut self.rng_softirq);
+        for d in run.delivered {
+            let nic_wait = d.delivered_at.saturating_sub(d.nic_at);
+            let oh = self.kernel.tracing.net_rx_softirq(
+                d.packet.request,
+                d.packet.bytes,
+                nic_wait,
+                d.delivered_at,
+            );
+            self.kernel.channels.deliver(
+                d.packet.conn,
+                Message {
+                    request: d.packet.request,
+                    bytes: d.packet.bytes,
+                    enqueued_at: d.delivered_at,
+                    stack: Some(StackStamps {
+                        nic_at: d.nic_at,
+                        softirq_at: d.delivered_at,
+                    }),
+                },
+            );
+            // Probe overhead runs in softirq context: it delays the wakeup
+            // of the draining thread, not the enqueue itself.
+            self.wake_watchers(d.packet.conn, d.delivered_at + oh, sched);
+        }
+        if let Some(next) = run.next {
+            sched.at(next, Ev::Softirq);
+        }
+    }
+
     /// Delivers a message to an internal channel and wakes a waiter.
+    ///
+    /// Internal handoffs never cross the network stack, so the message
+    /// carries no [`StackStamps`] and the drain tracepoint stays silent.
     fn deliver_internal(
         &mut self,
         channel: ChannelId,
@@ -905,14 +969,9 @@ impl ServerSim {
         now: Nanos,
         sched: &mut Scheduler<'_, Ev>,
     ) {
-        self.kernel.channels.deliver(
-            channel,
-            Message {
-                request,
-                bytes,
-                enqueued_at: now,
-            },
-        );
+        self.kernel
+            .channels
+            .deliver(channel, Message::internal(request, bytes, now));
         self.wake_watchers(channel, now, sched);
     }
 
@@ -979,16 +1038,20 @@ impl Simulation for ServerSim {
                 bytes,
             } => {
                 let now = sched.now();
-                self.kernel.channels.deliver(
+                // NIC arrival: the packet enters the ring and (if no
+                // softirq is already pending) raises one. A full ring
+                // drops the packet, exactly like a real NIC under
+                // overload — the request is simply never answered.
+                let packet = RxPacket {
                     conn,
-                    Message {
-                        request,
-                        bytes,
-                        enqueued_at: now,
-                    },
-                );
-                self.wake_watchers(conn, now, sched);
+                    request,
+                    bytes,
+                };
+                if let Some(raise_at) = self.kernel.ingress.enqueue(packet, now) {
+                    sched.at(raise_at, Ev::Softirq);
+                }
             }
+            Ev::Softirq => self.handle_softirq(sched),
             Ev::PollExit { tid } => self.handle_poll_exit(tid, sched),
             Ev::SyscallExit { tid } => self.handle_syscall_exit(tid, sched),
             Ev::ComputeDone { tid } => self.handle_compute_done(tid, sched),

@@ -59,7 +59,7 @@ pub use kscope_workloads as workloads;
 pub mod prelude {
     pub use kscope_core::{
         Agent, BytecodeBackend, MetricBackend, NativeBackend, RpsEstimator, SaturationDetector,
-        SlackEstimator, WindowMetrics, WindowedObserver,
+        SlackEstimator, StackDelay, WindowMetrics, WindowedObserver,
     };
     pub use kscope_kernel::TracepointProbe;
     pub use kscope_netem::NetemConfig;

@@ -23,13 +23,16 @@
 //! * the fleet's sketch probe regresses: its `sketch_update` site is
 //!   missing or is not compiled as a trampoline call (the helper
 //!   mutates shared multi-word sketch state, so inlining it would fork
-//!   interpreter and JIT semantics).
+//!   interpreter and JIT semantics);
+//! * the netstack ingress probe pair (`kscope_net_rx` /
+//!   `kscope_sock_drain`, verified against the 24-byte `NetCtx`) is
+//!   absent or loses its finite cost bound.
 //!
 //! CI runs this as the `analysis-smoke` job. Usage: `probe_audit [-v]`
 //! (`-v` additionally prints disassemblies of programs the optimizer
 //! changed).
 
-use kscope_core::{BytecodeBackend, CTX_SIZE};
+use kscope_core::{BytecodeBackend, CTX_SIZE, NET_CTX_SIZE};
 use kscope_ebpf::verifier::{Verifier, VerifierConfig};
 use kscope_ebpf::{cost_report, helper_inline_plan, HelperInline, Program};
 use kscope_syscalls::SyscallProfile;
@@ -71,6 +74,18 @@ fn shipped_backends() -> Vec<(String, BytecodeBackend)> {
     )
     .unwrap_or_else(|e| panic!("building sketch probe: {e}"));
     out.push(("data_caching+hist+sketch".to_string(), sketch));
+    // The full fleet configuration: the above plus the netstack ingress
+    // probe pair (`kscope_net_rx` / `kscope_sock_drain`) attached to the
+    // `net_rx_softirq` and `sock_queue_drain` tracepoints.
+    let netstack = BytecodeBackend::new_with_histogram_and_sketch(
+        1_000,
+        SyscallProfile::data_caching(),
+        10,
+        64,
+    )
+    .and_then(BytecodeBackend::with_netstack)
+    .unwrap_or_else(|e| panic!("building netstack probe: {e}"));
+    out.push(("data_caching+hist+sketch+netstack".to_string(), netstack));
     // Multi-process probe (Web Search aggregates every stage).
     let multi = BytecodeBackend::new_multi(vec![1_000, 1_001, 1_002], SyscallProfile::web_search(), 10)
         .unwrap_or_else(|e| panic!("building multi-tgid probe: {e}"));
@@ -81,6 +96,7 @@ fn shipped_backends() -> Vec<(String, BytecodeBackend)> {
 fn audit_program(
     label: &str,
     prog: &Program,
+    ctx_size: usize,
     backend: &BytecodeBackend,
     verbose: bool,
     tally: &mut InlineTally,
@@ -147,7 +163,7 @@ fn audit_program(
         ));
     }
     let verifier = Verifier::new(VerifierConfig {
-        ctx_size: CTX_SIZE,
+        ctx_size,
         ..VerifierConfig::default()
     });
     let verdict = verifier.verify_report(opt, backend.map_registry());
@@ -169,13 +185,23 @@ fn main() {
     let mut audited = 0usize;
     let mut reduced = 0usize;
     let mut tally = InlineTally::default();
+    let mut net_audited = 0usize;
     for (label, backend) in shipped_backends() {
         println!("probe configuration: {label}");
         let (enter, exit) = backend.programs();
-        for prog in [enter, exit] {
-            match audit_program(&label, prog, &backend, verbose, &mut tally) {
+        let mut queue: Vec<(&Program, usize, bool)> =
+            vec![(enter, CTX_SIZE, false), (exit, CTX_SIZE, false)];
+        if let Some((rx, drain)) = backend.net_programs() {
+            queue.push((rx, NET_CTX_SIZE, true));
+            queue.push((drain, NET_CTX_SIZE, true));
+        }
+        for (prog, ctx_size, is_net) in queue {
+            match audit_program(&label, prog, ctx_size, &backend, verbose, &mut tally) {
                 Ok(()) => {
                     audited += 1;
+                    if is_net {
+                        net_audited += 1;
+                    }
                     if prog.optimized().is_some_and(|(opt, _)| opt.len() < prog.len()) {
                         reduced += 1;
                     }
@@ -185,7 +211,7 @@ fn main() {
         }
     }
     println!(
-        "\naudited {audited} programs; optimizer reduced {reduced}; \
+        "\naudited {audited} programs ({net_audited} netstack); optimizer reduced {reduced}; \
          inline plan: {} env + {} map-lookup fast path, {} trampolined \
          ({} sketch-update)",
         tally.env, tally.lookup_fast, tally.trampolined, tally.sketch_sites
@@ -206,6 +232,13 @@ fn main() {
         failures.push(
             "no sketch_update site audited — the fleet probe configuration is missing".to_string(),
         );
+    }
+    if net_audited < 2 {
+        failures.push(format!(
+            "only {net_audited} netstack programs audited (expected the \
+             kscope_net_rx / kscope_sock_drain pair) — the netstack probe \
+             configuration is missing"
+        ));
     }
     if failures.is_empty() {
         println!("probe audit: PASS");
